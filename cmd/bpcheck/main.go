@@ -1,0 +1,37 @@
+// Command bpcheck validates BluePrint policy files: it parses them, runs
+// the semantic analyzer, and optionally prints the canonical form.  The
+// project administrator runs it before re-initializing the BluePrint for a
+// new project phase.
+//
+// Usage:
+//
+//	bpcheck [-print] [-quiet] <file.bp> [more files...]
+//
+// Exit status is non-zero if any file fails to parse or has analyzer
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	printForm := flag.Bool("print", false, "print the canonical form of each valid blueprint")
+	quiet := flag.Bool("quiet", false, "suppress warnings and infos")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bpcheck [-print] [-quiet] <file.bp>...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if !cli.BPCheckFiles(os.Stdout, os.Stderr, flag.Args(), *printForm, *quiet) {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,118 @@
+// Command damocles runs the DAMOCLES project server: it loads a BluePrint
+// policy file and an optional saved meta-database, listens for wrapper
+// connections, and processes design events (Figure 1 of the paper).
+//
+// Usage:
+//
+//	damocles [-addr host:port] [-blueprint file] [-db file] [-trace]
+//
+// With no -blueprint, the EDTC_example policy from section 3.4 of the
+// paper is loaded.  With -db, the meta-database is loaded at startup (if
+// the file exists) and saved back on SIGINT/SIGTERM shutdown.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/bpl"
+	"repro/internal/engine"
+	"repro/internal/meta"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("damocles: ")
+	addr := flag.String("addr", "127.0.0.1:7495", "listen address")
+	bpFile := flag.String("blueprint", "", "BluePrint policy file (default: built-in EDTC example)")
+	dbFile := flag.String("db", "", "meta-database file to load/save")
+	trace := flag.Bool("trace", false, "log engine trace to stderr")
+	flag.Parse()
+
+	if err := run(*addr, *bpFile, *dbFile, *trace); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, bpFile, dbFile string, trace bool) error {
+	src := bpl.EDTCExample
+	if bpFile != "" {
+		data, err := os.ReadFile(bpFile)
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	}
+	bp, err := bpl.Parse(src)
+	if err != nil {
+		return fmt.Errorf("blueprint: %w", err)
+	}
+	for _, d := range bpl.Analyze(bp) {
+		log.Printf("blueprint %s: %s", bp.Name, d)
+	}
+
+	db := meta.NewDB()
+	if dbFile != "" {
+		f, err := os.Open(dbFile)
+		switch {
+		case err == nil:
+			db, err = meta.Load(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("load %s: %w", dbFile, err)
+			}
+			log.Printf("loaded %s: %+v", dbFile, db.Stats())
+		case errors.Is(err, fs.ErrNotExist):
+			log.Printf("%s not found, starting empty", dbFile)
+		default:
+			return err
+		}
+	}
+
+	var opts []engine.Option
+	if trace {
+		opts = append(opts, engine.WithTracer(logTracer{}))
+	}
+	eng, err := engine.New(db, bp, opts...)
+	if err != nil {
+		return err
+	}
+	srv := server.New(eng)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("project %s serving on %s", bp.Name, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	if dbFile != "" {
+		f, err := os.Create(dbFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := db.Save(f); err != nil {
+			return err
+		}
+		log.Printf("saved %s: %+v", dbFile, db.Stats())
+	}
+	return nil
+}
+
+// logTracer streams engine trace entries to the log.
+type logTracer struct{}
+
+func (logTracer) Trace(e engine.TraceEntry) { log.Print(e.String()) }

@@ -1,0 +1,48 @@
+// Command dquery queries project state from a running DAMOCLES server —
+// the designer-side "what still needs to be modified before reaching a
+// planned state" tool.
+//
+// Usage:
+//
+//	dquery [-addr host:port] state <block,view,version>
+//	dquery [-addr host:port] report
+//	dquery [-addr host:port] gap
+//	dquery [-addr host:port] stats
+//	dquery [-addr host:port] blueprint
+//	dquery [-addr host:port] snapshot <name> <root-oid|*>
+//	dquery [-addr host:port] dot <flow|state>
+//	dquery [-addr host:port] links <block,view,version>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dquery: ")
+	addr := flag.String("addr", "127.0.0.1:7495", "project server address")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dquery [-addr host:port] <state|report|gap|stats|blueprint|snapshot|dot|links> [args]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c, err := server.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if err := cli.DQuery(os.Stdout, c, flag.Args()); err != nil {
+		log.Fatal(err)
+	}
+}

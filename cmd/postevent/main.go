@@ -1,0 +1,51 @@
+// Command postevent is the wrapper-program helper of section 3.1: it posts
+// one design event message to the project server, exactly in the paper's
+// syntax:
+//
+//	postEvent ckin up reg,verilog,4 "logic sim passed"
+//
+// Usage:
+//
+//	postevent [-addr host:port] [-user name] <event> <up|down> <block,view,version> [args...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/meta"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("postevent: ")
+	addr := flag.String("addr", "127.0.0.1:7495", "project server address")
+	user := flag.String("user", os.Getenv("USER"), "posting designer")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: postevent [flags] <event> <up|down> <block,view,version> [args...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 3 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	args := flag.Args()
+	target, err := meta.ParseKey(args[2])
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := server.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	c.User = *user
+	if err := c.PostEvent(args[0], args[1], target, args[3:]...); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("posted %s %s %s\n", args[0], args[1], target)
+}

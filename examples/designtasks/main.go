@@ -1,0 +1,69 @@
+// designtasks demonstrates the design-task extension (the paper's section
+// 5 future work): higher-level descriptions of design activities, executed
+// with task-level state requirements and tracked in the meta-database like
+// any other design object.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/flow"
+	"repro/internal/task"
+)
+
+func main() {
+	log.SetFlags(0)
+	sess, _, err := flow.NewEDTCSession(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Primary data: a verified-able model and a library.
+	if _, err := sess.CheckinHDL("CPU", 60, 0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sess.InstallLibrary("stdlib"); err != nil {
+		log.Fatal(err)
+	}
+
+	runner := task.NewRunner(sess)
+	for _, t := range []task.Task{
+		task.VerifyModel("CPU"),
+		task.ImplementBlock("CPU", "stdlib"),
+		task.PhysicalSignoff("CPU"),
+	} {
+		rec, err := runner.Run(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("task %-18s -> %-6s (%d steps", t.Name, rec.Status, rec.StepsRun)
+		if rec.Failure != "" {
+			fmt.Printf("; %s", rec.Failure)
+		}
+		fmt.Println(")")
+	}
+
+	// Task runs are OIDs: versioned, propertied, queryable.
+	fmt.Println("\ntask history in the meta-database:")
+	for _, name := range []string{"verify_CPU", "implement_CPU", "signoff_CPU"} {
+		for _, k := range task.History(sess.Eng.DB(), name) {
+			status, step, failure, err := task.Status(sess.Eng.DB(), k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-24s status=%-7s last_step=%-18s %s\n", k, status, step, failure)
+		}
+	}
+
+	// A stale input makes the next signoff run fail at its requirement —
+	// the task level inherits the wrappers' permission discipline.
+	if _, err := sess.CheckinHDL("CPU", 61, 0); err != nil {
+		log.Fatal(err)
+	}
+	rec, err := runner.Run(task.PhysicalSignoff("CPU"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter a new model check-in, signoff_CPU -> %s\n  (%s)\n", rec.Status, rec.Failure)
+}

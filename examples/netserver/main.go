@@ -1,0 +1,95 @@
+// netserver demonstrates the Figure 1 deployment: the DAMOCLES project
+// server owning the meta-database, with wrapper programs posting events
+// over the network.  The example starts an in-process server on a loopback
+// port, then acts as two designers on separate connections and finally
+// queries the project state remotely.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	proj, err := repro.NewProject(repro.EDTCExample)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(proj.Engine)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Println("project server listening on", addr)
+
+	// Designer 1: creates and simulates the HDL model.
+	yves, err := server.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer yves.Close()
+	yves.User = "yves"
+
+	hdl, err := yves.Create("CPU", "HDL_model")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("yves created", hdl)
+	if err := yves.PostEvent("hdl_sim", "down", hdl, "good"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Designer 2: builds the schematic, links it, and checks it in — the
+	// postEvent traffic of section 3.1, over TCP.
+	marc, err := server.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer marc.Close()
+	marc.User = "marc"
+
+	sch, err := marc.Create("CPU", "schematic")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := marc.Link("derive", hdl, sch); err != nil {
+		log.Fatal(err)
+	}
+	if err := marc.PostEvent("ckin", "down", sch); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("marc created and checked in", sch)
+
+	// Yves changes the model: the server-side outofdate wave invalidates
+	// marc's schematic.
+	hdl2, err := yves.Create("CPU", "HDL_model")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := yves.PostEvent("ckin", "down", hdl2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("yves checked in", hdl2)
+
+	st, err := marc.State(sch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nremote state query for %v:\n  ready=%v uptodate=%s lvs_res=%q\n",
+		sch, st.Ready, st.Props["uptodate"], st.Props["lvs_res"])
+	for _, b := range st.Blocking {
+		fmt.Println("  blocking:", b)
+	}
+
+	stats, err := marc.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nserver stats:", stats)
+}

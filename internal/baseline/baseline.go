@@ -1,0 +1,210 @@
+// Package baseline implements the comparison system of section 4 of the
+// paper: a NELSIS-style *activity-driven* flow manager.  "In the NELSIS
+// framework the data flow management is driven by design activities,
+// whereas DAMOCLES has an observer approach to design flow control."
+//
+// The activity-driven manager owns the flow graph and sits in the
+// designer's critical path: every time a designer requests an activity, the
+// manager synchronously walks the transitive input closure, compares
+// timestamps, and re-runs stale producer activities before granting the
+// request.  State is never maintained incrementally; it is recomputed on
+// demand (or by a periodic polling sweep).
+//
+// DAMOCLES inverts this: design activities post events, the tracking
+// system updates state incrementally as an observer, and the designer is
+// never blocked behind a dependency walk.  The benchmark harness contrasts
+// the two on identical dependency graphs.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID names a data node in the flow graph.
+type NodeID string
+
+// node is one data product with its producer inputs.
+type node struct {
+	id     NodeID
+	inputs []NodeID
+
+	// modTime is the logical time the node's data last changed.
+	modTime int64
+	// buildTime is the logical time the node was last (re)built from its
+	// inputs; primary nodes have buildTime == modTime.
+	buildTime int64
+}
+
+// Manager is the activity-driven flow manager.
+type Manager struct {
+	nodes map[NodeID]*node
+	clock int64
+
+	// BuildHook, when set, is invoked for every rebuild the manager
+	// performs (the simulated tool run).
+	BuildHook func(NodeID)
+}
+
+// NewManager returns an empty flow graph.
+func NewManager() *Manager {
+	return &Manager{nodes: make(map[NodeID]*node)}
+}
+
+// AddNode declares a data node and its producer inputs.  Inputs must be
+// declared first.
+func (m *Manager) AddNode(id NodeID, inputs ...NodeID) error {
+	if _, ok := m.nodes[id]; ok {
+		return fmt.Errorf("baseline: node %s already declared", id)
+	}
+	for _, in := range inputs {
+		if _, ok := m.nodes[in]; !ok {
+			return fmt.Errorf("baseline: input %s of %s not declared", in, id)
+		}
+	}
+	m.clock++
+	m.nodes[id] = &node{id: id, inputs: append([]NodeID(nil), inputs...),
+		modTime: m.clock, buildTime: m.clock}
+	return nil
+}
+
+// Nodes returns the declared node IDs in sorted order.
+func (m *Manager) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(m.nodes))
+	for id := range m.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Touch records a designer edit of a primary node: its data changed.  Note
+// the asymmetry with DAMOCLES: Touch is O(1), but the cost reappears —
+// multiplied — inside every later Demand.
+func (m *Manager) Touch(id NodeID) error {
+	n, ok := m.nodes[id]
+	if !ok {
+		return fmt.Errorf("baseline: node %s not declared", id)
+	}
+	m.clock++
+	n.modTime = m.clock
+	n.buildTime = m.clock
+	return nil
+}
+
+// DemandStats reports the work one Demand performed.
+type DemandStats struct {
+	// Checked counts nodes whose freshness was examined (the synchronous
+	// walk the designer waits for).
+	Checked int
+	// Rebuilt counts producer activities re-run.
+	Rebuilt int
+}
+
+// Demand is the designer requesting to use node id (e.g. "run the
+// simulator on this netlist"): the manager walks the transitive input
+// closure, rebuilding anything stale, before the activity may proceed.
+func (m *Manager) Demand(id NodeID) (DemandStats, error) {
+	n, ok := m.nodes[id]
+	if !ok {
+		return DemandStats{}, fmt.Errorf("baseline: node %s not declared", id)
+	}
+	var stats DemandStats
+	visited := make(map[NodeID]bool)
+	m.freshen(n, visited, &stats)
+	return stats, nil
+}
+
+// freshen recursively rebuilds stale inputs; returns the node's effective
+// timestamp after freshening.
+func (m *Manager) freshen(n *node, visited map[NodeID]bool, stats *DemandStats) int64 {
+	if visited[n.id] {
+		return maxI64(n.modTime, n.buildTime)
+	}
+	visited[n.id] = true
+	stats.Checked++
+	var newest int64
+	for _, in := range n.inputs {
+		ts := m.freshen(m.nodes[in], visited, stats)
+		if ts > newest {
+			newest = ts
+		}
+	}
+	if len(n.inputs) > 0 && newest > n.buildTime {
+		// Stale: re-run the producer activity.
+		m.clock++
+		n.buildTime = m.clock
+		n.modTime = m.clock
+		stats.Rebuilt++
+		if m.BuildHook != nil {
+			m.BuildHook(n.id)
+		}
+		return n.buildTime
+	}
+	return maxI64(n.modTime, n.buildTime)
+}
+
+// Stale reports whether the node is out of date with respect to its
+// transitive inputs, without repairing anything.
+func (m *Manager) Stale(id NodeID) (bool, error) {
+	n, ok := m.nodes[id]
+	if !ok {
+		return false, fmt.Errorf("baseline: node %s not declared", id)
+	}
+	visited := make(map[NodeID]bool)
+	_, stale := m.newestInput(n, visited)
+	return stale, nil
+}
+
+// newestInput computes the newest effective timestamp in the node's input
+// closure and whether the node (or anything below it) is stale.
+func (m *Manager) newestInput(n *node, visited map[NodeID]bool) (int64, bool) {
+	if visited[n.id] {
+		return maxI64(n.modTime, n.buildTime), false
+	}
+	visited[n.id] = true
+	var newest int64
+	stale := false
+	for _, in := range n.inputs {
+		ts, s := m.newestInput(m.nodes[in], visited)
+		stale = stale || s
+		if ts > newest {
+			newest = ts
+		}
+	}
+	if len(n.inputs) > 0 && newest > n.buildTime {
+		stale = true
+		return newest, stale
+	}
+	return maxI64(n.modTime, n.buildTime), stale
+}
+
+// PollStats reports the work of one polling sweep.
+type PollStats struct {
+	Checked int
+	Stale   int
+}
+
+// PollAll is the polling consistency checker: the periodic full sweep a
+// non-event-driven system needs to learn what is out of date.  Cost is
+// O(all nodes × their input closures) regardless of how little changed —
+// the contrast with DAMOCLES' event-driven incremental updates.
+func (m *Manager) PollAll() PollStats {
+	var st PollStats
+	for _, id := range m.Nodes() {
+		n := m.nodes[id]
+		visited := make(map[NodeID]bool)
+		st.Checked++
+		if _, stale := m.newestInput(n, visited); stale {
+			st.Stale++
+		}
+	}
+	return st
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

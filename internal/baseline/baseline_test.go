@@ -1,0 +1,183 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+)
+
+// buildFlow declares the EDTC-style flow: hdl -> schematic -> netlist ->
+// layout, with a library input to the schematic.
+func buildFlow(t *testing.T) *Manager {
+	t.Helper()
+	m := NewManager()
+	steps := []struct {
+		id     NodeID
+		inputs []NodeID
+	}{
+		{"hdl", nil},
+		{"lib", nil},
+		{"schematic", []NodeID{"hdl", "lib"}},
+		{"netlist", []NodeID{"schematic"}},
+		{"layout", []NodeID{"netlist"}},
+	}
+	for _, s := range steps {
+		if err := m.AddNode(s.id, s.inputs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	m := NewManager()
+	if err := m.AddNode("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddNode("a"); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := m.AddNode("b", "ghost"); err == nil {
+		t.Error("undeclared input accepted")
+	}
+}
+
+func TestFreshGraphNoRebuilds(t *testing.T) {
+	m := buildFlow(t)
+	st, err := m.Demand("layout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rebuilt != 0 {
+		t.Errorf("fresh graph rebuilt %d", st.Rebuilt)
+	}
+	if st.Checked != 5 {
+		t.Errorf("checked = %d, want full closure 5", st.Checked)
+	}
+}
+
+func TestTouchForcesTransitiveRebuild(t *testing.T) {
+	m := buildFlow(t)
+	var rebuilt []NodeID
+	m.BuildHook = func(id NodeID) { rebuilt = append(rebuilt, id) }
+	if err := m.Touch("hdl"); err != nil {
+		t.Fatal(err)
+	}
+	stale, err := m.Stale("layout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stale {
+		t.Error("layout fresh after hdl edit")
+	}
+	st, err := m.Demand("layout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rebuilt != 3 {
+		t.Errorf("rebuilt = %d (%v), want schematic+netlist+layout", st.Rebuilt, rebuilt)
+	}
+	// Now everything is fresh again.
+	if stale, _ := m.Stale("layout"); stale {
+		t.Error("layout still stale after demand")
+	}
+	st, _ = m.Demand("layout")
+	if st.Rebuilt != 0 {
+		t.Errorf("second demand rebuilt %d", st.Rebuilt)
+	}
+}
+
+func TestLibraryTouchAlsoInvalidates(t *testing.T) {
+	m := buildFlow(t)
+	if err := m.Touch("lib"); err != nil {
+		t.Fatal(err)
+	}
+	if stale, _ := m.Stale("netlist"); !stale {
+		t.Error("netlist fresh after library install")
+	}
+	if stale, _ := m.Stale("hdl"); stale {
+		t.Error("primary hdl stale")
+	}
+}
+
+func TestDemandCostGrowsWithClosure(t *testing.T) {
+	// A linear chain of n nodes: every demand of the tail checks n nodes,
+	// even when nothing changed — the obstructive cost the paper's
+	// observer approach avoids.
+	m := NewManager()
+	const n = 50
+	if err := m.AddNode("n0"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if err := m.AddNode(NodeID(fmt.Sprintf("n%d", i)), NodeID(fmt.Sprintf("n%d", i-1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := m.Demand(NodeID(fmt.Sprintf("n%d", n-1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Checked != n {
+		t.Errorf("checked = %d, want %d", st.Checked, n)
+	}
+}
+
+func TestPollAllSweepsEverything(t *testing.T) {
+	m := buildFlow(t)
+	st := m.PollAll()
+	if st.Checked != 5 || st.Stale != 0 {
+		t.Errorf("poll = %+v", st)
+	}
+	if err := m.Touch("hdl"); err != nil {
+		t.Fatal(err)
+	}
+	st = m.PollAll()
+	// schematic, netlist, layout are stale.
+	if st.Stale != 3 {
+		t.Errorf("stale = %d, want 3", st.Stale)
+	}
+}
+
+func TestDiamondDependency(t *testing.T) {
+	m := NewManager()
+	for _, s := range []struct {
+		id     NodeID
+		inputs []NodeID
+	}{
+		{"src", nil},
+		{"a", []NodeID{"src"}},
+		{"b", []NodeID{"src"}},
+		{"sink", []NodeID{"a", "b"}},
+	} {
+		if err := m.AddNode(s.id, s.inputs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Touch("src"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Demand("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rebuilt != 3 {
+		t.Errorf("rebuilt = %d, want a, b, sink", st.Rebuilt)
+	}
+	// src visited once despite two paths.
+	if st.Checked != 4 {
+		t.Errorf("checked = %d, want 4", st.Checked)
+	}
+}
+
+func TestErrorsOnUnknownNodes(t *testing.T) {
+	m := NewManager()
+	if _, err := m.Demand("ghost"); err == nil {
+		t.Error("Demand on unknown node accepted")
+	}
+	if err := m.Touch("ghost"); err == nil {
+		t.Error("Touch on unknown node accepted")
+	}
+	if _, err := m.Stale("ghost"); err == nil {
+		t.Error("Stale on unknown node accepted")
+	}
+}

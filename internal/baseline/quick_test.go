@@ -1,0 +1,105 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genDAG builds a random layered DAG manager: layer 0 primaries, later
+// layers depending on earlier nodes.
+func genDAG(rng *rand.Rand) (*Manager, []NodeID) {
+	m := NewManager()
+	var all []NodeID
+	layers := rng.Intn(4) + 2
+	prev := []NodeID{}
+	for l := 0; l < layers; l++ {
+		width := rng.Intn(4) + 1
+		var cur []NodeID
+		for w := 0; w < width; w++ {
+			id := NodeID(fmt.Sprintf("n%d-%d", l, w))
+			var inputs []NodeID
+			if l > 0 {
+				n := rng.Intn(len(prev)) + 1
+				seen := map[NodeID]bool{}
+				for i := 0; i < n; i++ {
+					in := prev[rng.Intn(len(prev))]
+					if !seen[in] {
+						seen[in] = true
+						inputs = append(inputs, in)
+					}
+				}
+			}
+			if err := m.AddNode(id, inputs...); err != nil {
+				panic(err)
+			}
+			cur = append(cur, id)
+			all = append(all, id)
+		}
+		prev = append(prev, cur...)
+	}
+	return m, all
+}
+
+// TestQuickDemandMakesFresh: after Demand(x), Stale(x) is always false,
+// and a second immediate Demand rebuilds nothing.
+func TestQuickDemandMakesFresh(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, all := genDAG(rng)
+		// Random edits.
+		for i := 0; i < rng.Intn(5); i++ {
+			if err := m.Touch(all[rng.Intn(len(all))]); err != nil {
+				return false
+			}
+		}
+		target := all[rng.Intn(len(all))]
+		if _, err := m.Demand(target); err != nil {
+			return false
+		}
+		stale, err := m.Stale(target)
+		if err != nil || stale {
+			t.Logf("seed %d: %s stale after demand", seed, target)
+			return false
+		}
+		st, err := m.Demand(target)
+		if err != nil || st.Rebuilt != 0 {
+			t.Logf("seed %d: second demand rebuilt %d", seed, st.Rebuilt)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPollMatchesStale: PollAll's stale count equals the number of
+// nodes for which Stale reports true.
+func TestQuickPollMatchesStale(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, all := genDAG(rng)
+		for i := 0; i < rng.Intn(4); i++ {
+			if err := m.Touch(all[rng.Intn(len(all))]); err != nil {
+				return false
+			}
+		}
+		want := 0
+		for _, id := range all {
+			s, err := m.Stale(id)
+			if err != nil {
+				return false
+			}
+			if s {
+				want++
+			}
+		}
+		got := m.PollAll()
+		return got.Stale == want && got.Checked == len(all)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

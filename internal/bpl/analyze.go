@@ -1,0 +1,185 @@
+package bpl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Severity grades analyzer diagnostics.
+type Severity uint8
+
+const (
+	// SevError marks a blueprint the engine must refuse to load.
+	SevError Severity = iota
+	// SevWarning marks suspicious constructs the engine tolerates.
+	SevWarning
+	// SevInfo marks observations useful when reviewing a policy.
+	SevInfo
+)
+
+// String returns "error", "warning" or "info".
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Sev  Severity
+	View string // affected view, "" for blueprint-level findings
+	Msg  string
+}
+
+// String renders the diagnostic for display.
+func (d Diagnostic) String() string {
+	if d.View == "" {
+		return fmt.Sprintf("%s: %s", d.Sev, d.Msg)
+	}
+	return fmt.Sprintf("%s: view %s: %s", d.Sev, d.View, d.Msg)
+}
+
+// Analyze performs semantic checks on a parsed blueprint and returns its
+// findings sorted by severity.  Errors make the blueprint unusable:
+// duplicate view declarations, duplicate property declarations within a
+// view, a link_from naming the declaring view itself, or a let shadowing a
+// declared property.  Warnings cover references to undeclared views and
+// properties; infos report events that are posted but propagate through no
+// link template.
+func Analyze(bp *Blueprint) []Diagnostic {
+	var ds []Diagnostic
+	add := func(sev Severity, view, format string, args ...any) {
+		ds = append(ds, Diagnostic{Sev: sev, View: view, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	seenView := map[string]bool{}
+	for _, v := range bp.Views {
+		if seenView[v.Name] {
+			add(SevError, v.Name, "duplicate view declaration")
+		}
+		seenView[v.Name] = true
+	}
+
+	// Event names allowed through some link template, for reachability
+	// infos.
+	propagated := map[string]bool{}
+	for _, v := range bp.Views {
+		for _, l := range v.Links {
+			for _, e := range l.Propagates {
+				propagated[e] = true
+			}
+		}
+	}
+
+	for _, v := range bp.Views {
+		seenProp := map[string]bool{}
+		for _, p := range v.Properties {
+			if seenProp[p.Name] {
+				add(SevError, v.Name, "duplicate property %q", p.Name)
+			}
+			seenProp[p.Name] = true
+		}
+		seenLet := map[string]bool{}
+		for _, l := range v.Lets {
+			if seenProp[l.Name] {
+				add(SevError, v.Name, "let %q shadows a declared property", l.Name)
+			}
+			if seenLet[l.Name] {
+				add(SevError, v.Name, "duplicate let %q", l.Name)
+			}
+			seenLet[l.Name] = true
+		}
+		for _, l := range v.Links {
+			if l.Use {
+				continue
+			}
+			if l.FromView == v.Name {
+				add(SevError, v.Name, "link_from the view itself")
+				continue
+			}
+			if !seenView[l.FromView] {
+				add(SevWarning, v.Name, "link_from undeclared view %q", l.FromView)
+			}
+		}
+
+		// References from let expressions to properties: warn when a
+		// $reference names neither a property/let of the view or of the
+		// default view nor a builtin.
+		known := map[string]bool{}
+		for _, p := range v.Properties {
+			known[p.Name] = true
+		}
+		for _, l := range v.Lets {
+			known[l.Name] = true
+		}
+		if dv := bp.DefaultView(); dv != nil && dv != v {
+			for _, p := range dv.Properties {
+				known[p.Name] = true
+			}
+			for _, l := range dv.Lets {
+				known[l.Name] = true
+			}
+		}
+		for _, l := range v.Lets {
+			for _, ref := range ExprVars(l.Expr) {
+				if !known[ref] && !builtinVar(ref) {
+					add(SevWarning, v.Name, "let %q references undeclared property $%s", l.Name, ref)
+				}
+			}
+		}
+
+		for _, r := range v.Rules {
+			for _, a := range r.Actions {
+				pa, ok := a.(*PostAction)
+				if !ok {
+					continue
+				}
+				if pa.ToView != "" && !seenView[pa.ToView] {
+					add(SevWarning, v.Name, "post targets undeclared view %q", pa.ToView)
+				}
+				if pa.ToView == "" && !propagated[pa.Event] {
+					add(SevInfo, v.Name,
+						"event %q is posted for propagation but no link template propagates it",
+						pa.Event)
+				}
+			}
+		}
+	}
+
+	sort.SliceStable(ds, func(i, j int) bool { return ds[i].Sev < ds[j].Sev })
+	return ds
+}
+
+// HasErrors reports whether the diagnostics include at least one error.
+func HasErrors(ds []Diagnostic) bool {
+	for _, d := range ds {
+		if d.Sev == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// builtinVar reports whether the name is one of the run-time engine's
+// built-in variables, always available to rules and expressions.
+func builtinVar(name string) bool {
+	switch name {
+	case "oid", "OID", "arg", "user", "date", "owner", "block", "view", "version", "event", "dir":
+		return true
+	}
+	// $arg1..$argN
+	if len(name) > 3 && name[:3] == "arg" {
+		for _, c := range name[3:] {
+			if c < '0' || c > '9' {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,158 @@
+package bpl
+
+import (
+	"strings"
+	"testing"
+)
+
+func diagsContaining(ds []Diagnostic, sev Severity, substr string) int {
+	n := 0
+	for _, d := range ds {
+		if d.Sev == sev && strings.Contains(d.Msg, substr) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestAnalyzeEDTCClean(t *testing.T) {
+	bp := mustParse(t, EDTCExample)
+	ds := Analyze(bp)
+	if HasErrors(ds) {
+		t.Errorf("EDTC example has errors: %v", ds)
+	}
+}
+
+func TestAnalyzeDuplicateView(t *testing.T) {
+	bp := mustParse(t, `blueprint b
+view v
+endview
+view v
+endview
+endblueprint`)
+	ds := Analyze(bp)
+	if diagsContaining(ds, SevError, "duplicate view") != 1 {
+		t.Errorf("diagnostics = %v", ds)
+	}
+}
+
+func TestAnalyzeDuplicateProperty(t *testing.T) {
+	bp := mustParse(t, `blueprint b
+view v
+    property p default a
+    property p default b
+endview
+endblueprint`)
+	if diagsContaining(Analyze(bp), SevError, "duplicate property") != 1 {
+		t.Error("duplicate property not flagged")
+	}
+}
+
+func TestAnalyzeLetShadowsProperty(t *testing.T) {
+	bp := mustParse(t, `blueprint b
+view v
+    property state default bad
+    let state = ($x == y)
+endview
+endblueprint`)
+	if diagsContaining(Analyze(bp), SevError, "shadows") != 1 {
+		t.Error("shadowing let not flagged")
+	}
+}
+
+func TestAnalyzeSelfLink(t *testing.T) {
+	bp := mustParse(t, `blueprint b
+view v
+    link_from v propagates e
+endview
+endblueprint`)
+	if diagsContaining(Analyze(bp), SevError, "itself") != 1 {
+		t.Error("self link_from not flagged")
+	}
+}
+
+func TestAnalyzeUndeclaredFromView(t *testing.T) {
+	bp := mustParse(t, `blueprint b
+view v
+    link_from ghost propagates e
+endview
+endblueprint`)
+	if diagsContaining(Analyze(bp), SevWarning, "undeclared view") != 1 {
+		t.Error("undeclared from view not flagged")
+	}
+}
+
+func TestAnalyzeUndeclaredLetReference(t *testing.T) {
+	bp := mustParse(t, `blueprint b
+view v
+    let s = ($mystery == ok)
+endview
+endblueprint`)
+	if diagsContaining(Analyze(bp), SevWarning, "undeclared property") != 1 {
+		t.Error("undeclared reference not flagged")
+	}
+}
+
+func TestAnalyzeBuiltinsAllowed(t *testing.T) {
+	bp := mustParse(t, `blueprint b
+view v
+    let s = ($user == yves) and ($arg1 == ok)
+endview
+endblueprint`)
+	if diagsContaining(Analyze(bp), SevWarning, "undeclared property") != 0 {
+		t.Errorf("builtins flagged: %v", Analyze(bp))
+	}
+}
+
+func TestAnalyzeDefaultViewPropertiesVisible(t *testing.T) {
+	bp := mustParse(t, `blueprint b
+view default
+    property uptodate default true
+endview
+view v
+    let s = ($uptodate == true)
+endview
+endblueprint`)
+	if diagsContaining(Analyze(bp), SevWarning, "undeclared property") != 0 {
+		t.Errorf("default-view property flagged: %v", Analyze(bp))
+	}
+}
+
+func TestAnalyzeUnpropagatedPost(t *testing.T) {
+	bp := mustParse(t, `blueprint b
+view v
+    when ckin do post orphan down done
+endview
+endblueprint`)
+	if diagsContaining(Analyze(bp), SevInfo, "no link template") != 1 {
+		t.Errorf("orphan post not reported: %v", Analyze(bp))
+	}
+}
+
+func TestAnalyzePostToUndeclaredView(t *testing.T) {
+	bp := mustParse(t, `blueprint b
+view v
+    when ckin do post e down to nowhere done
+endview
+endblueprint`)
+	if diagsContaining(Analyze(bp), SevWarning, "targets undeclared view") != 1 {
+		t.Errorf("post-to undeclared view not flagged: %v", Analyze(bp))
+	}
+}
+
+func TestAnalyzeSortedBySeverity(t *testing.T) {
+	bp := mustParse(t, `blueprint b
+view v
+    property p default a
+    property p default b
+    link_from ghost propagates e
+    when ckin do post orphan down done
+endview
+endblueprint`)
+	ds := Analyze(bp)
+	for i := 1; i < len(ds); i++ {
+		if ds[i].Sev < ds[i-1].Sev {
+			t.Errorf("diagnostics unsorted: %v", ds)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package bpl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Blueprint is the parsed form of one "blueprint ... endblueprint" block.
+type Blueprint struct {
+	Name  string
+	Views []*View
+}
+
+// DefaultViewName is the name of the special view whose template and
+// run-time rules apply to every view ("the special default view which
+// applies to all the views", section 3.4).
+const DefaultViewName = "default"
+
+// View returns the declaration of the named view.
+func (bp *Blueprint) View(name string) (*View, bool) {
+	for _, v := range bp.Views {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// DefaultView returns the special default view, or nil if the blueprint has
+// none.
+func (bp *Blueprint) DefaultView() *View {
+	v, ok := bp.View(DefaultViewName)
+	if !ok {
+		return nil
+	}
+	return v
+}
+
+// ViewNames returns the declared view names in declaration order.
+func (bp *Blueprint) ViewNames() []string {
+	names := make([]string, len(bp.Views))
+	for i, v := range bp.Views {
+		names[i] = v.Name
+	}
+	return names
+}
+
+// View is one "view NAME ... endview" declaration: the template rules
+// (properties, links, continuous assignments) and run-time rules for OIDs of
+// this view type.
+type View struct {
+	Name       string
+	Properties []*PropertyDecl
+	Lets       []*LetDecl
+	Links      []*LinkDecl
+	Rules      []*Rule
+}
+
+// Property returns the property declaration with the given name.
+func (v *View) Property(name string) (*PropertyDecl, bool) {
+	for _, p := range v.Properties {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// RulesFor returns the run-time rules of this view triggered by the event.
+func (v *View) RulesFor(event string) []*Rule {
+	var out []*Rule
+	for _, r := range v.Rules {
+		if r.Event == event {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// InheritMode is the version-inheritance mode of a property or link
+// template: what happens to the property value or link instance when a new
+// version of an OID is created (Figures 2 and 3 of the paper).
+type InheritMode uint8
+
+const (
+	// InheritNone: the new version gets the default value (properties) or
+	// no automatic treatment (links).
+	InheritNone InheritMode = iota
+	// InheritCopy: the value/link is copied from the previous version; the
+	// previous version keeps its own.
+	InheritCopy
+	// InheritMove: the value/link is moved — the previous version loses it.
+	// For links this is the "shift" of Figure 3.
+	InheritMove
+)
+
+// String returns the keyword used in the BluePrint language.
+func (m InheritMode) String() string {
+	switch m {
+	case InheritNone:
+		return ""
+	case InheritCopy:
+		return "copy"
+	case InheritMove:
+		return "move"
+	default:
+		return fmt.Sprintf("InheritMode(%d)", uint8(m))
+	}
+}
+
+// PropertyDecl is "property NAME default VALUE [copy|move]".
+type PropertyDecl struct {
+	Name    string
+	Default string
+	Inherit InheritMode
+}
+
+// LetDecl is a continuous assignment: "let NAME = EXPR".  The expression is
+// re-evaluated whenever the engine processes an event on an OID of the view,
+// and its boolean result ("true"/"false") is stored in property NAME.
+type LetDecl struct {
+	Name string
+	Expr Expr
+}
+
+// LinkDecl is a link template: either "use_link [move|copy] propagates ..."
+// or "link_from VIEW [move|copy] propagates ... [type NAME]".
+type LinkDecl struct {
+	// Use distinguishes use links (hierarchy) from derive links.  A use
+	// link template has no FromView: both ends are of the declaring view's
+	// type.
+	Use bool
+
+	// FromView is the parent view of a derive link template.  The declaring
+	// view is the To (downstream) end.
+	FromView string
+
+	// Inherit controls version shifting: move-tagged links are shifted from
+	// the old version to the new one when a new version is created.
+	Inherit InheritMode
+
+	// Propagates is the PROPAGATE property applied to link instances.
+	Propagates []string
+
+	// Type is the TYPE property for derive links (derived, equivalence,
+	// depend_on, composition, ...).
+	Type string
+
+	// TemplateID is a deterministic identifier ("viewname#index") assigned
+	// by the parser; link instances stamped with it are recognized during
+	// version inheritance.
+	TemplateID string
+}
+
+// Rule is one run-time rule: "when EVENT do ACTION; ACTION... done".
+type Rule struct {
+	Event   string
+	Actions []Action
+}
+
+// Action is one of the three run-time action kinds the paper defines —
+// property assignment, script execution, event posting — plus notify, which
+// the paper shows as a built-in messaging action.
+type Action interface {
+	actionNode()
+	String() string
+}
+
+// AssignAction sets a property of the target OID:
+// "oid_is_checked_out = false" or "lvs_res = "$oid changed by $user"".
+type AssignAction struct {
+	Prop  string
+	Value Template
+}
+
+// ExecAction invokes a script: "exec netlister.sh "$OID"".
+type ExecAction struct {
+	Argv []Template
+}
+
+// NotifyAction sends a message to users:
+// "notify "$owner: Your oid $OID has been modified"".
+type NotifyAction struct {
+	Message Template
+}
+
+// Direction is the propagation direction of an event through links:
+// down travels From→To (e.g. from a source view to the views derived from
+// it, or from a hierarchy parent to its components), up travels To→From.
+type Direction uint8
+
+const (
+	// DirDown propagates From→To.
+	DirDown Direction = iota
+	// DirUp propagates To→From.
+	DirUp
+)
+
+// String returns "down" or "up".
+func (d Direction) String() string {
+	if d == DirUp {
+		return "up"
+	}
+	return "down"
+}
+
+// ParseDirection parses "up" or "down".
+func ParseDirection(s string) (Direction, error) {
+	switch strings.ToLower(s) {
+	case "up":
+		return DirUp, nil
+	case "down":
+		return DirDown, nil
+	default:
+		return 0, fmt.Errorf("bpl: direction %q: want up or down", s)
+	}
+}
+
+// PostAction posts a new event.  With ToView set, the event is targeted at
+// the OID of that view of the same block ("post behavioral_sim_ok down to
+// VerilogNetList"); without it, the event is directly propagated from the
+// current OID ("post out_of_date up") — local rules do not run again on the
+// current OID.
+type PostAction struct {
+	Event  string
+	Dir    Direction
+	ToView string
+	Args   []Template
+}
+
+func (*AssignAction) actionNode() {}
+func (*ExecAction) actionNode()   {}
+func (*NotifyAction) actionNode() {}
+func (*PostAction) actionNode()   {}
+
+// String renders the action in canonical BluePrint syntax.
+func (a *AssignAction) String() string {
+	return a.Prop + " = " + a.Value.Source()
+}
+
+// String renders the action in canonical BluePrint syntax.
+func (a *ExecAction) String() string {
+	parts := make([]string, 0, len(a.Argv)+1)
+	parts = append(parts, "exec")
+	for _, t := range a.Argv {
+		parts = append(parts, t.Source())
+	}
+	return strings.Join(parts, " ")
+}
+
+// String renders the action in canonical BluePrint syntax.
+func (a *NotifyAction) String() string {
+	return "notify " + a.Message.Source()
+}
+
+// String renders the action in canonical BluePrint syntax.
+func (a *PostAction) String() string {
+	var sb strings.Builder
+	sb.WriteString("post ")
+	sb.WriteString(a.Event)
+	sb.WriteByte(' ')
+	sb.WriteString(a.Dir.String())
+	if a.ToView != "" {
+		sb.WriteString(" to ")
+		sb.WriteString(a.ToView)
+	}
+	for _, t := range a.Args {
+		sb.WriteByte(' ')
+		sb.WriteString(t.Source())
+	}
+	return sb.String()
+}

@@ -1,0 +1,197 @@
+package bpl
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Lexer tokenizes BluePrint source.  Whitespace (including newlines) is
+// insignificant; comments run from '#' to end of line.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input.  The returned slice always ends with a
+// TokEOF token on success.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == '#':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		default:
+			return
+		}
+	}
+}
+
+// isIdentStart reports whether c can begin an identifier.
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_' || c == '/' || c == '.'
+}
+
+// isIdentRune reports whether c can continue an identifier.  Identifiers are
+// deliberately permissive so tool paths like "netlister.sh" and event names
+// like "nl_sim" lex as single tokens.
+func isIdentRune(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || strings.ContainsRune("_./-", c)
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	lx.skipSpaceAndComments()
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Line: line, Col: col}, nil
+	}
+	c := lx.peek()
+	switch c {
+	case '(':
+		lx.advance()
+		return Token{Kind: TokLParen, Line: line, Col: col}, nil
+	case ')':
+		lx.advance()
+		return Token{Kind: TokRParen, Line: line, Col: col}, nil
+	case ';':
+		lx.advance()
+		return Token{Kind: TokSemi, Line: line, Col: col}, nil
+	case ',':
+		lx.advance()
+		return Token{Kind: TokComma, Line: line, Col: col}, nil
+	case '=':
+		lx.advance()
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: TokEq, Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokAssign, Line: line, Col: col}, nil
+	case '!':
+		lx.advance()
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: TokNeq, Line: line, Col: col}, nil
+		}
+		return Token{}, errAt(line, col, "unexpected '!': want '!='")
+	case '"':
+		return lx.lexString()
+	case '$':
+		lx.advance()
+		start := lx.pos
+		for lx.pos < len(lx.src) {
+			r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+			if !isIdentRune(r) || r == '.' || r == '/' || r == '-' {
+				break
+			}
+			lx.pos += size
+			lx.col++
+		}
+		if lx.pos == start {
+			return Token{}, errAt(line, col, "empty $variable name")
+		}
+		return Token{Kind: TokVar, Text: lx.src[start:lx.pos], Line: line, Col: col}, nil
+	}
+	r, _ := utf8.DecodeRuneInString(lx.src[lx.pos:])
+	if isIdentStart(r) || unicode.IsDigit(r) {
+		start := lx.pos
+		for lx.pos < len(lx.src) {
+			r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+			if !isIdentRune(r) {
+				break
+			}
+			lx.pos += size
+			lx.col++
+		}
+		return Token{Kind: TokIdent, Text: lx.src[start:lx.pos], Line: line, Col: col}, nil
+	}
+	return Token{}, errAt(line, col, "unexpected character %q", string(r))
+}
+
+// lexString scans a double-quoted string.  Supported escapes: \" \\ \n \t.
+// $variables inside strings are left verbatim; template expansion happens at
+// parse time (see ParseTemplate).
+func (lx *Lexer) lexString() (Token, error) {
+	line, col := lx.line, lx.col
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return Token{}, errAt(line, col, "unterminated string")
+		}
+		c := lx.advance()
+		switch c {
+		case '"':
+			return Token{Kind: TokString, Text: sb.String(), Line: line, Col: col}, nil
+		case '\n':
+			return Token{}, errAt(line, col, "newline in string")
+		case '\\':
+			if lx.pos >= len(lx.src) {
+				return Token{}, errAt(line, col, "unterminated escape")
+			}
+			e := lx.advance()
+			switch e {
+			case '"':
+				sb.WriteByte('"')
+			case '\\':
+				sb.WriteByte('\\')
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '$':
+				// \$ suppresses variable expansion.
+				sb.WriteString("\\$")
+			default:
+				return Token{}, errAt(lx.line, lx.col, "unknown escape \\%c", e)
+			}
+		default:
+			sb.WriteByte(c)
+		}
+	}
+}

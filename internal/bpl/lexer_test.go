@@ -1,0 +1,124 @@
+package bpl
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := Lex(`view schematic ( ) ; , = == != $arg "a b" name_1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokIdent, TokIdent, TokLParen, TokRParen, TokSemi, TokComma,
+		TokAssign, TokEq, TokNeq, TokVar, TokString, TokIdent, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token kinds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[9].Text != "arg" {
+		t.Errorf("$var text = %q", toks[9].Text)
+	}
+	if toks[10].Text != "a b" {
+		t.Errorf("string text = %q", toks[10].Text)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("# a comment\nfoo # trailing\nbar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "foo" || toks[1].Text != "bar" {
+		t.Errorf("tokens = %v", toks)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  bb\n   $c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("bb at %d:%d", toks[1].Line, toks[1].Col)
+	}
+	if toks[2].Line != 3 || toks[2].Col != 4 {
+		t.Errorf("$c at %d:%d", toks[2].Line, toks[2].Col)
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Lex(`"he said \"hi\"\n\tend \\ \$x"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "he said \"hi\"\n\tend \\ \\$x"
+	if toks[0].Text != want {
+		t.Errorf("string = %q, want %q", toks[0].Text, want)
+	}
+}
+
+func TestLexToolPathIdent(t *testing.T) {
+	toks, err := Lex("exec netlister.sh /bin/check run-drc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Text != "netlister.sh" {
+		t.Errorf("tool path = %q", toks[1].Text)
+	}
+	if toks[2].Text != "/bin/check" {
+		t.Errorf("abs path = %q", toks[2].Text)
+	}
+	if toks[3].Text != "run-drc" {
+		t.Errorf("dashed = %q", toks[3].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := map[string]string{
+		"unterminated string": `"abc`,
+		"newline in string":   "\"ab\nc\"",
+		"bad escape":          `"a\qb"`,
+		"lone bang":           `a ! b`,
+		"empty var":           `$ x`,
+		"stray char":          "a @ b",
+	}
+	for name, src := range cases {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("%s: no error for %q", name, src)
+		} else if !strings.Contains(err.Error(), ":") {
+			t.Errorf("%s: error lacks position: %v", name, err)
+		}
+	}
+}
+
+func TestLexEOFStable(t *testing.T) {
+	lx := NewLexer("x")
+	if tok, err := lx.Next(); err != nil || tok.Kind != TokIdent {
+		t.Fatalf("first: %v %v", tok, err)
+	}
+	for i := 0; i < 3; i++ {
+		tok, err := lx.Next()
+		if err != nil || tok.Kind != TokEOF {
+			t.Fatalf("EOF call %d: %v %v", i, tok, err)
+		}
+	}
+}

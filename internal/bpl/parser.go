@@ -1,0 +1,520 @@
+package bpl
+
+import "fmt"
+
+// Parser builds a Blueprint from tokens.  The language is context
+// sensitive: keywords are plain identifiers recognized by position, so view
+// and property names may reuse words like "type" or "state".
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a complete BluePrint source file.
+func Parse(src string) (*Blueprint, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	bp, err := p.parseBlueprint()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.Kind != TokEOF {
+		return nil, errAt(t.Line, t.Col, "unexpected %s after endblueprint", t)
+	}
+	return bp, nil
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+
+func (p *Parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// atKeyword reports whether the current token is the given bare identifier.
+func (p *Parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.Kind == TokIdent && t.Text == kw
+}
+
+// expectKeyword consumes the given keyword identifier.
+func (p *Parser) expectKeyword(kw string) error {
+	t := p.cur()
+	if t.Kind != TokIdent || t.Text != kw {
+		return errAt(t.Line, t.Col, "expected %q, found %s", kw, t)
+	}
+	p.advance()
+	return nil
+}
+
+// expectIdent consumes and returns an identifier token.
+func (p *Parser) expectIdent(what string) (string, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return "", errAt(t.Line, t.Col, "expected %s, found %s", what, t)
+	}
+	p.advance()
+	return t.Text, nil
+}
+
+func (p *Parser) expect(kind TokenKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != kind {
+		return Token{}, errAt(t.Line, t.Col, "expected %s, found %s", kind, t)
+	}
+	p.advance()
+	return t, nil
+}
+
+func (p *Parser) parseBlueprint() (*Blueprint, error) {
+	if err := p.expectKeyword("blueprint"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent("blueprint name")
+	if err != nil {
+		return nil, err
+	}
+	bp := &Blueprint{Name: name}
+	for {
+		switch {
+		case p.atKeyword("view"):
+			v, err := p.parseView()
+			if err != nil {
+				return nil, err
+			}
+			bp.Views = append(bp.Views, v)
+		case p.atKeyword("endblueprint"):
+			p.advance()
+			return bp, nil
+		default:
+			t := p.cur()
+			return nil, errAt(t.Line, t.Col, "expected \"view\" or \"endblueprint\", found %s", t)
+		}
+	}
+}
+
+func (p *Parser) parseView() (*View, error) {
+	p.advance() // "view"
+	name, err := p.expectIdent("view name")
+	if err != nil {
+		return nil, err
+	}
+	v := &View{Name: name}
+	for {
+		t := p.cur()
+		if t.Kind != TokIdent {
+			return nil, errAt(t.Line, t.Col, "expected view item, found %s", t)
+		}
+		switch t.Text {
+		case "endview":
+			p.advance()
+			return v, nil
+		case "property":
+			d, err := p.parseProperty()
+			if err != nil {
+				return nil, err
+			}
+			v.Properties = append(v.Properties, d)
+		case "let":
+			d, err := p.parseLet()
+			if err != nil {
+				return nil, err
+			}
+			v.Lets = append(v.Lets, d)
+		case "link_from":
+			d, err := p.parseLinkFrom()
+			if err != nil {
+				return nil, err
+			}
+			d.TemplateID = fmt.Sprintf("%s#%d", v.Name, len(v.Links))
+			v.Links = append(v.Links, d)
+		case "use_link":
+			d, err := p.parseUseLink()
+			if err != nil {
+				return nil, err
+			}
+			d.TemplateID = fmt.Sprintf("%s#%d", v.Name, len(v.Links))
+			v.Links = append(v.Links, d)
+		case "when":
+			r, err := p.parseRule()
+			if err != nil {
+				return nil, err
+			}
+			v.Rules = append(v.Rules, r)
+		default:
+			return nil, errAt(t.Line, t.Col,
+				"expected \"property\", \"let\", \"link_from\", \"use_link\", \"when\" or \"endview\", found %s", t)
+		}
+	}
+}
+
+// parseProperty parses: property NAME default VALUE [copy|move]
+func (p *Parser) parseProperty() (*PropertyDecl, error) {
+	p.advance() // "property"
+	name, err := p.expectIdent("property name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("default"); err != nil {
+		return nil, err
+	}
+	def, err := p.parseConstValue("default value")
+	if err != nil {
+		return nil, err
+	}
+	d := &PropertyDecl{Name: name, Default: def}
+	if p.atKeyword("copy") {
+		p.advance()
+		d.Inherit = InheritCopy
+	} else if p.atKeyword("move") {
+		p.advance()
+		d.Inherit = InheritMove
+	}
+	return d, nil
+}
+
+// parseConstValue parses a single-token constant value: identifier or
+// string literal.
+func (p *Parser) parseConstValue(what string) (string, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIdent, TokString:
+		p.advance()
+		return t.Text, nil
+	default:
+		return "", errAt(t.Line, t.Col, "expected %s, found %s", what, t)
+	}
+}
+
+// parseLet parses: let NAME = EXPR
+func (p *Parser) parseLet() (*LetDecl, error) {
+	p.advance() // "let"
+	name, err := p.expectIdent("property name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &LetDecl{Name: name, Expr: e}, nil
+}
+
+// parseLinkFrom parses:
+// link_from VIEW [move|copy] propagates EV(,EV)* [type NAME]
+func (p *Parser) parseLinkFrom() (*LinkDecl, error) {
+	p.advance() // "link_from"
+	from, err := p.expectIdent("parent view name")
+	if err != nil {
+		return nil, err
+	}
+	d := &LinkDecl{FromView: from}
+	if err := p.parseLinkTail(d); err != nil {
+		return nil, err
+	}
+	if p.atKeyword("type") {
+		p.advance()
+		ty, err := p.expectIdent("link type")
+		if err != nil {
+			return nil, err
+		}
+		d.Type = ty
+	}
+	return d, nil
+}
+
+// parseUseLink parses: use_link [move|copy] propagates EV(,EV)*
+func (p *Parser) parseUseLink() (*LinkDecl, error) {
+	p.advance() // "use_link"
+	d := &LinkDecl{Use: true}
+	if err := p.parseLinkTail(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// parseLinkTail parses the shared [move|copy] propagates EV(,EV)* clause.
+func (p *Parser) parseLinkTail(d *LinkDecl) error {
+	if p.atKeyword("move") {
+		p.advance()
+		d.Inherit = InheritMove
+	} else if p.atKeyword("copy") {
+		p.advance()
+		d.Inherit = InheritCopy
+	}
+	if err := p.expectKeyword("propagates"); err != nil {
+		return err
+	}
+	for {
+		ev, err := p.expectIdent("event name")
+		if err != nil {
+			return err
+		}
+		d.Propagates = append(d.Propagates, ev)
+		if p.cur().Kind != TokComma {
+			return nil
+		}
+		p.advance()
+	}
+}
+
+// parseRule parses: when EVENT do ACTION (';' ACTION)* done
+func (p *Parser) parseRule() (*Rule, error) {
+	p.advance() // "when"
+	ev, err := p.expectIdent("event name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("do"); err != nil {
+		return nil, err
+	}
+	r := &Rule{Event: ev}
+	for {
+		a, err := p.parseAction()
+		if err != nil {
+			return nil, err
+		}
+		r.Actions = append(r.Actions, a)
+		t := p.cur()
+		switch {
+		case t.Kind == TokSemi:
+			p.advance()
+			// Tolerate a trailing semicolon before done.
+			if p.atKeyword("done") {
+				p.advance()
+				return r, nil
+			}
+		case t.Kind == TokIdent && t.Text == "done":
+			p.advance()
+			return r, nil
+		default:
+			return nil, errAt(t.Line, t.Col, "expected ';' or \"done\", found %s", t)
+		}
+	}
+}
+
+func (p *Parser) parseAction() (Action, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return nil, errAt(t.Line, t.Col, "expected action, found %s", t)
+	}
+	switch t.Text {
+	case "exec":
+		p.advance()
+		a := &ExecAction{}
+		for p.atValue() {
+			a.Argv = append(a.Argv, p.parseValue())
+		}
+		if len(a.Argv) == 0 {
+			return nil, errAt(t.Line, t.Col, "exec requires a script argument")
+		}
+		return a, nil
+	case "notify":
+		p.advance()
+		if !p.atValue() {
+			return nil, errAt(t.Line, t.Col, "notify requires a message")
+		}
+		return &NotifyAction{Message: p.parseValue()}, nil
+	case "post":
+		p.advance()
+		ev, err := p.expectIdent("event name")
+		if err != nil {
+			return nil, err
+		}
+		dirTok := p.cur()
+		dirWord, err := p.expectIdent("direction (up or down)")
+		if err != nil {
+			return nil, err
+		}
+		dir, err := ParseDirection(dirWord)
+		if err != nil {
+			return nil, errAt(dirTok.Line, dirTok.Col, "direction %q: want up or down", dirWord)
+		}
+		a := &PostAction{Event: ev, Dir: dir}
+		if p.atKeyword("to") {
+			p.advance()
+			view, err := p.expectIdent("target view name")
+			if err != nil {
+				return nil, err
+			}
+			a.ToView = view
+		}
+		for p.atValue() {
+			a.Args = append(a.Args, p.parseValue())
+		}
+		return a, nil
+	default:
+		// Property assignment: NAME = VALUE
+		name := t.Text
+		p.advance()
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		vt := p.cur()
+		if !p.atValue() {
+			return nil, errAt(vt.Line, vt.Col, "expected value, found %s", vt)
+		}
+		return &AssignAction{Prop: name, Value: p.parseValue()}, nil
+	}
+}
+
+// atValue reports whether the current token can begin a value template:
+// a string, a $variable, or an identifier other than the terminators
+// "done" and action keywords that would start the next statement.
+func (p *Parser) atValue() bool {
+	t := p.cur()
+	switch t.Kind {
+	case TokString, TokVar:
+		return true
+	case TokIdent:
+		return t.Text != "done"
+	default:
+		return false
+	}
+}
+
+// parseValue converts the current value token into a Template.
+func (p *Parser) parseValue() Template {
+	t := p.advance()
+	switch t.Kind {
+	case TokString:
+		return ParseTemplate(t.Text)
+	case TokVar:
+		return VarTemplate(t.Text)
+	default:
+		return LitTemplate(t.Text)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// parseExpr parses an or-expression (lowest precedence).
+func (p *Parser) parseExpr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("or") {
+		p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &OrExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("and") {
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &AndExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.atKeyword("not") {
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokLParen {
+		p.advance()
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		// A parenthesized operand may still be compared:
+		// (($a) == b) is unusual but (expr) alone is common.
+		return p.maybeCmpWrapped(inner)
+	}
+	l, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case TokEq, TokNeq:
+		neq := p.advance().Kind == TokNeq
+		r, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return &CmpExpr{Neq: neq, L: l, R: r}, nil
+	default:
+		return &BoolExpr{X: l}, nil
+	}
+}
+
+// maybeCmpWrapped handles the common paper form "($a == b)" where the
+// parenthesized unit is itself the comparison: after the closing paren no
+// further comparison is allowed, so the inner expression is returned as-is.
+func (p *Parser) maybeCmpWrapped(inner Expr) (Expr, error) {
+	switch p.cur().Kind {
+	case TokEq, TokNeq:
+		// "( ... ) == x" — only legal if the inner expression is a bare
+		// operand.
+		be, ok := inner.(*BoolExpr)
+		if !ok {
+			t := p.cur()
+			return nil, errAt(t.Line, t.Col, "cannot compare a compound expression")
+		}
+		neq := p.advance().Kind == TokNeq
+		r, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return &CmpExpr{Neq: neq, L: be.X, R: r}, nil
+	default:
+		return inner, nil
+	}
+}
+
+func (p *Parser) parseOperand() (Operand, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokVar:
+		p.advance()
+		return Operand{Var: t.Text}, nil
+	case TokString:
+		p.advance()
+		return Operand{Lit: t.Text}, nil
+	case TokIdent:
+		if t.Text == "and" || t.Text == "or" || t.Text == "not" || t.Text == "done" {
+			return Operand{}, errAt(t.Line, t.Col, "expected operand, found %s", t)
+		}
+		p.advance()
+		return Operand{Lit: t.Text}, nil
+	default:
+		return Operand{}, errAt(t.Line, t.Col, "expected operand, found %s", t)
+	}
+}

@@ -1,0 +1,86 @@
+package bpl
+
+import (
+	"strings"
+)
+
+// Print renders the blueprint in canonical source form.  The output parses
+// back to a tree equal to the input (the round-trip property tested by the
+// package tests), which makes Print suitable for archiving the effective
+// project policy.
+func Print(bp *Blueprint) string {
+	var sb strings.Builder
+	sb.WriteString("blueprint ")
+	sb.WriteString(bp.Name)
+	sb.WriteString("\n")
+	for _, v := range bp.Views {
+		printView(&sb, v)
+	}
+	sb.WriteString("endblueprint\n")
+	return sb.String()
+}
+
+func printView(sb *strings.Builder, v *View) {
+	sb.WriteString("view ")
+	sb.WriteString(v.Name)
+	sb.WriteString("\n")
+	for _, p := range v.Properties {
+		sb.WriteString("    property ")
+		sb.WriteString(p.Name)
+		sb.WriteString(" default ")
+		sb.WriteString(constSource(p.Default))
+		if p.Inherit != InheritNone {
+			sb.WriteString(" ")
+			sb.WriteString(p.Inherit.String())
+		}
+		sb.WriteString("\n")
+	}
+	for _, l := range v.Lets {
+		sb.WriteString("    let ")
+		sb.WriteString(l.Name)
+		sb.WriteString(" = ")
+		sb.WriteString(l.Expr.String())
+		sb.WriteString("\n")
+	}
+	for _, l := range v.Links {
+		sb.WriteString("    ")
+		if l.Use {
+			sb.WriteString("use_link")
+		} else {
+			sb.WriteString("link_from ")
+			sb.WriteString(l.FromView)
+		}
+		if l.Inherit != InheritNone {
+			sb.WriteString(" ")
+			sb.WriteString(l.Inherit.String())
+		}
+		sb.WriteString(" propagates ")
+		sb.WriteString(strings.Join(l.Propagates, ", "))
+		if !l.Use && l.Type != "" {
+			sb.WriteString(" type ")
+			sb.WriteString(l.Type)
+		}
+		sb.WriteString("\n")
+	}
+	for _, r := range v.Rules {
+		sb.WriteString("    when ")
+		sb.WriteString(r.Event)
+		sb.WriteString(" do ")
+		for i, a := range r.Actions {
+			if i > 0 {
+				sb.WriteString("; ")
+			}
+			sb.WriteString(a.String())
+		}
+		sb.WriteString(" done\n")
+	}
+	sb.WriteString("endview\n")
+}
+
+// constSource renders a constant value as identifier or quoted string.
+func constSource(s string) string {
+	if s != "" && isBareIdent(s) && !strings.Contains(s, "$") {
+		return s
+	}
+	return quote(strings.ReplaceAll(s, "$", `\$`))
+}

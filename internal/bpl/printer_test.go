@@ -1,0 +1,95 @@
+package bpl
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPrintRoundTripEDTC(t *testing.T) {
+	bp := mustParse(t, EDTCExample)
+	src := Print(bp)
+	bp2, err := Parse(src)
+	if err != nil {
+		t.Fatalf("reparse of printed form: %v\n%s", err, src)
+	}
+	if !reflect.DeepEqual(bp, bp2) {
+		t.Errorf("round trip changed the tree\nprinted:\n%s", src)
+	}
+}
+
+func TestPrintRoundTripConstructs(t *testing.T) {
+	srcs := []string{
+		// Quoted values with spaces and variables.
+		`blueprint b
+view v
+    property msg default "hello world"
+    when e do m = "$oid by $user"; exec run.sh $OID "two words"; notify "hi $owner" done
+endview
+endblueprint`,
+		// Expression precedence.
+		`blueprint b
+view v
+    let s = $a or ($b == c) and not $d
+    let q = not ($a or $b)
+    let r = ($a or $b) and $c
+endview
+endblueprint`,
+		// Post variants.
+		`blueprint b
+view v
+    when e do post x up; post y down to other; post z down "m1" m2 done
+endview
+endblueprint`,
+		// Link variants.
+		`blueprint b
+view v
+    use_link copy propagates a, b
+    link_from w propagates c type derived
+    link_from u move propagates d, e, f type depend_on
+endview
+view w
+endview
+view u
+endview
+endblueprint`,
+	}
+	for i, src := range srcs {
+		bp, err := Parse(src)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		printed := Print(bp)
+		bp2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("case %d reparse: %v\n%s", i, err, printed)
+		}
+		if !reflect.DeepEqual(bp, bp2) {
+			t.Errorf("case %d: round trip changed tree\n%s", i, printed)
+		}
+		// Idempotence: printing the reparse gives identical text.
+		if p2 := Print(bp2); p2 != printed {
+			t.Errorf("case %d: print not idempotent\n--- first\n%s\n--- second\n%s", i, printed, p2)
+		}
+	}
+}
+
+func TestExprStringPrecedence(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{`$a and $b or $c`, `$a and $b or $c`},
+		{`$a and ($b or $c)`, `$a and ($b or $c)`},
+		{`not $a and $b`, `not $a and $b`},
+		{`not ($a and $b)`, `not ($a and $b)`},
+		{`($x == y)`, `($x == y)`},
+		{`($x != "spaced out")`, `($x != "spaced out")`},
+	}
+	for _, tt := range tests {
+		bp := mustParse(t, "blueprint b\nview v\n let s = "+tt.src+"\nendview\nendblueprint")
+		v, _ := bp.View("v")
+		if got := v.Lets[0].Expr.String(); got != tt.want {
+			t.Errorf("String(%s) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package bpl
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseTemplateParts(t *testing.T) {
+	tests := []struct {
+		raw  string
+		want []TemplatePart
+	}{
+		{"plain", []TemplatePart{{Lit: "plain"}}},
+		{"$arg", []TemplatePart{{Var: "arg"}}},
+		{"$oid changed by $user", []TemplatePart{
+			{Var: "oid"}, {Lit: " changed by "}, {Var: "user"},
+		}},
+		{"a$x!b", []TemplatePart{{Lit: "a"}, {Var: "x"}, {Lit: "!b"}}},
+		{`\$literal`, []TemplatePart{{Lit: "$literal"}}},
+		{"$ alone", []TemplatePart{{Lit: "$ alone"}}},
+		{"", nil},
+		{"$a$b", []TemplatePart{{Var: "a"}, {Var: "b"}}},
+	}
+	for _, tt := range tests {
+		got := ParseTemplate(tt.raw)
+		if !reflect.DeepEqual(got.Parts, tt.want) {
+			t.Errorf("ParseTemplate(%q) = %+v, want %+v", tt.raw, got.Parts, tt.want)
+		}
+	}
+}
+
+func TestTemplateExpand(t *testing.T) {
+	tpl := ParseTemplate("$owner: Your oid $OID has been modified")
+	got := tpl.Expand(func(n string) string {
+		switch n {
+		case "owner":
+			return "marc"
+		case "OID":
+			return "cpu,schematic,2"
+		}
+		return ""
+	})
+	if got != "marc: Your oid cpu,schematic,2 has been modified" {
+		t.Errorf("Expand = %q", got)
+	}
+	// Nil lookup expands variables to "".
+	if got := tpl.Expand(nil); got != ": Your oid  has been modified" {
+		t.Errorf("Expand(nil) = %q", got)
+	}
+}
+
+func TestTemplateIsConstAndVars(t *testing.T) {
+	if !LitTemplate("x").IsConst() {
+		t.Error("literal template not const")
+	}
+	if VarTemplate("v").IsConst() {
+		t.Error("var template const")
+	}
+	tpl := ParseTemplate("$a-$b-$a")
+	if got := tpl.Vars(); !reflect.DeepEqual(got, []string{"a", "b", "a"}) {
+		t.Errorf("Vars = %v", got)
+	}
+}
+
+func TestTemplateSourceRoundTrip(t *testing.T) {
+	raws := []string{
+		"plain",
+		"two words",
+		"$arg",
+		"$oid changed by $user",
+		`with "quotes"`,
+		`\$dollar`,
+		"",
+	}
+	for _, raw := range raws {
+		tpl := ParseTemplate(raw)
+		src := tpl.Source()
+		// Re-lex the source form the way the parser does.
+		toks, err := Lex(src + " ")
+		if err != nil {
+			t.Fatalf("Source(%q) = %q does not lex: %v", raw, src, err)
+		}
+		var back Template
+		switch toks[0].Kind {
+		case TokString:
+			back = ParseTemplate(toks[0].Text)
+		case TokVar:
+			back = VarTemplate(toks[0].Text)
+		case TokIdent:
+			back = LitTemplate(toks[0].Text)
+		case TokEOF:
+			back = Template{}
+		}
+		if !reflect.DeepEqual(tpl, back) {
+			t.Errorf("Source round trip %q -> %q -> %+v, want %+v", raw, src, back, tpl)
+		}
+	}
+}
+
+func TestExplainFailure(t *testing.T) {
+	bp := mustParse(t, `blueprint b
+view v
+    let state = ($nl_sim_res == good) and ($lvs_res == is_equiv) and ($uptodate == true)
+endview
+endblueprint`)
+	v, _ := bp.View("v")
+	e := v.Lets[0].Expr
+	lookup := func(vals map[string]string) LookupFunc {
+		return func(n string) string { return vals[n] }
+	}
+	// All good: no failures.
+	ok := lookup(map[string]string{"nl_sim_res": "good", "lvs_res": "is_equiv", "uptodate": "true"})
+	if got := ExplainFailure(e, ok); got != nil {
+		t.Errorf("passing expr explained: %v", got)
+	}
+	// Two failing conjuncts.
+	bad := lookup(map[string]string{"nl_sim_res": "4 errors", "lvs_res": "is_equiv", "uptodate": "false"})
+	got := ExplainFailure(e, bad)
+	if len(got) != 2 {
+		t.Fatalf("ExplainFailure = %v, want 2 findings", got)
+	}
+	if got[0] == "" || got[1] == "" {
+		t.Errorf("empty explanations: %v", got)
+	}
+}
+
+func TestExplainFailureNot(t *testing.T) {
+	bp := mustParse(t, `blueprint b
+view v
+    let s = not ($frozen == true)
+endview
+endblueprint`)
+	v, _ := bp.View("v")
+	e := v.Lets[0].Expr
+	got := ExplainFailure(e, func(string) string { return "true" })
+	if len(got) != 1 {
+		t.Fatalf("ExplainFailure = %v", got)
+	}
+}

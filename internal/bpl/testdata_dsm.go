@@ -1,0 +1,52 @@
+package bpl
+
+// DSMExample is a second complete project policy, beyond the paper's
+// EDTC_example: a deep-submicron timing-signoff flow.  It exercises the
+// same language features on a different methodology — the paper's stated
+// success criterion is "the ability to accommodate a variety of design
+// flows and project methodologies" — including cross-view result posting
+// (extraction re-triggering static timing analysis upstream), notify
+// rules, and a two-stage state definition.
+const DSMExample = `# Deep-submicron signoff policy: RTL -> gates -> floorplan -> SDF,
+# with static timing analysis gating the signoff state.
+blueprint DSM_signoff
+
+view default
+    property uptodate default true
+    when ckin do uptodate = true; post outofdate down done
+    when outofdate do uptodate = false done
+endview
+
+view RTL
+    property lint_result default unchecked
+    when lint do lint_result = $arg done
+endview
+
+view gate_netlist
+    property sta_slack default unknown
+    property sim_result default bad
+    let state = ($sta_slack == met) and ($sim_result == good) and ($uptodate == true)
+    link_from RTL move propagates outofdate type derived
+    when sta do sta_slack = $arg done
+    when sta do notify "STA on $oid: $arg" done
+    when gate_sim do sim_result = $arg done
+    # The sdf view posts run_sta here when fresh extraction data arrives;
+    # the exec rule invokes the timing analyzer automatically.
+    when run_sta do exec sta_runner "$oid" done
+endview
+
+view floorplan
+    property congestion default unknown
+    link_from gate_netlist move propagates outofdate type derived
+    when fp_analysis do congestion = $arg done
+endview
+
+view sdf
+    property extracted default false
+    link_from floorplan move propagates outofdate type derived
+    # Fresh extraction data must re-trigger timing analysis on the gates.
+    when ckin do extracted = true; post run_sta down to gate_netlist done
+endview
+
+endblueprint
+`

@@ -1,0 +1,117 @@
+// Package bpl implements the BluePrint language of section 3.2 of the paper:
+// the ASCII rule files which the project administrator writes to initialize
+// the BluePrint.  A file contains a single
+//
+//	blueprint NAME ... endblueprint
+//
+// block holding view declarations.  Each view declares template rules
+// (properties with default values and copy/move version inheritance, link
+// templates with PROPAGATE event lists and TYPE annotations, continuous
+// assignments) and run-time rules ("when EVENT do ACTIONS done" with
+// assign, exec, notify and post actions).
+//
+// The package provides the lexer, parser, abstract syntax tree, expression
+// evaluator for continuous assignments, semantic analyzer and a canonical
+// pretty-printer whose output parses back to an identical tree.
+package bpl
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+const (
+	// TokEOF marks the end of input.
+	TokEOF TokenKind = iota
+	// TokIdent is an identifier or keyword; keywords are recognized by the
+	// parser from the token text (the language is context sensitive: "type"
+	// is a keyword in a link clause and a legal property name elsewhere).
+	TokIdent
+	// TokString is a double-quoted string literal, with the quotes removed
+	// and escapes processed.
+	TokString
+	// TokVar is a $-variable reference such as $arg or $oid, without the $.
+	TokVar
+	// TokAssign is "=".
+	TokAssign
+	// TokEq is "==".
+	TokEq
+	// TokNeq is "!=".
+	TokNeq
+	// TokLParen is "(".
+	TokLParen
+	// TokRParen is ")".
+	TokRParen
+	// TokSemi is ";".
+	TokSemi
+	// TokComma is ",".
+	TokComma
+)
+
+// String names the kind for diagnostics.
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of file"
+	case TokIdent:
+		return "identifier"
+	case TokString:
+		return "string"
+	case TokVar:
+		return "$variable"
+	case TokAssign:
+		return "'='"
+	case TokEq:
+		return "'=='"
+	case TokNeq:
+		return "'!='"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokSemi:
+		return "';'"
+	case TokComma:
+		return "','"
+	default:
+		return fmt.Sprintf("TokenKind(%d)", uint8(k))
+	}
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // identifier text, string contents, or variable name
+	Line int    // 1-based
+	Col  int    // 1-based, in bytes
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent:
+		return fmt.Sprintf("%q", t.Text)
+	case TokString:
+		return fmt.Sprintf("%q", `"`+t.Text+`"`)
+	case TokVar:
+		return fmt.Sprintf("\"$%s\"", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a lexical or syntax error with position information.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

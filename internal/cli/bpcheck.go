@@ -1,0 +1,56 @@
+// Package cli implements the command-line tools' logic behind thin main
+// wrappers, so the commands themselves are testable: blueprint checking,
+// state queries against a server, and the flow simulator.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bpl"
+)
+
+// BPCheckFiles validates each BluePrint file: parse, analyze, optionally
+// print the canonical form to out.  Diagnostics go to errw.  It returns
+// true when every file is error-free.
+func BPCheckFiles(out, errw io.Writer, paths []string, printForm, quiet bool) bool {
+	allOK := true
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(errw, "bpcheck: %v\n", err)
+			allOK = false
+			continue
+		}
+		if !BPCheckSource(out, errw, path, string(data), printForm, quiet) {
+			allOK = false
+		}
+	}
+	return allOK
+}
+
+// BPCheckSource validates one BluePrint source text labelled with name.
+func BPCheckSource(out, errw io.Writer, name, src string, printForm, quiet bool) bool {
+	bp, err := bpl.Parse(src)
+	if err != nil {
+		fmt.Fprintf(errw, "%s:%v\n", name, err)
+		return false
+	}
+	ds := bpl.Analyze(bp)
+	ok := !bpl.HasErrors(ds)
+	for _, d := range ds {
+		if quiet && d.Sev != bpl.SevError {
+			continue
+		}
+		fmt.Fprintf(errw, "%s: %s\n", name, d)
+	}
+	if ok {
+		fmt.Fprintf(out, "%s: blueprint %s ok (%d views, %d events)\n",
+			name, bp.Name, len(bp.Views), len(bp.Events()))
+		if printForm {
+			fmt.Fprint(out, bpl.Print(bp))
+		}
+	}
+	return ok
+}

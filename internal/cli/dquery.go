@@ -1,0 +1,112 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/meta"
+	"repro/internal/server"
+)
+
+// DQuery executes one dquery subcommand against a connected client and
+// writes the result to out.  args[0] is the subcommand.
+func DQuery(out io.Writer, c *server.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("dquery: missing subcommand")
+	}
+	switch args[0] {
+	case "state":
+		if len(args) != 2 {
+			return fmt.Errorf("state wants one OID argument")
+		}
+		k, err := meta.ParseKey(args[1])
+		if err != nil {
+			return err
+		}
+		st, err := c.State(k)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s ready=%v\n", st.Key, st.Ready)
+		names := make([]string, 0, len(st.Props))
+		for name := range st.Props {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(out, "  %s = %s\n", name, st.Props[name])
+		}
+		for _, r := range st.Blocking {
+			fmt.Fprintf(out, "  blocking: %s\n", r)
+		}
+		return nil
+	case "report", "gap":
+		var lines []string
+		var err error
+		if args[0] == "report" {
+			lines, err = c.Report()
+		} else {
+			lines, err = c.Gap()
+		}
+		if err != nil {
+			return err
+		}
+		for _, l := range lines {
+			fmt.Fprintln(out, l)
+		}
+		return nil
+	case "stats":
+		s, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, s)
+		return nil
+	case "blueprint":
+		src, err := c.Blueprint()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, src)
+		return nil
+	case "snapshot":
+		if len(args) != 3 {
+			return fmt.Errorf("snapshot wants <name> <root-oid|*>")
+		}
+		detail, err := c.Snapshot(args[1], args[2])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, detail)
+		return nil
+	case "dot":
+		if len(args) != 2 {
+			return fmt.Errorf("dot wants flow or state")
+		}
+		doc, err := c.Dot(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, doc)
+		return nil
+	case "links":
+		if len(args) != 2 {
+			return fmt.Errorf("links wants one OID argument")
+		}
+		k, err := meta.ParseKey(args[1])
+		if err != nil {
+			return err
+		}
+		lines, err := c.Links(k)
+		if err != nil {
+			return err
+		}
+		for _, l := range lines {
+			fmt.Fprintln(out, l)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}

@@ -1,0 +1,463 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bpl"
+	"repro/internal/exec"
+	"repro/internal/meta"
+)
+
+// ErrStepLimit reports that Drain stopped because rule-posted events kept
+// generating work beyond the configured bound — almost always a feedback
+// loop in the blueprint (an event whose rules post the same event back).
+var ErrStepLimit = errors.New("engine: step limit exceeded (event feedback loop in blueprint?)")
+
+// Engine is the BluePrint run-time engine bound to one meta-database and
+// one loaded blueprint.  It is safe for concurrent use; event processing
+// itself is serialized FIFO, as in the paper.
+type Engine struct {
+	db *meta.DB
+
+	mu       sync.Mutex
+	idle     *sync.Cond // broadcast when the queue settles
+	bp       *bpl.Blueprint
+	queue    []queueItem
+	pending  []func() // deferred exec-rule invocations (external tools)
+	draining bool
+	nextWave int64
+	stats    Stats
+
+	executor exec.Executor
+	tracer   Tracer
+	clock    func() time.Time
+	user     string
+	maxSteps int64
+	dedup    bool
+	maxHops  int
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithExecutor sets the executor for exec and notify actions.  The default
+// discards them.
+func WithExecutor(x exec.Executor) Option { return func(e *Engine) { e.executor = x } }
+
+// WithTracer sets the audit tracer.  The default discards trace entries.
+func WithTracer(t Tracer) Option { return func(e *Engine) { e.tracer = t } }
+
+// WithClock sets the time source used for $date; tests inject a fixed
+// clock for determinism.
+func WithClock(c func() time.Time) Option { return func(e *Engine) { e.clock = c } }
+
+// WithUser sets the default user for events that carry none.
+func WithUser(u string) Option { return func(e *Engine) { e.user = u } }
+
+// WithMaxSteps bounds the number of deliveries one Drain may process.
+func WithMaxSteps(n int64) Option { return func(e *Engine) { e.maxSteps = n } }
+
+// WithWaveDedup toggles the per-wave visited set that makes each event
+// instance visit every OID at most once.  It exists for ablation
+// measurements only: with dedup off, propagation on graphs with shared
+// substructure (diamonds) re-delivers along every path, bounded only by
+// the hop limit.  Production engines must keep it on.
+func WithWaveDedup(on bool) Option { return func(e *Engine) { e.dedup = on } }
+
+// WithMaxHops bounds propagation depth per wave; it is the termination
+// backstop when wave dedup is ablated away.
+func WithMaxHops(n int) Option { return func(e *Engine) { e.maxHops = n } }
+
+// New creates an engine over db with the given blueprint.  The blueprint
+// must be free of analyzer errors.
+func New(db *meta.DB, bp *bpl.Blueprint, opts ...Option) (*Engine, error) {
+	if ds := bpl.Analyze(bp); bpl.HasErrors(ds) {
+		for _, d := range ds {
+			if d.Sev == bpl.SevError {
+				return nil, fmt.Errorf("engine: blueprint %s: %s", bp.Name, d)
+			}
+		}
+	}
+	e := &Engine{
+		db:       db,
+		bp:       bp,
+		executor: exec.Nop{},
+		tracer:   NopTracer{},
+		clock:    time.Now,
+		user:     "nobody",
+		maxSteps: 1_000_000,
+		dedup:    true,
+		maxHops:  64,
+	}
+	e.idle = sync.NewCond(&e.mu)
+	for _, o := range opts {
+		o(e)
+	}
+	return e, nil
+}
+
+// WaitIdle blocks until the engine has no queued deliveries, no deferred
+// exec invocations, and no Drain in progress.  Callers running the engine
+// asynchronously (a server with a background drainer) use it to observe
+// quiescence.
+func (e *Engine) WaitIdle() {
+	e.mu.Lock()
+	for len(e.queue) > 0 || len(e.pending) > 0 || e.draining {
+		e.idle.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// DB returns the engine's meta-database.
+func (e *Engine) DB() *meta.DB { return e.db }
+
+// Blueprint returns the currently loaded blueprint.
+func (e *Engine) Blueprint() *bpl.Blueprint {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.bp
+}
+
+// SetBlueprint replaces the project policy — the paper's re-initialization
+// of the BluePrint mechanism for a new project phase ("loosening").  Queued
+// events are preserved and will be processed under the new rules.
+func (e *Engine) SetBlueprint(bp *bpl.Blueprint) error {
+	if ds := bpl.Analyze(bp); bpl.HasErrors(ds) {
+		return fmt.Errorf("engine: blueprint %s has errors", bp.Name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.bp = bp
+	return nil
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// QueueLen reports the number of pending deliveries.
+func (e *Engine) QueueLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queue)
+}
+
+// ---------------------------------------------------------------------------
+// Posting and draining
+
+// Post validates an event and enqueues it for processing.  The target OID
+// must exist.  Post does not process the queue; call Drain (or use
+// PostAndDrain) to run the engine.
+func (e *Engine) Post(ev Event) error {
+	if err := ev.Validate(); err != nil {
+		return err
+	}
+	if !e.db.HasOID(ev.Target) {
+		return fmt.Errorf("engine: event %s: target %v: %w", ev.Name, ev.Target, meta.ErrNotFound)
+	}
+	if ev.User == "" {
+		ev.User = e.user
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.enqueueLocked(ev, false)
+	return nil
+}
+
+// PostAndDrain posts one event and processes the queue to exhaustion.
+func (e *Engine) PostAndDrain(ev Event) error {
+	if err := e.Post(ev); err != nil {
+		return err
+	}
+	return e.Drain()
+}
+
+// enqueueLocked appends a fresh-wave delivery.  Callers hold e.mu.
+func (e *Engine) enqueueLocked(ev Event, skipRules bool) {
+	e.nextWave++
+	wv := &wave{id: e.nextWave, visited: map[meta.Key]bool{ev.Target: true}}
+	e.queue = append(e.queue, queueItem{ev: ev, wv: wv, skipRules: skipRules})
+	e.stats.Posted++
+	e.tracer.Trace(TraceEntry{Kind: TraceEnqueue, OID: ev.Target.String(), Event: ev.Name})
+}
+
+// Drain processes queued events first-in first-out until the queue is
+// empty.  Rule-posted events and propagations join the same queue.  Only
+// one Drain runs at a time; concurrent calls return immediately so posters
+// can call PostAndDrain freely.
+func (e *Engine) Drain() error {
+	e.mu.Lock()
+	if e.draining {
+		e.mu.Unlock()
+		return nil
+	}
+	e.draining = true
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.draining = false
+		e.idle.Broadcast()
+		e.mu.Unlock()
+	}()
+
+	var steps int64
+	for {
+		e.mu.Lock()
+		if len(e.queue) == 0 {
+			// The queue has settled; now dispatch deferred exec-rule
+			// invocations.  In the paper these are external wrapper
+			// processes: the events they post arrive after the current
+			// wave has fully propagated, never interleaved inside it.
+			if len(e.pending) == 0 {
+				e.mu.Unlock()
+				return nil
+			}
+			run := e.pending[0]
+			e.pending = e.pending[1:]
+			e.mu.Unlock()
+			steps++
+			if steps > e.maxSteps {
+				return fmt.Errorf("%w: after %d deliveries", ErrStepLimit, steps-1)
+			}
+			run()
+			continue
+		}
+		item := e.queue[0]
+		e.queue = e.queue[1:]
+		bp := e.bp
+		e.mu.Unlock()
+
+		steps++
+		if steps > e.maxSteps {
+			return fmt.Errorf("%w: after %d deliveries", ErrStepLimit, steps-1)
+		}
+		e.deliver(bp, item)
+	}
+}
+
+// deliver processes one queued delivery: run the matching run-time rules on
+// the target OID (unless propagate-only), then propagate the event across
+// the target's links.
+func (e *Engine) deliver(bp *bpl.Blueprint, item queueItem) {
+	ev := item.ev
+	e.bumpStat(func(s *Stats) { s.Deliveries++ })
+	if !e.db.HasOID(ev.Target) {
+		e.bumpStat(func(s *Stats) { s.Drops++ })
+		e.tracer.Trace(TraceEntry{Kind: TraceDrop, OID: ev.Target.String(), Event: ev.Name, Detail: "target missing"})
+		return
+	}
+	e.tracer.Trace(TraceEntry{Kind: TraceDeliver, OID: ev.Target.String(), Event: ev.Name})
+
+	if !item.skipRules {
+		e.runRules(bp, ev)
+	}
+	e.propagate(item)
+}
+
+// runRules executes the run-time rules matching the event on its target,
+// in the paper's phase order: assigns, continuous assignments, execs and
+// notifies, posts.
+func (e *Engine) runRules(bp *bpl.Blueprint, ev Event) {
+	rules := bp.EffectiveRules(ev.Target.View, ev.Name)
+	if len(rules) > 0 {
+		e.bumpStat(func(s *Stats) { s.RulesFired += int64(len(rules)) })
+	}
+	lookup := e.lookupFor(ev)
+
+	// Phase 1: assignments, in rule and action order.
+	for _, r := range rules {
+		for _, a := range r.Actions {
+			aa, ok := a.(*bpl.AssignAction)
+			if !ok {
+				continue
+			}
+			val := aa.Value.Expand(lookup)
+			if err := e.db.SetProp(ev.Target, aa.Prop, val); err != nil {
+				e.traceError(ev, fmt.Sprintf("assign %s: %v", aa.Prop, err))
+				continue
+			}
+			e.bumpStat(func(s *Stats) { s.Assigns++ })
+			e.tracer.Trace(TraceEntry{Kind: TraceAssign, OID: ev.Target.String(), Event: ev.Name,
+				Detail: aa.Prop + " = " + val})
+		}
+	}
+
+	// Phase 2: re-evaluate continuous assignments.
+	e.reevalLets(bp, ev.Target, lookup)
+
+	// Phase 3: exec and notify actions.  Exec invocations are launched
+	// like the paper's wrapper shell scripts: the environment is captured
+	// now, but the external tool effectively runs after the current event
+	// wave has settled (the engine defers the call until the queue is
+	// empty), so a tool triggered by a check-in is not caught by that
+	// check-in's own invalidation wave.
+	for _, r := range rules {
+		for _, a := range r.Actions {
+			switch act := a.(type) {
+			case *bpl.ExecAction:
+				inv := exec.Invocation{
+					Script: act.Argv[0].Expand(lookup),
+					Env:    e.envSnapshot(ev),
+				}
+				for _, t := range act.Argv[1:] {
+					inv.Args = append(inv.Args, t.Expand(lookup))
+				}
+				e.bumpStat(func(s *Stats) { s.Execs++ })
+				e.tracer.Trace(TraceEntry{Kind: TraceExec, OID: ev.Target.String(), Event: ev.Name,
+					Detail: inv.String()})
+				e.mu.Lock()
+				e.pending = append(e.pending, func() {
+					if err := e.executor.Exec(inv); err != nil {
+						e.bumpStat(func(s *Stats) { s.ExecErrors++ })
+						e.traceError(ev, fmt.Sprintf("exec %s: %v", inv.Script, err))
+					}
+				})
+				e.mu.Unlock()
+			case *bpl.NotifyAction:
+				msg := act.Message.Expand(lookup)
+				e.bumpStat(func(s *Stats) { s.Notifies++ })
+				e.tracer.Trace(TraceEntry{Kind: TraceNotify, OID: ev.Target.String(), Event: ev.Name,
+					Detail: msg})
+				if err := e.executor.Notify(msg); err != nil {
+					e.bumpStat(func(s *Stats) { s.ExecErrors++ })
+					e.traceError(ev, fmt.Sprintf("notify: %v", err))
+				}
+			}
+		}
+	}
+
+	// Phase 4: post actions.
+	for _, r := range rules {
+		for _, a := range r.Actions {
+			pa, ok := a.(*bpl.PostAction)
+			if !ok {
+				continue
+			}
+			e.execPost(ev, pa, lookup)
+		}
+	}
+}
+
+// execPost runs one post action in the context of event ev.
+func (e *Engine) execPost(ev Event, pa *bpl.PostAction, lookup bpl.LookupFunc) {
+	args := make([]string, 0, len(pa.Args))
+	for _, t := range pa.Args {
+		args = append(args, t.Expand(lookup))
+	}
+	nev := Event{Name: pa.Event, Dir: pa.Dir, Args: args, User: ev.User}
+	skipRules := false
+	if pa.ToView != "" {
+		// Targeted post: address the latest version of the named view of
+		// the same block; rules run there.
+		target, err := e.db.Latest(ev.Target.Block, pa.ToView)
+		if err != nil {
+			e.traceError(ev, fmt.Sprintf("post %s to %s: no such OID", pa.Event, pa.ToView))
+			return
+		}
+		nev.Target = target
+	} else {
+		// Direct propagation from the current OID: local rules do not run
+		// again here; the event only travels outward.
+		nev.Target = ev.Target
+		skipRules = true
+	}
+	e.mu.Lock()
+	e.enqueueLocked(nev, skipRules)
+	e.stats.Posts++
+	e.mu.Unlock()
+	e.tracer.Trace(TraceEntry{Kind: TracePost, OID: nev.Target.String(), Event: pa.Event,
+		Detail: "dir " + pa.Dir.String()})
+}
+
+// reevalLets re-evaluates every continuous assignment of the OID's view and
+// stores the boolean results as properties.
+func (e *Engine) reevalLets(bp *bpl.Blueprint, k meta.Key, lookup bpl.LookupFunc) {
+	for _, l := range bp.EffectiveLets(k.View) {
+		val := "false"
+		if l.Expr.Eval(lookup) {
+			val = "true"
+		}
+		e.bumpStat(func(s *Stats) { s.LetEvals++ })
+		old, had, err := e.db.GetProp(k, l.Name)
+		if err != nil {
+			return
+		}
+		if had && old == val {
+			continue
+		}
+		if err := e.db.SetProp(k, l.Name, val); err == nil {
+			e.tracer.Trace(TraceEntry{Kind: TraceLet, OID: k.String(),
+				Detail: l.Name + " = " + val})
+		}
+	}
+}
+
+// propagate crosses the target's links with the delivered event, enqueuing
+// continuation deliveries within the same wave.
+func (e *Engine) propagate(item queueItem) {
+	ev := item.ev
+	type hop struct{ to meta.Key }
+	var hops []hop
+	e.db.EachLinkOf(ev.Target, func(l *meta.Link) bool {
+		if !l.CanPropagate(ev.Name) {
+			e.bumpStat(func(s *Stats) { s.Blocked++ })
+			return true
+		}
+		var next meta.Key
+		switch {
+		case ev.Dir == bpl.DirDown && l.From == ev.Target:
+			next = l.To
+		case ev.Dir == bpl.DirUp && l.To == ev.Target:
+			next = l.From
+		default:
+			e.bumpStat(func(s *Stats) { s.Blocked++ })
+			return true
+		}
+		hops = append(hops, hop{to: next})
+		return true
+	})
+
+	if len(hops) == 0 {
+		return
+	}
+	e.mu.Lock()
+	for _, h := range hops {
+		if e.dedup {
+			if item.wv.visited[h.to] {
+				e.stats.Drops++
+				e.tracer.Trace(TraceEntry{Kind: TraceDrop, OID: h.to.String(), Event: ev.Name,
+					Detail: "already visited in wave"})
+				continue
+			}
+			item.wv.visited[h.to] = true
+		} else if item.hops >= e.maxHops {
+			e.stats.Drops++
+			e.tracer.Trace(TraceEntry{Kind: TraceDrop, OID: h.to.String(), Event: ev.Name,
+				Detail: "hop limit (dedup ablated)"})
+			continue
+		}
+		nev := ev
+		nev.Target = h.to
+		e.queue = append(e.queue, queueItem{ev: nev, wv: item.wv, hops: item.hops + 1})
+		e.stats.Propagations++
+		e.tracer.Trace(TraceEntry{Kind: TracePropagate, OID: h.to.String(), Event: ev.Name,
+			Detail: "from " + ev.Target.String()})
+	}
+	e.mu.Unlock()
+}
+
+func (e *Engine) bumpStat(f func(*Stats)) {
+	e.mu.Lock()
+	f(&e.stats)
+	e.mu.Unlock()
+}
+
+func (e *Engine) traceError(ev Event, detail string) {
+	e.tracer.Trace(TraceEntry{Kind: TraceError, OID: ev.Target.String(), Event: ev.Name, Detail: detail})
+}

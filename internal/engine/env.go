@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bpl"
+	"repro/internal/meta"
+)
+
+// Variable resolution for rules, templates and continuous assignments.
+// Built-ins take precedence; any other name reads a property of the target
+// OID, live, so phase-1 assignments are visible to phase-2 continuous
+// assignments and later phases.
+//
+// Built-in variables:
+//
+//	$oid, $OID      target OID as "block,view,version"
+//	$block, $view, $version
+//	$arg            all event arguments joined with spaces
+//	$arg1..$argN    individual event arguments
+//	$user           posting designer
+//	$owner          target's owner property, falling back to $user
+//	$date           current date/time (engine clock), RFC 3339
+//	$event, $dir    event name and direction
+func (e *Engine) lookupFor(ev Event) bpl.LookupFunc {
+	return func(name string) string {
+		switch name {
+		case "oid", "OID":
+			return ev.Target.String()
+		case "block":
+			return ev.Target.Block
+		case "view":
+			return ev.Target.View
+		case "version":
+			return strconv.Itoa(ev.Target.Version)
+		case "arg":
+			return strings.Join(ev.Args, " ")
+		case "user":
+			return ev.User
+		case "owner":
+			if v, ok, _ := e.db.GetProp(ev.Target, meta.PropOwner); ok && v != "" {
+				return v
+			}
+			return ev.User
+		case "date":
+			return e.clock().Format(time.RFC3339)
+		case "event":
+			return ev.Name
+		case "dir":
+			return ev.Dir.String()
+		}
+		if n, ok := argIndex(name); ok {
+			if n >= 1 && n <= len(ev.Args) {
+				return ev.Args[n-1]
+			}
+			return ""
+		}
+		v, _, _ := e.db.GetProp(ev.Target, name)
+		return v
+	}
+}
+
+// lookupForKey resolves variables for contexts without a triggering event
+// (template application at creation time).
+func (e *Engine) lookupForKey(k meta.Key, user string) bpl.LookupFunc {
+	return e.lookupFor(Event{Name: EventCreate, Target: k, User: user})
+}
+
+// argIndex parses "argN" names.
+func argIndex(name string) (int, bool) {
+	if len(name) < 4 || name[:3] != "arg" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(name[3:])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// envSnapshot materializes the environment for an exec invocation: the
+// built-ins plus every property of the target OID.
+func (e *Engine) envSnapshot(ev Event) map[string]string {
+	env := map[string]string{
+		"oid":     ev.Target.String(),
+		"OID":     ev.Target.String(),
+		"block":   ev.Target.Block,
+		"view":    ev.Target.View,
+		"version": strconv.Itoa(ev.Target.Version),
+		"arg":     strings.Join(ev.Args, " "),
+		"user":    ev.User,
+		"event":   ev.Name,
+		"dir":     ev.Dir.String(),
+		"date":    e.clock().Format(time.RFC3339),
+	}
+	for i, a := range ev.Args {
+		env["arg"+strconv.Itoa(i+1)] = a
+	}
+	if o, err := e.db.GetOID(ev.Target); err == nil {
+		for _, name := range o.PropNames() {
+			if _, exists := env[name]; !exists {
+				env[name] = o.Props[name]
+			}
+		}
+		if owner, ok := o.Props[meta.PropOwner]; ok && owner != "" {
+			env["owner"] = owner
+		} else {
+			env["owner"] = ev.User
+		}
+	}
+	return env
+}

@@ -1,0 +1,107 @@
+// Package engine implements the BluePrint run-time engine of section 3 of
+// the paper: the event-driven machine that processes design events,
+// executes run-time rules, applies template rules to new OIDs and links,
+// and propagates events across the meta-data relationships.
+//
+// Design activities post event messages (name, direction, target OID,
+// arguments); the engine queues them and processes them first-in first-out.
+// Processing one event on its target OID follows the paper's fixed order:
+//
+//  1. execute the assign actions of the matching run-time rules,
+//  2. re-evaluate all continuous assignments of the OID,
+//  3. invoke the scripts of the exec (and notify) actions,
+//  4. execute the post actions,
+//  5. propagate the event across the OID's links, delivering it to every
+//     OID at the other end of a link that propagates this event type in the
+//     event's direction — and repeat the whole procedure at each receiver.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bpl"
+	"repro/internal/meta"
+)
+
+// Well-known event names.  Event names are project conventions, not
+// language keywords; these are the ones the paper uses.
+const (
+	// EventCheckin is posted by wrapper programs when a design object is
+	// promoted (checked in) to the project workspace.
+	EventCheckin = "ckin"
+	// EventCreate is posted by the engine itself after a new OID has been
+	// created and its templates applied, so blueprints can hook creations.
+	EventCreate = "create"
+	// EventOutOfDate is the conventional invalidation event.
+	EventOutOfDate = "outofdate"
+)
+
+// Event is one design event message, as posted by a wrapper program:
+//
+//	postEvent ckin up reg,verilog,4 "logic sim passed"
+type Event struct {
+	// Name is the event type, e.g. "ckin", "outofdate", "hdl_sim".
+	Name string
+	// Dir is the propagation direction through links.
+	Dir bpl.Direction
+	// Target is the OID the event is addressed to.
+	Target meta.Key
+	// Args carries designer information, e.g. the interpretation of
+	// simulation results ("good", "4 errors").  Rules read it as $arg.
+	Args []string
+	// User is the designer on whose behalf the event was posted; rules
+	// read it as $user.
+	User string
+}
+
+// String renders the event in postEvent syntax.
+func (e Event) String() string {
+	var sb strings.Builder
+	sb.WriteString(e.Name)
+	sb.WriteByte(' ')
+	sb.WriteString(e.Dir.String())
+	sb.WriteByte(' ')
+	sb.WriteString(e.Target.String())
+	for _, a := range e.Args {
+		sb.WriteString(" \"")
+		sb.WriteString(a)
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+// Validate checks the event is well formed.
+func (e Event) Validate() error {
+	if e.Name == "" {
+		return fmt.Errorf("engine: event with empty name")
+	}
+	if strings.ContainsAny(e.Name, " \t\r\n\",;") {
+		return fmt.Errorf("engine: event name %q contains reserved characters", e.Name)
+	}
+	if err := e.Target.Validate(); err != nil {
+		return fmt.Errorf("engine: event %s: %w", e.Name, err)
+	}
+	return nil
+}
+
+// wave identifies one propagation of one event instance through the link
+// graph.  All deliveries of the same wave share a visited set, which
+// guarantees termination on cyclic link graphs.
+type wave struct {
+	id      int64
+	visited map[meta.Key]bool
+}
+
+// queueItem is one pending delivery.
+type queueItem struct {
+	ev Event
+	wv *wave
+	// skipRules marks propagate-only deliveries: a "post EVENT dir" action
+	// without a target view propagates the event directly from the current
+	// OID, without re-running local rules on it.
+	skipRules bool
+	// hops counts propagation steps since the wave's origin; the
+	// termination backstop when wave dedup is ablated (WithWaveDedup).
+	hops int
+}

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/bpl"
+	"repro/internal/meta"
+)
+
+// TestFanInUpPropagation: an up event from a shared child reaches all
+// parents (e.g. an LVS result reported from a layout used by several
+// assemblies).
+func TestFanInUpPropagation(t *testing.T) {
+	e := newTestEngine(t, `blueprint b
+view default
+    property heard default no
+    when alert do heard = yes done
+endview
+view v
+endview
+endblueprint`)
+	child := mustCreate(t, e, "child", "v")
+	var parents []meta.Key
+	for _, name := range []string{"p1", "p2", "p3"} {
+		p := mustCreate(t, e, name, "v")
+		if _, err := e.DB().AddLink(meta.DeriveLink, p, child, "", []string{"alert"}, nil); err != nil {
+			t.Fatal(err)
+		}
+		parents = append(parents, p)
+	}
+	if err := e.PostAndDrain(Event{Name: "alert", Dir: bpl.DirUp, Target: child}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range parents {
+		if got := prop(t, e, p, "heard"); got != "yes" {
+			t.Errorf("%v heard = %q", p, got)
+		}
+	}
+}
+
+// TestDiamondSingleDelivery: within one wave, a diamond's sink receives
+// the event exactly once (its rules fire once), even though two paths
+// reach it.
+func TestDiamondSingleDelivery(t *testing.T) {
+	e := newTestEngine(t, `blueprint b
+view default
+    property count default "0"
+    when tick do count = "$count+1" done
+endview
+view v
+endview
+endblueprint`)
+	a := mustCreate(t, e, "a", "v")
+	b := mustCreate(t, e, "b", "v")
+	c := mustCreate(t, e, "c", "v")
+	d := mustCreate(t, e, "d", "v")
+	for _, pair := range [][2]meta.Key{{a, b}, {a, c}, {b, d}, {c, d}} {
+		if _, err := e.DB().AddLink(meta.DeriveLink, pair[0], pair[1], "", []string{"tick"}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.PostAndDrain(Event{Name: "tick", Dir: bpl.DirDown, Target: a}); err != nil {
+		t.Fatal(err)
+	}
+	// The assign appends "+1" per firing: one firing means exactly one
+	// "+1" suffix.
+	if got := prop(t, e, d, "count"); got != "0+1" {
+		t.Errorf("sink count = %q, want exactly one delivery", got)
+	}
+}
+
+// TestTwoWavesRevisit: visited sets are per wave — a second event of the
+// same type visits everything again.
+func TestTwoWavesRevisit(t *testing.T) {
+	e := newTestEngine(t, `blueprint b
+view default
+    property count default "0"
+    when tick do count = "$count." done
+endview
+view v
+endview
+endblueprint`)
+	a := mustCreate(t, e, "a", "v")
+	b := mustCreate(t, e, "b", "v")
+	if _, err := e.DB().AddLink(meta.DeriveLink, a, b, "", []string{"tick"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := e.PostAndDrain(Event{Name: "tick", Dir: bpl.DirDown, Target: a}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := prop(t, e, b, "count"); got != "0..." {
+		t.Errorf("count = %q, want three deliveries across three waves", got)
+	}
+}
+
+// TestMixedDirectionIsolation: an up wave does not leak downward through
+// links it arrived on.
+func TestMixedDirectionIsolation(t *testing.T) {
+	e := newTestEngine(t, `blueprint b
+view default
+    property heard default no
+    when ping do heard = yes done
+endview
+view v
+endview
+endblueprint`)
+	top := mustCreate(t, e, "top", "v")
+	mid := mustCreate(t, e, "mid", "v")
+	bottom := mustCreate(t, e, "bottom", "v")
+	for _, pair := range [][2]meta.Key{{top, mid}, {mid, bottom}} {
+		if _, err := e.DB().AddLink(meta.DeriveLink, pair[0], pair[1], "", []string{"ping"}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Up from mid reaches top only.
+	if err := e.PostAndDrain(Event{Name: "ping", Dir: bpl.DirUp, Target: mid}); err != nil {
+		t.Fatal(err)
+	}
+	if got := prop(t, e, top, "heard"); got != "yes" {
+		t.Errorf("top heard = %q", got)
+	}
+	if got := prop(t, e, bottom, "heard"); got != "no" {
+		t.Errorf("bottom heard = %q — up wave leaked downward", got)
+	}
+}

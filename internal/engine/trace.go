@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TraceKind classifies audit-trace entries.
+type TraceKind uint8
+
+const (
+	// TraceEnqueue records an event entering the queue.
+	TraceEnqueue TraceKind = iota
+	// TraceDeliver records an event being processed on an OID.
+	TraceDeliver
+	// TraceAssign records a property assignment by a rule.
+	TraceAssign
+	// TraceLet records a continuous-assignment re-evaluation that changed
+	// the stored value.
+	TraceLet
+	// TraceExec records a script invocation.
+	TraceExec
+	// TraceNotify records a notify action.
+	TraceNotify
+	// TracePost records a post action emitting a new event.
+	TracePost
+	// TracePropagate records an event crossing a link.
+	TracePropagate
+	// TraceCreateOID records a new OID with applied templates.
+	TraceCreateOID
+	// TraceShiftLink records a move-mode link shifted to a new version.
+	TraceShiftLink
+	// TraceCopyLink records a copy-mode link duplicated to a new version.
+	TraceCopyLink
+	// TraceCreateLink records a new link decorated from a template.
+	TraceCreateLink
+	// TraceDrop records a delivery dropped (visited, missing OID, ...).
+	TraceDrop
+	// TraceError records a non-fatal error (executor failure, bad post
+	// target).
+	TraceError
+)
+
+// String names the kind.
+func (k TraceKind) String() string {
+	names := [...]string{
+		"enqueue", "deliver", "assign", "let", "exec", "notify", "post",
+		"propagate", "create-oid", "shift-link", "copy-link", "create-link",
+		"drop", "error",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("TraceKind(%d)", uint8(k))
+}
+
+// TraceEntry is one audit record.
+type TraceEntry struct {
+	Kind   TraceKind
+	OID    string // target OID, if any
+	Event  string // event name, if any
+	Detail string
+}
+
+// String renders the entry for logs.
+func (e TraceEntry) String() string {
+	s := e.Kind.String()
+	if e.Event != "" {
+		s += " " + e.Event
+	}
+	if e.OID != "" {
+		s += " @" + e.OID
+	}
+	if e.Detail != "" {
+		s += ": " + e.Detail
+	}
+	return s
+}
+
+// Tracer receives audit records from the engine.
+type Tracer interface {
+	Trace(TraceEntry)
+}
+
+// NopTracer discards all records.
+type NopTracer struct{}
+
+// Trace implements Tracer.
+func (NopTracer) Trace(TraceEntry) {}
+
+// BufferTracer accumulates records in memory, optionally bounded.  It is
+// safe for concurrent use.
+type BufferTracer struct {
+	// Max bounds the number of retained entries; 0 means unbounded.  When
+	// full, older entries are discarded.
+	Max int
+
+	mu      sync.Mutex
+	entries []TraceEntry
+	dropped int
+}
+
+// Trace implements Tracer.
+func (b *BufferTracer) Trace(e TraceEntry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.Max > 0 && len(b.entries) >= b.Max {
+		// Drop the oldest half to amortize copying.
+		n := len(b.entries) / 2
+		if n == 0 {
+			n = 1
+		}
+		b.dropped += n
+		b.entries = append(b.entries[:0], b.entries[n:]...)
+	}
+	b.entries = append(b.entries, e)
+}
+
+// Entries returns a copy of the retained entries in order.
+func (b *BufferTracer) Entries() []TraceEntry {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]TraceEntry(nil), b.entries...)
+}
+
+// Dropped reports how many entries were discarded due to the bound.
+func (b *BufferTracer) Dropped() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// OfKind returns the retained entries of one kind, in order.
+func (b *BufferTracer) OfKind(k TraceKind) []TraceEntry {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []TraceEntry
+	for _, e := range b.entries {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reset clears the buffer.
+func (b *BufferTracer) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.entries = nil
+	b.dropped = 0
+}
+
+// Stats counts engine activity.  All counters are cumulative.
+type Stats struct {
+	// Posted counts events accepted by Post (including engine-internal
+	// posts from rules and creations).
+	Posted int64
+	// Deliveries counts event deliveries processed (rule execution plus
+	// propagate-only visits).
+	Deliveries int64
+	// RulesFired counts run-time rules whose event matched a delivery.
+	RulesFired int64
+	// Assigns counts property assignments performed by rules.
+	Assigns int64
+	// LetEvals counts continuous-assignment evaluations.
+	LetEvals int64
+	// Execs counts exec actions dispatched.
+	Execs int64
+	// Notifies counts notify actions dispatched.
+	Notifies int64
+	// Posts counts post actions executed.
+	Posts int64
+	// Propagations counts link traversals that delivered the event onward.
+	Propagations int64
+	// Blocked counts link traversals refused because the link does not
+	// propagate the event or points the wrong way.
+	Blocked int64
+	// Drops counts deliveries skipped (already visited, missing OID).
+	Drops int64
+	// OIDsCreated counts engine-created OIDs.
+	OIDsCreated int64
+	// LinksCreated counts engine-created links (template instantiations
+	// and copies).
+	LinksCreated int64
+	// LinksShifted counts move-mode link shifts.
+	LinksShifted int64
+	// ExecErrors counts executor failures (non-fatal).
+	ExecErrors int64
+}

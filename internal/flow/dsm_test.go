@@ -1,0 +1,71 @@
+package flow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bpl"
+)
+
+func TestDSMBlueprintClean(t *testing.T) {
+	bp, err := bpl.Parse(bpl.DSMExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := bpl.Analyze(bp); bpl.HasErrors(ds) {
+		t.Fatalf("DSM blueprint has errors: %v", ds)
+	}
+	// Round-trips through the printer like any policy.
+	if _, err := bpl.Parse(bpl.Print(bp)); err != nil {
+		t.Errorf("print/parse: %v", err)
+	}
+}
+
+func TestRunDSMScenario(t *testing.T) {
+	res, err := RunDSMScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SlackBefore != "violated -0.42ns" {
+		t.Errorf("slack before fix = %q", res.SlackBefore)
+	}
+	if res.SlackAfter != "met" {
+		t.Errorf("slack after fix = %q", res.SlackAfter)
+	}
+	// The SDF check-in re-triggered STA automatically, exactly once.
+	if res.AutoSTARuns != 1 {
+		t.Errorf("auto STA runs = %d, want 1", res.AutoSTARuns)
+	}
+	// Timing notifications reached the designers: the manual fail, the
+	// manual pass, and the automatic post-extraction run.
+	if len(res.Notifications) != 3 {
+		t.Fatalf("notifications = %v", res.Notifications)
+	}
+	if !strings.Contains(res.Notifications[0], "violated") {
+		t.Errorf("first notification = %q", res.Notifications[0])
+	}
+	for _, n := range res.Notifications[1:] {
+		if !strings.Contains(n, "met") {
+			t.Errorf("notification = %q", n)
+		}
+	}
+	// Version 2 of the gates carries the shifted derivation link.
+	if res.Gates.Version != 2 {
+		t.Errorf("gates = %v", res.Gates)
+	}
+}
+
+func TestDSMScenarioDeterministic(t *testing.T) {
+	a, err := RunDSMScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDSMScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SlackAfter != b.SlackAfter || a.AutoSTARuns != b.AutoSTARuns ||
+		len(a.Notifications) != len(b.Notifications) {
+		t.Errorf("scenario not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,136 @@
+// Package flow generates design structures and designer activity for
+// experiments: hierarchy trees of configurable depth and fan-out, the
+// paper's section 3.4 scenario as a reusable program, and a seeded random
+// workload that drives the wrapper programs the way a design team would.
+package flow
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/bpl"
+	"repro/internal/engine"
+	"repro/internal/meta"
+)
+
+// TreeSpec describes a design hierarchy: a root block with Fanout children
+// per node, Depth levels deep (Depth 1 = root only).
+type TreeSpec struct {
+	View   string // view type of the nodes, e.g. "schematic"
+	Depth  int
+	Fanout int
+}
+
+// Size returns the number of nodes the spec generates.
+func (ts TreeSpec) Size() int {
+	n, level := 0, 1
+	for d := 0; d < ts.Depth; d++ {
+		n += level
+		level *= ts.Fanout
+	}
+	return n
+}
+
+// BuildTree creates the hierarchy in the engine's database: one OID per
+// node and a use link from each parent to each child (templates from the
+// engine's blueprint decorate the links).  It returns the root key and all
+// keys in breadth-first order.
+func BuildTree(eng *engine.Engine, spec TreeSpec) (meta.Key, []meta.Key, error) {
+	if spec.Depth < 1 || spec.Fanout < 1 {
+		return meta.Key{}, nil, fmt.Errorf("flow: bad tree spec %+v", spec)
+	}
+	root, err := eng.CreateOID("n0", spec.View, "flow")
+	if err != nil {
+		return meta.Key{}, nil, err
+	}
+	all := []meta.Key{root}
+	frontier := []meta.Key{root}
+	id := 1
+	for d := 1; d < spec.Depth; d++ {
+		var next []meta.Key
+		for _, parent := range frontier {
+			for f := 0; f < spec.Fanout; f++ {
+				child, err := eng.CreateOID("n"+strconv.Itoa(id), spec.View, "flow")
+				if err != nil {
+					return meta.Key{}, nil, err
+				}
+				id++
+				if _, err := eng.CreateLink(meta.UseLink, parent, child); err != nil {
+					return meta.Key{}, nil, err
+				}
+				next = append(next, child)
+				all = append(all, child)
+			}
+		}
+		frontier = next
+	}
+	if err := eng.Drain(); err != nil {
+		return meta.Key{}, nil, err
+	}
+	return root, all, nil
+}
+
+// ChainSpec describes a linear derivation chain: view[0] -> view[1] -> ...
+// with derive links, one block.
+type ChainSpec struct {
+	Block string
+	Views []string
+}
+
+// BuildChain creates one OID per view linked head-to-tail with derive
+// links.
+func BuildChain(eng *engine.Engine, spec ChainSpec) ([]meta.Key, error) {
+	if len(spec.Views) == 0 {
+		return nil, fmt.Errorf("flow: empty chain")
+	}
+	keys := make([]meta.Key, len(spec.Views))
+	for i, view := range spec.Views {
+		k, err := eng.CreateOID(spec.Block, view, "flow")
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = k
+		if i > 0 {
+			if _, err := eng.CreateLink(meta.DeriveLink, keys[i-1], k); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := eng.Drain(); err != nil {
+		return nil, err
+	}
+	return keys, nil
+}
+
+// PropagationBlueprint builds a blueprint for propagation experiments: a
+// default view whose ckin invalidates downstream data, and a node view
+// whose use links propagate the listed events.  Filtering is controlled by
+// which events appear in propagates — the paper's selective-propagation
+// mechanism.
+func PropagationBlueprint(name, view string, propagates []string) (*bpl.Blueprint, error) {
+	src := "blueprint " + name + "\n"
+	src += `view default
+    property uptodate default true
+    when ckin do uptodate = true; post outofdate down done
+    when outofdate do uptodate = false done
+endview
+`
+	src += "view " + view + "\n"
+	if len(propagates) > 0 {
+		src += "    use_link move propagates "
+		for i, e := range propagates {
+			if i > 0 {
+				src += ", "
+			}
+			src += e
+		}
+		src += "\n"
+	} else {
+		// A link template must propagate at least one event; use a
+		// never-posted placeholder so instances exist but filter
+		// everything the experiment posts.
+		src += "    use_link move propagates never_posted\n"
+	}
+	src += "endview\nendblueprint\n"
+	return bpl.Parse(src)
+}

@@ -1,0 +1,277 @@
+package meta
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Configuration is a lightweight set of database addresses referencing OIDs
+// and Links (section 2 of the paper).  It combines a version history of
+// different data blocks into one instance — "a higher level of description
+// of data across time".  Configurations can snapshot the design hierarchy at
+// a step of the design cycle, or store the result of a volume query as a
+// non-hierarchical set of data.
+//
+// A Configuration is immutable once created.  Because it stores addresses
+// rather than copies, resolving it after later mutations may find that some
+// referenced links were deleted or retargeted; Resolve reports both what was
+// captured and what still exists.
+type Configuration struct {
+	Name string
+
+	// Seq is the logical time at which the snapshot was taken.
+	Seq int64
+
+	// OIDs and Links are the stored database addresses, sorted for
+	// deterministic iteration.
+	OIDs  []Key
+	Links []LinkID
+}
+
+// Contains reports whether the configuration references the OID.
+func (c *Configuration) Contains(k Key) bool {
+	i := sort.Search(len(c.OIDs), func(i int) bool { return !keyLess(c.OIDs[i], k) })
+	return i < len(c.OIDs) && c.OIDs[i] == k
+}
+
+func keyLess(a, b Key) bool {
+	if a.Block != b.Block {
+		return a.Block < b.Block
+	}
+	if a.View != b.View {
+		return a.View < b.View
+	}
+	return a.Version < b.Version
+}
+
+func (c *Configuration) clone() *Configuration {
+	cc := &Configuration{Name: c.Name, Seq: c.Seq}
+	cc.OIDs = append([]Key(nil), c.OIDs...)
+	cc.Links = append([]LinkID(nil), c.Links...)
+	return cc
+}
+
+// FollowFunc decides whether a hierarchy traversal should cross a link.
+// The traversal hands it every link incident to a visited OID.
+type FollowFunc func(*Link) bool
+
+// FollowUseLinks follows only use (hierarchy) links, downward.
+func FollowUseLinks(l *Link) bool { return l.Class == UseLink }
+
+// FollowAllLinks follows every link.
+func FollowAllLinks(*Link) bool { return true }
+
+// FollowType returns a FollowFunc that follows use links plus derive links
+// whose TYPE property is one of the given types.
+func FollowType(types ...string) FollowFunc {
+	set := make(map[string]bool, len(types))
+	for _, t := range types {
+		set[t] = true
+	}
+	return func(l *Link) bool {
+		return l.Class == UseLink || set[l.Type()]
+	}
+}
+
+// SnapshotHierarchy builds a Configuration by traversing links downward
+// (From→To) starting at root, following the links admitted by follow.
+// This is the paper's "built by traversing a hierarchy while following
+// certain rules".
+func (db *DB) SnapshotHierarchy(name string, root Key, follow FollowFunc) (*Configuration, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, fmt.Errorf("configuration: %w", err)
+	}
+	if follow == nil {
+		follow = FollowUseLinks
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.configs[name]; ok {
+		return nil, fmt.Errorf("configuration %q: %w", name, ErrExists)
+	}
+	if _, ok := db.oids[root]; !ok {
+		return nil, fmt.Errorf("root %v: %w", root, ErrNotFound)
+	}
+
+	c := &Configuration{Name: name, Seq: db.seq}
+	visited := map[Key]bool{root: true}
+	linkSeen := map[LinkID]bool{}
+	queue := []Key{root}
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		c.OIDs = append(c.OIDs, k)
+		for _, id := range db.outLinks[k] {
+			l := db.links[id]
+			if l == nil || !follow(l) {
+				continue
+			}
+			if !linkSeen[id] {
+				linkSeen[id] = true
+				c.Links = append(c.Links, id)
+			}
+			if !visited[l.To] {
+				visited[l.To] = true
+				queue = append(queue, l.To)
+			}
+		}
+	}
+	sort.Slice(c.OIDs, func(i, j int) bool { return keyLess(c.OIDs[i], c.OIDs[j]) })
+	sort.Slice(c.Links, func(i, j int) bool { return c.Links[i] < c.Links[j] })
+	db.configs[name] = c
+	return c.clone(), nil
+}
+
+// SnapshotQuery builds a Configuration from the OIDs accepted by pred — the
+// paper's "result of a query ... a non-hierarchical set of data".  Links
+// whose both endpoints are selected are included.
+func (db *DB) SnapshotQuery(name string, pred func(*OID) bool) (*Configuration, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, fmt.Errorf("configuration: %w", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.configs[name]; ok {
+		return nil, fmt.Errorf("configuration %q: %w", name, ErrExists)
+	}
+	c := &Configuration{Name: name, Seq: db.seq}
+	selected := make(map[Key]bool)
+	for k, o := range db.oids {
+		if pred(o) {
+			selected[k] = true
+			c.OIDs = append(c.OIDs, k)
+		}
+	}
+	for id, l := range db.links {
+		if selected[l.From] && selected[l.To] {
+			c.Links = append(c.Links, id)
+		}
+	}
+	sort.Slice(c.OIDs, func(i, j int) bool { return keyLess(c.OIDs[i], c.OIDs[j]) })
+	sort.Slice(c.Links, func(i, j int) bool { return c.Links[i] < c.Links[j] })
+	db.configs[name] = c
+	return c.clone(), nil
+}
+
+// SnapshotAsOf builds a Configuration that reconstructs the design as it
+// stood at logical time seq: for every version chain, the newest version
+// whose creation time is not later than seq, plus every link that existed
+// by then between two captured OIDs.  This is the "higher level of
+// description of data across time" of section 2 — the configuration
+// mechanism combining a version history of different blocks into one
+// instance.
+func (db *DB) SnapshotAsOf(name string, seq int64) (*Configuration, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, fmt.Errorf("configuration: %w", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.configs[name]; ok {
+		return nil, fmt.Errorf("configuration %q: %w", name, ErrExists)
+	}
+	c := &Configuration{Name: name, Seq: seq}
+	selected := make(map[Key]bool)
+	for bv, chain := range db.chains {
+		// Chains are ascending in version and creation order; pick the
+		// newest version created at or before seq.
+		var pick Key
+		for _, v := range chain {
+			k := Key{Block: bv.Block, View: bv.View, Version: v}
+			o, ok := db.oids[k]
+			if !ok || o.Seq > seq {
+				continue
+			}
+			pick = k
+		}
+		if !pick.IsZero() {
+			selected[pick] = true
+			c.OIDs = append(c.OIDs, pick)
+		}
+	}
+	for id, l := range db.links {
+		if l.Seq <= seq && selected[l.From] && selected[l.To] {
+			c.Links = append(c.Links, id)
+		}
+	}
+	sort.Slice(c.OIDs, func(i, j int) bool { return keyLess(c.OIDs[i], c.OIDs[j]) })
+	sort.Slice(c.Links, func(i, j int) bool { return c.Links[i] < c.Links[j] })
+	db.configs[name] = c
+	return c.clone(), nil
+}
+
+// GetConfiguration returns a copy of a stored configuration.
+func (db *DB) GetConfiguration(name string) (*Configuration, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c, ok := db.configs[name]
+	if !ok {
+		return nil, fmt.Errorf("configuration %q: %w", name, ErrNotFound)
+	}
+	return c.clone(), nil
+}
+
+// DeleteConfiguration removes a stored configuration.
+func (db *DB) DeleteConfiguration(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.configs[name]; !ok {
+		return fmt.Errorf("configuration %q: %w", name, ErrNotFound)
+	}
+	delete(db.configs, name)
+	return nil
+}
+
+// ConfigurationNames lists stored configurations in sorted order.
+func (db *DB) ConfigurationNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.configs))
+	for n := range db.configs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ResolvedConfiguration is the materialization of a Configuration against
+// the current database contents.
+type ResolvedConfiguration struct {
+	Config *Configuration
+
+	// OIDs holds deep copies of the referenced OIDs that still exist.
+	OIDs []*OID
+
+	// Links holds deep copies of the referenced links that still exist.
+	Links []*Link
+
+	// MissingOIDs and MissingLinks are addresses that no longer resolve
+	// (deleted since the snapshot).
+	MissingOIDs  []Key
+	MissingLinks []LinkID
+}
+
+// Resolve materializes a stored configuration.
+func (db *DB) Resolve(name string) (*ResolvedConfiguration, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c, ok := db.configs[name]
+	if !ok {
+		return nil, fmt.Errorf("configuration %q: %w", name, ErrNotFound)
+	}
+	r := &ResolvedConfiguration{Config: c.clone()}
+	for _, k := range c.OIDs {
+		if o, ok := db.oids[k]; ok {
+			r.OIDs = append(r.OIDs, o.clone())
+		} else {
+			r.MissingOIDs = append(r.MissingOIDs, k)
+		}
+	}
+	for _, id := range c.Links {
+		if l, ok := db.links[id]; ok {
+			r.Links = append(r.Links, l.clone())
+		} else {
+			r.MissingLinks = append(r.MissingLinks, id)
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,537 @@
+package meta
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DB is the DAMOCLES meta-database: an in-memory, concurrency-safe store of
+// OIDs, Links, Configurations and workspace bindings.  A DB models one
+// project; the paper's project server owns exactly one.
+//
+// All mutation goes through DB methods.  Read accessors either return deep
+// copies (safe to retain) or, for the Each* iterators, expose internal
+// objects under the read lock: iterator callbacks must not retain or mutate
+// the objects they are handed and must not call DB methods (which would
+// deadlock).
+type DB struct {
+	mu sync.RWMutex
+
+	oids   map[Key]*OID
+	chains map[BlockView][]int // ascending version numbers
+	links  map[LinkID]*Link
+
+	// Adjacency indexes: links where the key is the From / To endpoint.
+	outLinks map[Key][]LinkID
+	inLinks  map[Key][]LinkID
+
+	configs    map[string]*Configuration
+	workspaces map[string]*Workspace
+
+	nextLink LinkID
+	seq      int64
+}
+
+// NewDB returns an empty meta-database.
+func NewDB() *DB {
+	return &DB{
+		oids:       make(map[Key]*OID),
+		chains:     make(map[BlockView][]int),
+		links:      make(map[LinkID]*Link),
+		outLinks:   make(map[Key][]LinkID),
+		inLinks:    make(map[Key][]LinkID),
+		configs:    make(map[string]*Configuration),
+		workspaces: make(map[string]*Workspace),
+	}
+}
+
+// tick advances and returns the logical clock.  Callers must hold mu.
+func (db *DB) tick() int64 {
+	db.seq++
+	return db.seq
+}
+
+// Seq returns the current logical time: the Seq of the most recently created
+// object.
+func (db *DB) Seq() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.seq
+}
+
+// ---------------------------------------------------------------------------
+// OIDs and version chains
+
+// NewVersion creates the next version of (block, view) and returns its key.
+// The first version of a chain is 1.  Properties start empty; the run-time
+// engine applies BluePrint template rules on top.
+func (db *DB) NewVersion(block, view string) (Key, error) {
+	if err := ValidateName(block); err != nil {
+		return Key{}, fmt.Errorf("block: %w", err)
+	}
+	if err := ValidateName(view); err != nil {
+		return Key{}, fmt.Errorf("view: %w", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	bv := BlockView{Block: block, View: view}
+	chain := db.chains[bv]
+	next := 1
+	if len(chain) > 0 {
+		next = chain[len(chain)-1] + 1
+	}
+	k := Key{Block: block, View: view, Version: next}
+	db.oids[k] = &OID{Key: k, Props: make(map[string]string), Seq: db.tick()}
+	db.chains[bv] = append(chain, next)
+	return k, nil
+}
+
+// InsertOID inserts an OID with an explicit version number.  It is used by
+// persistence reload; NewVersion is the normal creation path.  The version
+// must be greater than the newest version in the chain — gaps are legal
+// because old versions may have been pruned (see PruneVersions).
+func (db *DB) InsertOID(k Key) error {
+	if err := k.Validate(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.oids[k]; ok {
+		return fmt.Errorf("oid %v: %w", k, ErrExists)
+	}
+	bv := k.BV()
+	chain := db.chains[bv]
+	if len(chain) > 0 && k.Version <= chain[len(chain)-1] {
+		return fmt.Errorf("oid %v: chain is already at version %d: %w",
+			k, chain[len(chain)-1], ErrBadVersion)
+	}
+	db.oids[k] = &OID{Key: k, Props: make(map[string]string), Seq: db.tick()}
+	db.chains[bv] = append(chain, k.Version)
+	return nil
+}
+
+// PruneVersions removes all but the newest keep versions of (block, view)
+// from the database, along with every link incident to the removed OIDs —
+// the archival purge a long-running project performs on validated history
+// (cf. Silva et al., "Protection and Versioning for OCT", DAC 1989, which
+// the paper cites).  Version numbering is preserved: the chain keeps
+// counting from its highest version.  It returns the number of OIDs
+// removed.  keep must be at least 1.
+func (db *DB) PruneVersions(block, view string, keep int) (int, error) {
+	if keep < 1 {
+		return 0, fmt.Errorf("prune %s.%s: keep %d: %w", block, view, keep, ErrBadVersion)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	bv := BlockView{Block: block, View: view}
+	chain := db.chains[bv]
+	if len(chain) == 0 {
+		return 0, fmt.Errorf("prune %s.%s: %w", block, view, ErrNotFound)
+	}
+	if len(chain) <= keep {
+		return 0, nil
+	}
+	drop := chain[:len(chain)-keep]
+	for _, v := range drop {
+		k := Key{Block: block, View: view, Version: v}
+		// Remove incident links first.
+		for _, id := range append(append([]LinkID(nil), db.outLinks[k]...), db.inLinks[k]...) {
+			l, ok := db.links[id]
+			if !ok {
+				continue
+			}
+			delete(db.links, id)
+			db.outLinks[l.From] = removeID(db.outLinks[l.From], id)
+			db.inLinks[l.To] = removeID(db.inLinks[l.To], id)
+		}
+		delete(db.outLinks, k)
+		delete(db.inLinks, k)
+		delete(db.oids, k)
+	}
+	db.chains[bv] = append([]int(nil), chain[len(chain)-keep:]...)
+	return len(drop), nil
+}
+
+// HasOID reports whether the OID exists.
+func (db *DB) HasOID(k Key) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.oids[k]
+	return ok
+}
+
+// GetOID returns a deep copy of the OID.
+func (db *DB) GetOID(k Key) (*OID, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	o, ok := db.oids[k]
+	if !ok {
+		return nil, fmt.Errorf("oid %v: %w", k, ErrNotFound)
+	}
+	return o.clone(), nil
+}
+
+// Latest returns the key of the newest version of (block, view).
+func (db *DB) Latest(block, view string) (Key, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	chain := db.chains[BlockView{Block: block, View: view}]
+	if len(chain) == 0 {
+		return Key{}, fmt.Errorf("no versions of %s.%s: %w", block, view, ErrNotFound)
+	}
+	return Key{Block: block, View: view, Version: chain[len(chain)-1]}, nil
+}
+
+// Versions returns the version numbers of (block, view) in ascending order.
+func (db *DB) Versions(block, view string) []int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	chain := db.chains[BlockView{Block: block, View: view}]
+	out := make([]int, len(chain))
+	copy(out, chain)
+	return out
+}
+
+// Predecessor returns the key of the version immediately preceding k in its
+// chain, or ok=false if k is the first version.
+func (db *DB) Predecessor(k Key) (Key, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	chain := db.chains[k.BV()]
+	for i, v := range chain {
+		if v == k.Version {
+			if i == 0 {
+				return Key{}, false
+			}
+			return Key{Block: k.Block, View: k.View, Version: chain[i-1]}, true
+		}
+	}
+	return Key{}, false
+}
+
+// SetProp sets a property on an OID.
+func (db *DB) SetProp(k Key, name, value string) error {
+	if err := ValidateName(name); err != nil {
+		return fmt.Errorf("property: %w", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	o, ok := db.oids[k]
+	if !ok {
+		return fmt.Errorf("oid %v: %w", k, ErrNotFound)
+	}
+	o.Props[name] = value
+	return nil
+}
+
+// GetProp returns a property value of an OID.  Missing properties return
+// ("", false, nil); a missing OID is an error.
+func (db *DB) GetProp(k Key, name string) (string, bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	o, ok := db.oids[k]
+	if !ok {
+		return "", false, fmt.Errorf("oid %v: %w", k, ErrNotFound)
+	}
+	v, ok := o.Props[name]
+	return v, ok, nil
+}
+
+// DelProp removes a property from an OID.  Removing an absent property is a
+// no-op.
+func (db *DB) DelProp(k Key, name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	o, ok := db.oids[k]
+	if !ok {
+		return fmt.Errorf("oid %v: %w", k, ErrNotFound)
+	}
+	delete(o.Props, name)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Links
+
+// AddLink inserts a link between two existing OIDs and returns its ID.
+// Class-specific invariants are checked (a use link must not cross view
+// types).  propagates may be nil; template and props may be empty.
+func (db *DB) AddLink(class LinkClass, from, to Key, template string, propagates []string, props map[string]string) (LinkID, error) {
+	l := &Link{
+		Class:      class,
+		From:       from,
+		To:         to,
+		Template:   template,
+		Props:      make(map[string]string, len(props)),
+		Propagates: make(map[string]bool, len(propagates)),
+	}
+	for k, v := range props {
+		l.Props[k] = v
+	}
+	for _, e := range propagates {
+		l.Propagates[e] = true
+	}
+	if err := l.validate(); err != nil {
+		return 0, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.oids[from]; !ok {
+		return 0, fmt.Errorf("link from %v: %w", from, ErrNotFound)
+	}
+	if _, ok := db.oids[to]; !ok {
+		return 0, fmt.Errorf("link to %v: %w", to, ErrNotFound)
+	}
+	db.nextLink++
+	l.ID = db.nextLink
+	l.Seq = db.tick()
+	db.links[l.ID] = l
+	db.outLinks[from] = append(db.outLinks[from], l.ID)
+	db.inLinks[to] = append(db.inLinks[to], l.ID)
+	return l.ID, nil
+}
+
+// GetLink returns a deep copy of the link.
+func (db *DB) GetLink(id LinkID) (*Link, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	l, ok := db.links[id]
+	if !ok {
+		return nil, fmt.Errorf("link %d: %w", id, ErrNotFound)
+	}
+	return l.clone(), nil
+}
+
+// DeleteLink removes a link.
+func (db *DB) DeleteLink(id LinkID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	l, ok := db.links[id]
+	if !ok {
+		return fmt.Errorf("link %d: %w", id, ErrNotFound)
+	}
+	delete(db.links, id)
+	db.outLinks[l.From] = removeID(db.outLinks[l.From], id)
+	db.inLinks[l.To] = removeID(db.inLinks[l.To], id)
+	return nil
+}
+
+// RetargetLink moves one endpoint of a link from oldEnd to newEnd.  It
+// implements the link "shifting" of Figure 3: when a new version of an OID
+// is created, move-mode links are shifted from the previous version to the
+// new one.  oldEnd must currently be an endpoint of the link.
+func (db *DB) RetargetLink(id LinkID, oldEnd, newEnd Key) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	l, ok := db.links[id]
+	if !ok {
+		return fmt.Errorf("link %d: %w", id, ErrNotFound)
+	}
+	if _, ok := db.oids[newEnd]; !ok {
+		return fmt.Errorf("retarget to %v: %w", newEnd, ErrNotFound)
+	}
+	moved := *l
+	switch oldEnd {
+	case l.From:
+		moved.From = newEnd
+	case l.To:
+		moved.To = newEnd
+	default:
+		return fmt.Errorf("link %d: %v is not an endpoint: %w", id, oldEnd, ErrBadLink)
+	}
+	if err := moved.validate(); err != nil {
+		return err
+	}
+	if oldEnd == l.From {
+		db.outLinks[oldEnd] = removeID(db.outLinks[oldEnd], id)
+		db.outLinks[newEnd] = append(db.outLinks[newEnd], id)
+		l.From = newEnd
+	} else {
+		db.inLinks[oldEnd] = removeID(db.inLinks[oldEnd], id)
+		db.inLinks[newEnd] = append(db.inLinks[newEnd], id)
+		l.To = newEnd
+	}
+	return nil
+}
+
+// SetLinkProp sets an annotation property on a link.
+func (db *DB) SetLinkProp(id LinkID, name, value string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	l, ok := db.links[id]
+	if !ok {
+		return fmt.Errorf("link %d: %w", id, ErrNotFound)
+	}
+	l.Props[name] = value
+	return nil
+}
+
+// SetLinkPropagates replaces the PROPAGATE set of a link.
+func (db *DB) SetLinkPropagates(id LinkID, events []string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	l, ok := db.links[id]
+	if !ok {
+		return fmt.Errorf("link %d: %w", id, ErrNotFound)
+	}
+	l.Propagates = make(map[string]bool, len(events))
+	for _, e := range events {
+		l.Propagates[e] = true
+	}
+	return nil
+}
+
+// LinksFrom returns copies of all links whose From endpoint is k.
+func (db *DB) LinksFrom(k Key) []*Link {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.cloneLinks(db.outLinks[k])
+}
+
+// LinksTo returns copies of all links whose To endpoint is k.
+func (db *DB) LinksTo(k Key) []*Link {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.cloneLinks(db.inLinks[k])
+}
+
+// LinksOf returns copies of all links incident to k, in either direction.
+func (db *DB) LinksOf(k Key) []*Link {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := db.cloneLinks(db.outLinks[k])
+	return append(out, db.cloneLinks(db.inLinks[k])...)
+}
+
+func (db *DB) cloneLinks(ids []LinkID) []*Link {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]*Link, 0, len(ids))
+	for _, id := range ids {
+		if l, ok := db.links[id]; ok {
+			out = append(out, l.clone())
+		}
+	}
+	return out
+}
+
+// EachLinkOf invokes fn for every link incident to k, outgoing first, under
+// the read lock.  fn must not retain or mutate the link and must not call
+// other DB methods.  Returning false stops the iteration.
+func (db *DB) EachLinkOf(k Key, fn func(*Link) bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, id := range db.outLinks[k] {
+		if l, ok := db.links[id]; ok && !fn(l) {
+			return
+		}
+	}
+	for _, id := range db.inLinks[k] {
+		if l, ok := db.links[id]; ok && !fn(l) {
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Enumeration and statistics
+
+// EachOID invokes fn for every OID under the read lock, in unspecified
+// order.  fn must not retain or mutate the OID and must not call other DB
+// methods.  Returning false stops the iteration.
+func (db *DB) EachOID(fn func(*OID) bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, o := range db.oids {
+		if !fn(o) {
+			return
+		}
+	}
+}
+
+// Keys returns every OID key, sorted by block, view, version.
+func (db *DB) Keys() []Key {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	keys := make([]Key, 0, len(db.oids))
+	for k := range db.oids {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+// BlockViews returns every version chain identity, sorted.
+func (db *DB) BlockViews() []BlockView {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	bvs := make([]BlockView, 0, len(db.chains))
+	for bv := range db.chains {
+		bvs = append(bvs, bv)
+	}
+	sort.Slice(bvs, func(i, j int) bool {
+		if bvs[i].Block != bvs[j].Block {
+			return bvs[i].Block < bvs[j].Block
+		}
+		return bvs[i].View < bvs[j].View
+	})
+	return bvs
+}
+
+// LinkIDs returns every link ID in ascending order.
+func (db *DB) LinkIDs() []LinkID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ids := make([]LinkID, 0, len(db.links))
+	for id := range db.links {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Stats summarizes database size.
+type Stats struct {
+	OIDs           int
+	Links          int
+	Chains         int
+	Configurations int
+	Workspaces     int
+}
+
+// Stats returns current object counts.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return Stats{
+		OIDs:           len(db.oids),
+		Links:          len(db.links),
+		Chains:         len(db.chains),
+		Configurations: len(db.configs),
+		Workspaces:     len(db.workspaces),
+	}
+}
+
+func removeID(ids []LinkID, id LinkID) []LinkID {
+	for i, v := range ids {
+		if v == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+func sortKeys(keys []Key) {
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		if a.View != b.View {
+			return a.View < b.View
+		}
+		return a.Version < b.Version
+	})
+}

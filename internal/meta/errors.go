@@ -1,0 +1,31 @@
+package meta
+
+import "errors"
+
+// Sentinel errors returned by the meta-database.  Callers should test with
+// errors.Is; most constructors wrap these with contextual detail.
+var (
+	// ErrNotFound reports that a referenced OID, Link, Configuration or
+	// workspace does not exist in the meta-database.
+	ErrNotFound = errors.New("meta: not found")
+
+	// ErrExists reports an attempt to create an object that already exists.
+	ErrExists = errors.New("meta: already exists")
+
+	// ErrBadKey reports a malformed OID key.
+	ErrBadKey = errors.New("meta: malformed key")
+
+	// ErrBadName reports an invalid block, view, property or workspace name.
+	ErrBadName = errors.New("meta: invalid name")
+
+	// ErrBadVersion reports a non-positive or out-of-chain version number.
+	ErrBadVersion = errors.New("meta: invalid version")
+
+	// ErrBadLink reports an ill-formed link, e.g. a use link whose endpoints
+	// are of different view types, or a self-link.
+	ErrBadLink = errors.New("meta: invalid link")
+
+	// ErrImmutable reports an attempt to mutate an immutable object such as
+	// a Configuration snapshot.
+	ErrImmutable = errors.New("meta: object is immutable")
+)

@@ -1,0 +1,239 @@
+package meta
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// JSON persistence of the meta-database.  The on-disk form is a plain,
+// human-inspectable document; load rebuilds all indexes.  Version chains
+// are reconstructed from the OID set in ascending order; gaps left by
+// PruneVersions are preserved.
+
+type dbJSON struct {
+	Seq        int64           `json:"seq"`
+	NextLink   int64           `json:"next_link"`
+	OIDs       []oidJSON       `json:"oids"`
+	Links      []linkJSON      `json:"links"`
+	Configs    []configJSON    `json:"configurations,omitempty"`
+	Workspaces []workspaceJSON `json:"workspaces,omitempty"`
+}
+
+type oidJSON struct {
+	Block   string            `json:"block"`
+	View    string            `json:"view"`
+	Version int               `json:"version"`
+	Seq     int64             `json:"seq"`
+	Props   map[string]string `json:"props,omitempty"`
+}
+
+type linkJSON struct {
+	ID         int64             `json:"id"`
+	Class      string            `json:"class"`
+	From       string            `json:"from"`
+	To         string            `json:"to"`
+	Template   string            `json:"template,omitempty"`
+	Propagates []string          `json:"propagates,omitempty"`
+	Props      map[string]string `json:"props,omitempty"`
+	Seq        int64             `json:"seq"`
+}
+
+type configJSON struct {
+	Name  string   `json:"name"`
+	Seq   int64    `json:"seq"`
+	OIDs  []string `json:"oids"`
+	Links []int64  `json:"links"`
+}
+
+type workspaceJSON struct {
+	Name  string            `json:"name"`
+	Root  string            `json:"root"`
+	Paths map[string]string `json:"paths,omitempty"`
+}
+
+// Save writes the whole meta-database as indented JSON.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	doc := dbJSON{Seq: db.seq, NextLink: int64(db.nextLink)}
+	for _, o := range db.oids {
+		oj := oidJSON{Block: o.Key.Block, View: o.Key.View, Version: o.Key.Version, Seq: o.Seq}
+		if len(o.Props) > 0 {
+			oj.Props = make(map[string]string, len(o.Props))
+			for k, v := range o.Props {
+				oj.Props[k] = v
+			}
+		}
+		doc.OIDs = append(doc.OIDs, oj)
+	}
+	for _, l := range db.links {
+		lj := linkJSON{
+			ID:       int64(l.ID),
+			Class:    l.Class.String(),
+			From:     l.From.String(),
+			To:       l.To.String(),
+			Template: l.Template,
+			Seq:      l.Seq,
+		}
+		lj.Propagates = l.PropagateList()
+		if len(l.Props) > 0 {
+			lj.Props = make(map[string]string, len(l.Props))
+			for k, v := range l.Props {
+				lj.Props[k] = v
+			}
+		}
+		doc.Links = append(doc.Links, lj)
+	}
+	for _, c := range db.configs {
+		cj := configJSON{Name: c.Name, Seq: c.Seq}
+		for _, k := range c.OIDs {
+			cj.OIDs = append(cj.OIDs, k.String())
+		}
+		for _, id := range c.Links {
+			cj.Links = append(cj.Links, int64(id))
+		}
+		doc.Configs = append(doc.Configs, cj)
+	}
+	for _, ws := range db.workspaces {
+		wj := workspaceJSON{Name: ws.Name, Root: ws.Root}
+		if len(ws.paths) > 0 {
+			wj.Paths = make(map[string]string, len(ws.paths))
+			for k, p := range ws.paths {
+				wj.Paths[k.String()] = p
+			}
+		}
+		doc.Workspaces = append(doc.Workspaces, wj)
+	}
+	db.mu.RUnlock()
+
+	sort.Slice(doc.OIDs, func(i, j int) bool {
+		a, b := doc.OIDs[i], doc.OIDs[j]
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		if a.View != b.View {
+			return a.View < b.View
+		}
+		return a.Version < b.Version
+	})
+	sort.Slice(doc.Links, func(i, j int) bool { return doc.Links[i].ID < doc.Links[j].ID })
+	sort.Slice(doc.Configs, func(i, j int) bool { return doc.Configs[i].Name < doc.Configs[j].Name })
+	sort.Slice(doc.Workspaces, func(i, j int) bool { return doc.Workspaces[i].Name < doc.Workspaces[j].Name })
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Load reads a database previously written by Save and returns a fresh DB
+// with all indexes rebuilt.
+func Load(r io.Reader) (*DB, error) {
+	var doc dbJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("meta: decode: %w", err)
+	}
+	db := NewDB()
+
+	// OIDs must be inserted in version order per chain.
+	sort.Slice(doc.OIDs, func(i, j int) bool {
+		a, b := doc.OIDs[i], doc.OIDs[j]
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		if a.View != b.View {
+			return a.View < b.View
+		}
+		return a.Version < b.Version
+	})
+	for _, oj := range doc.OIDs {
+		k := Key{Block: oj.Block, View: oj.View, Version: oj.Version}
+		if err := db.InsertOID(k); err != nil {
+			return nil, fmt.Errorf("meta: load oid: %w", err)
+		}
+		o := db.oids[k]
+		o.Seq = oj.Seq
+		for name, v := range oj.Props {
+			o.Props[name] = v
+		}
+	}
+
+	sort.Slice(doc.Links, func(i, j int) bool { return doc.Links[i].ID < doc.Links[j].ID })
+	for _, lj := range doc.Links {
+		class, err := ParseLinkClass(lj.Class)
+		if err != nil {
+			return nil, fmt.Errorf("meta: load link %d: %w", lj.ID, err)
+		}
+		from, err := ParseKey(lj.From)
+		if err != nil {
+			return nil, fmt.Errorf("meta: load link %d: %w", lj.ID, err)
+		}
+		to, err := ParseKey(lj.To)
+		if err != nil {
+			return nil, fmt.Errorf("meta: load link %d: %w", lj.ID, err)
+		}
+		l := &Link{
+			ID:         LinkID(lj.ID),
+			Class:      class,
+			From:       from,
+			To:         to,
+			Template:   lj.Template,
+			Seq:        lj.Seq,
+			Props:      make(map[string]string, len(lj.Props)),
+			Propagates: make(map[string]bool, len(lj.Propagates)),
+		}
+		for k, v := range lj.Props {
+			l.Props[k] = v
+		}
+		for _, e := range lj.Propagates {
+			l.Propagates[e] = true
+		}
+		if err := l.validate(); err != nil {
+			return nil, fmt.Errorf("meta: load link %d: %w", lj.ID, err)
+		}
+		if _, ok := db.links[l.ID]; ok {
+			return nil, fmt.Errorf("meta: load link %d: %w", lj.ID, ErrExists)
+		}
+		if _, ok := db.oids[from]; !ok {
+			return nil, fmt.Errorf("meta: load link %d: from %v: %w", lj.ID, from, ErrNotFound)
+		}
+		if _, ok := db.oids[to]; !ok {
+			return nil, fmt.Errorf("meta: load link %d: to %v: %w", lj.ID, to, ErrNotFound)
+		}
+		db.links[l.ID] = l
+		db.outLinks[from] = append(db.outLinks[from], l.ID)
+		db.inLinks[to] = append(db.inLinks[to], l.ID)
+	}
+
+	for _, cj := range doc.Configs {
+		c := &Configuration{Name: cj.Name, Seq: cj.Seq}
+		for _, ks := range cj.OIDs {
+			k, err := ParseKey(ks)
+			if err != nil {
+				return nil, fmt.Errorf("meta: load configuration %q: %w", cj.Name, err)
+			}
+			c.OIDs = append(c.OIDs, k)
+		}
+		for _, id := range cj.Links {
+			c.Links = append(c.Links, LinkID(id))
+		}
+		db.configs[c.Name] = c
+	}
+
+	for _, wj := range doc.Workspaces {
+		ws := &Workspace{Name: wj.Name, Root: wj.Root, paths: make(map[Key]string, len(wj.Paths))}
+		for ks, p := range wj.Paths {
+			k, err := ParseKey(ks)
+			if err != nil {
+				return nil, fmt.Errorf("meta: load workspace %q: %w", wj.Name, err)
+			}
+			ws.paths[k] = p
+		}
+		db.workspaces[ws.Name] = ws
+	}
+
+	db.seq = doc.Seq
+	db.nextLink = LinkID(doc.NextLink)
+	return db, nil
+}

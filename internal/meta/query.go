@@ -1,0 +1,194 @@
+package meta
+
+// Query helpers.  Designers "retrieve the state of the project by performing
+// queries" (section 1); these are the volume-query primitives the higher
+// level state package builds on.
+
+// SelectOIDs returns deep copies of every OID accepted by pred, sorted by
+// key.
+func (db *DB) SelectOIDs(pred func(*OID) bool) []*OID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []*OID
+	for _, o := range db.oids {
+		if pred(o) {
+			out = append(out, o.clone())
+		}
+	}
+	sortOIDs(out)
+	return out
+}
+
+// OIDsByView returns every OID of the given view type, sorted by key.
+func (db *DB) OIDsByView(view string) []*OID {
+	return db.SelectOIDs(func(o *OID) bool { return o.Key.View == view })
+}
+
+// OIDsByBlock returns every OID of the given block, sorted by key.
+func (db *DB) OIDsByBlock(block string) []*OID {
+	return db.SelectOIDs(func(o *OID) bool { return o.Key.Block == block })
+}
+
+// OIDsWithProp returns every OID whose named property equals value.
+func (db *DB) OIDsWithProp(name, value string) []*OID {
+	return db.SelectOIDs(func(o *OID) bool { return o.Props[name] == value })
+}
+
+// LatestOIDs returns a deep copy of the newest version of every version
+// chain, sorted by key.  This is the usual working set for state queries:
+// designers care about the state of the latest data.
+func (db *DB) LatestOIDs() []*OID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]*OID, 0, len(db.chains))
+	for bv, chain := range db.chains {
+		if len(chain) == 0 {
+			continue
+		}
+		k := Key{Block: bv.Block, View: bv.View, Version: chain[len(chain)-1]}
+		if o, ok := db.oids[k]; ok {
+			out = append(out, o.clone())
+		}
+	}
+	sortOIDs(out)
+	return out
+}
+
+// SelectLinks returns deep copies of every link accepted by pred, in ID
+// order.
+func (db *DB) SelectLinks(pred func(*Link) bool) []*Link {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []*Link
+	for _, l := range db.links {
+		if pred(l) {
+			out = append(out, l.clone())
+		}
+	}
+	sortLinks(out)
+	return out
+}
+
+// LinksByType returns every derive link whose TYPE property matches.
+func (db *DB) LinksByType(linkType string) []*Link {
+	return db.SelectLinks(func(l *Link) bool {
+		return l.Class == DeriveLink && l.Type() == linkType
+	})
+}
+
+// Reachable returns the set of keys reachable from root by traversing links
+// downward (From→To) through links admitted by follow, including root
+// itself.  It is the query primitive behind hierarchy snapshots and
+// transitive-dependency analyses.
+func (db *DB) Reachable(root Key, follow FollowFunc) []Key {
+	if follow == nil {
+		follow = FollowUseLinks
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if _, ok := db.oids[root]; !ok {
+		return nil
+	}
+	visited := map[Key]bool{root: true}
+	queue := []Key{root}
+	var out []Key
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		out = append(out, k)
+		for _, id := range db.outLinks[k] {
+			l := db.links[id]
+			if l == nil || !follow(l) || visited[l.To] {
+				continue
+			}
+			visited[l.To] = true
+			queue = append(queue, l.To)
+		}
+	}
+	sortKeys(out)
+	return out
+}
+
+// Dependents returns the downstream closure of root: every OID reachable by
+// repeatedly following admitted links From→To.  This is the set of data
+// invalidated when root changes.  root itself is excluded.
+func (db *DB) Dependents(root Key, follow FollowFunc) []Key {
+	if follow == nil {
+		follow = FollowAllLinks
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	visited := map[Key]bool{root: true}
+	queue := []Key{root}
+	var out []Key
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		for _, id := range db.outLinks[k] {
+			l := db.links[id]
+			if l == nil || !follow(l) || visited[l.To] {
+				continue
+			}
+			visited[l.To] = true
+			out = append(out, l.To)
+			queue = append(queue, l.To)
+		}
+	}
+	sortKeys(out)
+	return out
+}
+
+// Equivalents returns the transitive set of OIDs tied to k by derive links
+// whose TYPE property is "equivalence" — the equivalence plane of Katz's
+// version server, which the paper's link types reference.  Links are
+// followed in both directions; k itself is included.
+func (db *DB) Equivalents(k Key) []Key {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if _, ok := db.oids[k]; !ok {
+		return nil
+	}
+	visited := map[Key]bool{k: true}
+	queue := []Key{k}
+	out := []Key{k}
+	step := func(next Key) {
+		if !visited[next] {
+			visited[next] = true
+			out = append(out, next)
+			queue = append(queue, next)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, id := range db.outLinks[cur] {
+			if l := db.links[id]; l != nil && l.Class == DeriveLink && l.Type() == TypeEquivalence {
+				step(l.To)
+			}
+		}
+		for _, id := range db.inLinks[cur] {
+			if l := db.links[id]; l != nil && l.Class == DeriveLink && l.Type() == TypeEquivalence {
+				step(l.From)
+			}
+		}
+	}
+	sortKeys(out)
+	return out
+}
+
+func sortOIDs(oids []*OID) {
+	// Insertion-stable sort by key; slices are typically small.
+	for i := 1; i < len(oids); i++ {
+		for j := i; j > 0 && keyLess(oids[j].Key, oids[j-1].Key); j-- {
+			oids[j], oids[j-1] = oids[j-1], oids[j]
+		}
+	}
+}
+
+func sortLinks(links []*Link) {
+	for i := 1; i < len(links); i++ {
+		for j := i; j > 0 && links[j].ID < links[j-1].ID; j-- {
+			links[j], links[j-1] = links[j-1], links[j]
+		}
+	}
+}

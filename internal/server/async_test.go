@@ -1,0 +1,142 @@
+package server
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/bpl"
+	"repro/internal/engine"
+	"repro/internal/meta"
+	"repro/internal/wire"
+)
+
+func startAsyncServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	bp, err := bpl.Parse(bpl.EDTCExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(meta.NewDB(), bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(eng, WithAsyncDrain())
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, addr
+}
+
+// TestAsyncPostQueuesAndSyncSettles: in async mode POST acknowledges
+// immediately; SYNC observes the settled state.
+func TestAsyncPostQueuesAndSyncSettles(t *testing.T) {
+	s, addr := startAsyncServer(t)
+	c := dial(t, addr)
+	c.User = "x"
+	hdl, err := c.Create("CPU", "HDL_model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := c.Create("CPU", "schematic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Link("derive", hdl, sch); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := c.PostEvent("ckin", "down", hdl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.State(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Props["uptodate"] != "false" {
+		t.Errorf("after sync, schematic uptodate = %q", st.Props["uptodate"])
+	}
+	// The engine really is idle.
+	if n := s.Engine().QueueLen(); n != 0 {
+		t.Errorf("queue length after sync = %d", n)
+	}
+}
+
+// TestAsyncManyClients hammers the async server from several goroutines
+// and checks nothing is lost.
+func TestAsyncManyClients(t *testing.T) {
+	s, addr := startAsyncServer(t)
+	const clients, posts = 6, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			k, err := c.Create(string(rune('a'+i)), "HDL_model")
+			if err != nil {
+				errs <- err
+				return
+			}
+			for j := 0; j < posts; j++ {
+				if err := c.PostEvent("hdl_sim", "down", k, "good"); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if err := c.Sync(); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	eng := s.Engine()
+	eng.WaitIdle()
+	if got := eng.Stats().Posted; got < clients*posts {
+		t.Errorf("posted = %d, want >= %d", got, clients*posts)
+	}
+	for i := 0; i < clients; i++ {
+		k, err := eng.DB().Latest(string(rune('a'+i)), "HDL_model")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _, _ := eng.DB().GetProp(k, "sim_result"); v != "good" {
+			t.Errorf("%v sim_result = %q", k, v)
+		}
+	}
+}
+
+// TestAsyncPostResponseSaysQueued distinguishes the two server modes at
+// the protocol level.
+func TestAsyncPostResponseSaysQueued(t *testing.T) {
+	s, _ := startAsyncServer(t)
+	k, err := s.Engine().CreateOID("CPU", "HDL_model", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := s.Handle(wire.Request{Verb: wire.VerbPost, User: "x",
+		Args: []string{"hdl_sim", "down", k.String(), "good"}})
+	if !resp.OK || !strings.HasPrefix(resp.Detail, "queued") {
+		t.Errorf("async POST response = %+v", resp)
+	}
+	s.Engine().WaitIdle()
+}

@@ -1,0 +1,250 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/meta"
+	"repro/internal/wire"
+)
+
+// Client is a wrapper-program connection to the project server — the
+// library behind the postEvent command of section 3.1.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Scanner
+	w    *bufio.Writer
+
+	// User attributes subsequent requests to a designer.
+	User string
+}
+
+// Dial connects to a project server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &Client{conn: conn, r: sc, w: bufio.NewWriter(conn)}, nil
+}
+
+// Close terminates the connection politely.
+func (c *Client) Close() error {
+	_, _ = c.roundTrip(wire.Request{Verb: wire.VerbQuit})
+	return c.conn.Close()
+}
+
+// roundTrip sends one request and reads the complete response.
+func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
+	if req.User == "" {
+		req.User = c.User
+	}
+	if _, err := c.w.WriteString(req.Encode() + "\n"); err != nil {
+		return wire.Response{}, fmt.Errorf("client: send: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return wire.Response{}, fmt.Errorf("client: send: %w", err)
+	}
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return wire.Response{}, fmt.Errorf("client: recv: %w", err)
+		}
+		return wire.Response{}, fmt.Errorf("client: connection closed")
+	}
+	resp, multi, err := wire.ParseResponseHeader(c.r.Text())
+	if err != nil {
+		return wire.Response{}, err
+	}
+	for multi {
+		if !c.r.Scan() {
+			return wire.Response{}, fmt.Errorf("client: truncated response")
+		}
+		content, done, err := wire.ParseBodyLine(c.r.Text())
+		if err != nil {
+			return wire.Response{}, err
+		}
+		if done {
+			break
+		}
+		resp.Body = append(resp.Body, content)
+	}
+	return resp, nil
+}
+
+// do performs a request and converts ERR responses into errors.
+func (c *Client) do(verb string, args ...string) (wire.Response, error) {
+	resp, err := c.roundTrip(wire.Request{Verb: verb, Args: args})
+	if err != nil {
+		return wire.Response{}, err
+	}
+	if !resp.OK {
+		return wire.Response{}, fmt.Errorf("client: %s: %s", verb, resp.Detail)
+	}
+	return resp, nil
+}
+
+// Ping checks the server is alive.
+func (c *Client) Ping() error {
+	_, err := c.do(wire.VerbPing)
+	return err
+}
+
+// Sync blocks until the server's event queue has settled (meaningful in
+// async-drain mode; an immediate no-op otherwise) and surfaces any drain
+// error encountered since the last Sync.
+func (c *Client) Sync() error {
+	_, err := c.do(wire.VerbSync)
+	return err
+}
+
+// PostEvent posts a design event:
+//
+//	client.PostEvent("ckin", "up", key, "logic sim passed")
+func (c *Client) PostEvent(event, dir string, target meta.Key, args ...string) error {
+	_, err := c.do(wire.VerbPost, append([]string{event, dir, target.String()}, args...)...)
+	return err
+}
+
+// Create makes a new version of (block, view) and returns its key.
+func (c *Client) Create(block, view string) (meta.Key, error) {
+	resp, err := c.do(wire.VerbCreate, block, view)
+	if err != nil {
+		return meta.Key{}, err
+	}
+	return meta.ParseKey(resp.Detail)
+}
+
+// Link relates two OIDs; class is "use" or "derive".
+func (c *Client) Link(class string, from, to meta.Key) error {
+	_, err := c.do(wire.VerbLink, class, from.String(), to.String())
+	return err
+}
+
+// OIDState is the client-side decoding of a STATE response.
+type OIDState struct {
+	Key      meta.Key
+	Ready    bool
+	Props    map[string]string
+	Blocking []string
+}
+
+// State queries the state of one OID.
+func (c *Client) State(k meta.Key) (OIDState, error) {
+	resp, err := c.do(wire.VerbState, k.String())
+	if err != nil {
+		return OIDState{}, err
+	}
+	st := OIDState{Key: k, Props: map[string]string{}}
+	for _, line := range resp.Body {
+		fields, err := wire.Tokenize(line)
+		if err != nil || len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "ready":
+			st.Ready = len(fields) > 1 && fields[1] == "true"
+		case "prop":
+			if len(fields) == 3 {
+				st.Props[fields[1]] = fields[2]
+			}
+		case "blocking":
+			st.Blocking = append(st.Blocking, strings.TrimPrefix(line, "blocking "))
+		}
+	}
+	return st, nil
+}
+
+// Report retrieves the full project state report lines.
+func (c *Client) Report() ([]string, error) {
+	resp, err := c.do(wire.VerbReport)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// Gap retrieves the not-ready report lines.
+func (c *Client) Gap() ([]string, error) {
+	resp, err := c.do(wire.VerbGap)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// Snapshot stores a configuration server-side; root "*" captures the whole
+// database.
+func (c *Client) Snapshot(name, root string) (string, error) {
+	resp, err := c.do(wire.VerbSnapshot, name, root)
+	if err != nil {
+		return "", err
+	}
+	return resp.Detail, nil
+}
+
+// Stats retrieves the server's one-line statistics summary.
+func (c *Client) Stats() (string, error) {
+	resp, err := c.do(wire.VerbStats)
+	if err != nil {
+		return "", err
+	}
+	return resp.Detail, nil
+}
+
+// Latest asks the server for the newest version of (block, view).
+func (c *Client) Latest(block, view string) (meta.Key, error) {
+	resp, err := c.do(wire.VerbLatest, block, view)
+	if err != nil {
+		return meta.Key{}, err
+	}
+	return meta.ParseKey(resp.Detail)
+}
+
+// Prop reads one property of an OID; ok reports whether it is set.
+func (c *Client) Prop(k meta.Key, name string) (value string, ok bool, err error) {
+	resp, err := c.do(wire.VerbProp, k.String(), name)
+	if err != nil {
+		return "", false, err
+	}
+	if resp.Detail == "unset" {
+		return "", false, nil
+	}
+	fields, err := wire.Tokenize(resp.Detail)
+	if err != nil || len(fields) != 2 || fields[0] != "set" {
+		return "", false, fmt.Errorf("client: PROP: bad response %q", resp.Detail)
+	}
+	return fields[1], true, nil
+}
+
+// Links lists the links incident to an OID, one formatted line per link.
+func (c *Client) Links(k meta.Key) ([]string, error) {
+	resp, err := c.do(wire.VerbLinks, k.String())
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// Dot retrieves a Graphviz rendering from the server: kind is "flow" (the
+// BluePrint diagram, Figure 5) or "state" (the live project state).
+func (c *Client) Dot(kind string) (string, error) {
+	resp, err := c.do(wire.VerbDot, kind)
+	if err != nil {
+		return "", err
+	}
+	return strings.Join(resp.Body, "\n") + "\n", nil
+}
+
+// Blueprint retrieves the canonical source of the loaded blueprint.
+func (c *Client) Blueprint() (string, error) {
+	resp, err := c.do(wire.VerbBlueprint)
+	if err != nil {
+		return "", err
+	}
+	return strings.Join(resp.Body, "\n") + "\n", nil
+}

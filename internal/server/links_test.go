@@ -1,0 +1,59 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/meta"
+)
+
+func mustParse(t *testing.T, s string) meta.Key {
+	t.Helper()
+	k, err := meta.ParseKey(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestLinksVerb(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	c.User = "x"
+	hdl, err := c.Create("CPU", "HDL_model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := c.Create("CPU", "schematic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Link("derive", hdl, sch); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := c.Links(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 {
+		t.Fatalf("links = %v", lines)
+	}
+	line := lines[0]
+	for _, want := range []string{"derive", "CPU,HDL_model,1", "CPU,schematic,1", "type=derived", "propagates=outofdate"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+	// Both endpoints report the link.
+	lines2, err := c.Links(hdl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines2) != 1 {
+		t.Errorf("hdl links = %v", lines2)
+	}
+	// Missing OID errors.
+	if _, err := c.Links(mustParse(t, "ghost,schematic,1")); err == nil {
+		t.Error("missing OID accepted")
+	}
+}

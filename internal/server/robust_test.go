@@ -1,0 +1,112 @@
+package server
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// rawConn opens a plain TCP connection for protocol-level abuse.
+func rawConn(t *testing.T, addr string) (net.Conn, *bufio.Scanner) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	sc := bufio.NewScanner(conn)
+	return conn, sc
+}
+
+func TestServerSurvivesGarbageLines(t *testing.T) {
+	_, addr := startServer(t)
+	conn, sc := rawConn(t, addr)
+	lines := []string{
+		"",                          // blank: ignored
+		"   ",                       // whitespace: ignored
+		"\"unterminated quote",      // lexical error
+		"FROB a b c",                // unknown verb
+		"POST",                      // missing args
+		"user=",                     // user with no verb
+		"POST ev down not-a-key",    // bad key
+		"LINK use a,v,1",            // arity
+		"STATE ghost,v,1",           // missing OID
+		"SNAPSHOT onlyname",         // arity
+		"DOT sideways",              // bad kind
+		"PROP a,v,1 p extra-arg",    // arity
+		"LATEST onlyblock",          // arity
+		"CREATE bad..ok strange},{", // names survive as opaque tokens or fail cleanly
+	}
+	for _, line := range lines {
+		if _, err := conn.Write([]byte(line + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		if line == "" || strings.TrimSpace(line) == "" {
+			continue // no response expected for blank lines
+		}
+		if !sc.Scan() {
+			t.Fatalf("connection died on %q", line)
+		}
+		resp := sc.Text()
+		if !strings.HasPrefix(resp, "ERR") && !strings.HasPrefix(resp, "OK") {
+			t.Errorf("line %q -> malformed response %q", line, resp)
+		}
+	}
+	// The connection is still healthy.
+	if _, err := conn.Write([]byte("PING\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Scan() || !strings.HasPrefix(sc.Text(), "OK") {
+		t.Fatalf("PING after garbage: %q", sc.Text())
+	}
+}
+
+func TestServerSurvivesAbruptDisconnect(t *testing.T) {
+	s, addr := startServer(t)
+	// Half-written command, then slam the connection.
+	conn, _ := rawConn(t, addr)
+	if _, err := conn.Write([]byte("POST hdl_sim do")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	// The server keeps serving others.
+	c := dial(t, addr)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	_ = s
+}
+
+func TestServerOversizeLineRejected(t *testing.T) {
+	_, addr := startServer(t)
+	conn, sc := rawConn(t, addr)
+	// Beyond the 1 MiB scanner limit the connection is dropped rather
+	// than buffering unboundedly.
+	huge := strings.Repeat("x", 2*1024*1024)
+	if _, err := conn.Write([]byte("PING " + huge + "\n")); err != nil {
+		// Write error is acceptable: the server may close mid-write.
+		return
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	conn.SetReadDeadline(deadline)
+	for sc.Scan() {
+		// Drain whatever the server said before closing.
+	}
+	// Either way, new connections still work.
+	c := dial(t, addr)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListenAfterCloseFails(t *testing.T) {
+	s, _ := startServer(t)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Listen("127.0.0.1:0"); err == nil {
+		t.Error("Listen on closed server accepted")
+	}
+}

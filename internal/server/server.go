@@ -1,0 +1,435 @@
+// Package server implements the DAMOCLES project server of Figure 1: a TCP
+// daemon owning the meta-database and the BluePrint engine.  Wrapper
+// programs connect, post design events, create OIDs and links, and query
+// project state; the engine processes events sequentially, first-in
+// first-out.
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"repro/internal/bpl"
+	"repro/internal/engine"
+	"repro/internal/meta"
+	"repro/internal/state"
+	"repro/internal/viz"
+	"repro/internal/wire"
+)
+
+// Server is a running project server.
+type Server struct {
+	eng *engine.Engine
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+
+	async    bool
+	wake     chan struct{}
+	quit     chan struct{}
+	drainErr error
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithAsyncDrain decouples event intake from processing, matching Figure 1
+// literally: POST enqueues and returns immediately ("queued"), and a
+// dedicated drainer goroutine processes the queue.  Clients observe
+// quiescence with the SYNC verb.  Without this option every mutating
+// request drains synchronously before responding.
+func WithAsyncDrain() Option { return func(s *Server) { s.async = true } }
+
+// New creates a server around an engine.
+func New(eng *engine.Engine, opts ...Option) *Server {
+	s := &Server{
+		eng:   eng,
+		conns: make(map[net.Conn]bool),
+		wake:  make(chan struct{}, 1),
+		quit:  make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.async {
+		s.wg.Add(1)
+		go s.drainLoop()
+	}
+	return s
+}
+
+// drainLoop is the background event processor of async mode.
+func (s *Server) drainLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-s.wake:
+			if err := s.eng.Drain(); err != nil {
+				s.mu.Lock()
+				s.drainErr = err
+				s.mu.Unlock()
+			}
+		}
+	}
+}
+
+// kick requests a drain: synchronously in the default mode, via the
+// drainer goroutine in async mode.
+func (s *Server) kick() error {
+	if !s.async {
+		return s.eng.Drain()
+	}
+	select {
+	case s.wake <- struct{}{}:
+	default: // a wake-up is already pending
+	}
+	return nil
+}
+
+// Engine exposes the underlying engine, e.g. for in-process inspection in
+// tests and tools.
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Listen starts accepting connections on addr ("host:port"; port 0 picks a
+// free port) and returns the bound address.  Serving happens on background
+// goroutines; call Close to stop.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("server: already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops the listener and all connections and waits for handlers to
+// finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	close(s.quit)
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) dropConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.dropConn(conn)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		req, err := wire.ParseRequest(line)
+		var resp wire.Response
+		var quit bool
+		if err != nil {
+			resp = wire.Response{OK: false, Detail: err.Error()}
+		} else {
+			resp, quit = s.handle(req)
+		}
+		if _, err := w.WriteString(resp.Encode() + "\n"); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// Handle processes one request against the engine and database.  It is
+// exported for in-process use (the flow simulator drives the same code path
+// without TCP).
+func (s *Server) Handle(req wire.Request) wire.Response {
+	resp, _ := s.handle(req)
+	return resp
+}
+
+func (s *Server) handle(req wire.Request) (wire.Response, bool) {
+	fail := func(format string, args ...any) (wire.Response, bool) {
+		return wire.Response{OK: false, Detail: fmt.Sprintf(format, args...)}, false
+	}
+	ok := func(format string, args ...any) (wire.Response, bool) {
+		return wire.Response{OK: true, Detail: fmt.Sprintf(format, args...)}, false
+	}
+	switch req.Verb {
+	case wire.VerbPing:
+		return ok("pong")
+
+	case wire.VerbSync:
+		s.eng.WaitIdle()
+		s.mu.Lock()
+		err := s.drainErr
+		s.drainErr = nil
+		s.mu.Unlock()
+		if err != nil {
+			return fail("%v", err)
+		}
+		return ok("idle")
+
+	case wire.VerbQuit:
+		return wire.Response{OK: true, Detail: "bye"}, true
+
+	case wire.VerbPost:
+		if len(req.Args) < 3 {
+			return fail("POST wants <event> <up|down> <oid> [args...]")
+		}
+		dir, err := bpl.ParseDirection(req.Args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		target, err := meta.ParseKey(req.Args[2])
+		if err != nil {
+			return fail("%v", err)
+		}
+		ev := engine.Event{Name: req.Args[0], Dir: dir, Target: target, Args: req.Args[3:], User: req.User}
+		if err := s.eng.Post(ev); err != nil {
+			return fail("%v", err)
+		}
+		if err := s.kick(); err != nil {
+			return fail("%v", err)
+		}
+		if s.async {
+			return ok("queued %s", ev.Name)
+		}
+		return ok("posted %s", ev.Name)
+
+	case wire.VerbCreate:
+		if len(req.Args) != 2 {
+			return fail("CREATE wants <block> <view>")
+		}
+		k, err := s.eng.CreateOID(req.Args[0], req.Args[1], req.User)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if err := s.kick(); err != nil {
+			return fail("%v", err)
+		}
+		return ok("%s", k)
+
+	case wire.VerbLink:
+		if len(req.Args) != 3 {
+			return fail("LINK wants <use|derive> <from-oid> <to-oid>")
+		}
+		class, err := meta.ParseLinkClass(req.Args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		from, err := meta.ParseKey(req.Args[1])
+		if err != nil {
+			return fail("from: %v", err)
+		}
+		to, err := meta.ParseKey(req.Args[2])
+		if err != nil {
+			return fail("to: %v", err)
+		}
+		id, err := s.eng.CreateLink(class, from, to)
+		if err != nil {
+			return fail("%v", err)
+		}
+		return ok("%d", id)
+
+	case wire.VerbState:
+		if len(req.Args) != 1 {
+			return fail("STATE wants <oid>")
+		}
+		k, err := meta.ParseKey(req.Args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		o, err := s.eng.DB().GetOID(k)
+		if err != nil {
+			return fail("%v", err)
+		}
+		st := state.Evaluate(s.eng.Blueprint(), o)
+		body := []string{fmt.Sprintf("ready %v", st.Ready)}
+		for _, name := range o.PropNames() {
+			body = append(body, fmt.Sprintf("prop %s %s", name, wire.Quote(o.Props[name])))
+		}
+		for _, r := range st.Reasons {
+			body = append(body, "blocking "+r)
+		}
+		return wire.Response{OK: true, Detail: k.String(), Body: body}, false
+
+	case wire.VerbReport, wire.VerbGap:
+		rep := state.Report(s.eng.DB(), s.eng.Blueprint())
+		var body []string
+		for _, st := range rep {
+			if req.Verb == wire.VerbGap && st.Ready {
+				continue
+			}
+			line := fmt.Sprintf("%s ready=%v", st.Key, st.Ready)
+			if len(st.Reasons) > 0 {
+				line += " " + wire.Quote(strings.Join(st.Reasons, "; "))
+			}
+			body = append(body, line)
+		}
+		return wire.Response{OK: true, Detail: fmt.Sprintf("%d rows", len(body)), Body: body}, false
+
+	case wire.VerbSnapshot:
+		if len(req.Args) != 2 {
+			return fail("SNAPSHOT wants <name> <root-oid|*>")
+		}
+		name := req.Args[0]
+		var cfg *meta.Configuration
+		var err error
+		if req.Args[1] == "*" {
+			cfg, err = s.eng.DB().SnapshotQuery(name, func(*meta.OID) bool { return true })
+		} else {
+			var root meta.Key
+			root, err = meta.ParseKey(req.Args[1])
+			if err == nil {
+				cfg, err = s.eng.DB().SnapshotHierarchy(name, root, meta.FollowAllLinks)
+			}
+		}
+		if err != nil {
+			return fail("%v", err)
+		}
+		return ok("%d oids %d links", len(cfg.OIDs), len(cfg.Links))
+
+	case wire.VerbStats:
+		es := s.eng.Stats()
+		ds := s.eng.DB().Stats()
+		return ok("oids=%d links=%d posted=%d deliveries=%d propagations=%d rules=%d execs=%d",
+			ds.OIDs, ds.Links, es.Posted, es.Deliveries, es.Propagations, es.RulesFired, es.Execs)
+
+	case wire.VerbLatest:
+		if len(req.Args) != 2 {
+			return fail("LATEST wants <block> <view>")
+		}
+		k, err := s.eng.DB().Latest(req.Args[0], req.Args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return ok("%s", k)
+
+	case wire.VerbProp:
+		if len(req.Args) != 2 {
+			return fail("PROP wants <oid> <name>")
+		}
+		k, err := meta.ParseKey(req.Args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		v, set, err := s.eng.DB().GetProp(k, req.Args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		if !set {
+			return ok("unset")
+		}
+		return ok("set %s", wire.Quote(v))
+
+	case wire.VerbLinks:
+		if len(req.Args) != 1 {
+			return fail("LINKS wants <oid>")
+		}
+		k, err := meta.ParseKey(req.Args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		if !s.eng.DB().HasOID(k) {
+			return fail("oid %v: not found", k)
+		}
+		var body []string
+		for _, l := range s.eng.DB().LinksOf(k) {
+			line := fmt.Sprintf("%d %s %s %s", l.ID, l.Class, l.From, l.To)
+			if t := l.Type(); t != "" {
+				line += " type=" + wire.Quote(t)
+			}
+			if evs := l.PropagateList(); len(evs) > 0 {
+				line += " propagates=" + wire.Quote(strings.Join(evs, ","))
+			}
+			body = append(body, line)
+		}
+		return wire.Response{OK: true, Detail: fmt.Sprintf("%d links", len(body)), Body: body}, false
+
+	case wire.VerbDot:
+		if len(req.Args) != 1 {
+			return fail("DOT wants flow or state")
+		}
+		var doc string
+		switch strings.ToLower(req.Args[0]) {
+		case "flow":
+			doc = viz.FlowDOT(s.eng.Blueprint())
+		case "state":
+			doc = viz.StateDOT(s.eng.DB(), s.eng.Blueprint())
+		default:
+			return fail("DOT wants flow or state")
+		}
+		body := strings.Split(strings.TrimRight(doc, "\n"), "\n")
+		return wire.Response{OK: true, Detail: req.Args[0], Body: body}, false
+
+	case wire.VerbBlueprint:
+		src := bpl.Print(s.eng.Blueprint())
+		body := strings.Split(strings.TrimRight(src, "\n"), "\n")
+		return wire.Response{OK: true, Detail: s.eng.Blueprint().Name, Body: body}, false
+
+	default:
+		return fail("unknown verb %q", req.Verb)
+	}
+}

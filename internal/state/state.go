@@ -1,0 +1,194 @@
+// Package state implements the project-state queries of the paper:
+// "Designers can retrieve the state of the project by performing queries.
+// Therefore, designers know exactly what data still needs to be modified
+// before reaching a planned state in the project."
+//
+// The package evaluates the blueprint's continuous assignments against the
+// live meta-database and explains, per OID, which leaf conditions hold the
+// design back.
+package state
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bpl"
+	"repro/internal/meta"
+)
+
+// OIDState is the state report for one OID.
+type OIDState struct {
+	Key meta.Key
+
+	// Ready reports whether every continuous assignment of the OID's view
+	// evaluates true.  OIDs of views without continuous assignments are
+	// vacuously ready.
+	Ready bool
+
+	// Lets holds the value of each continuous assignment by name.
+	Lets map[string]bool
+
+	// Reasons lists the failing leaf conditions, with current values, e.g.
+	// `($drc_result == good) [$drc_result = "bad"]`.
+	Reasons []string
+
+	// Props is a copy of the OID's properties.
+	Props map[string]string
+}
+
+// lookupFor resolves $references against an OID snapshot; there is no
+// triggering event in query context, so only properties and the key
+// built-ins resolve.
+func lookupFor(o *meta.OID) bpl.LookupFunc {
+	return func(name string) string {
+		switch name {
+		case "oid", "OID":
+			return o.Key.String()
+		case "block":
+			return o.Key.Block
+		case "view":
+			return o.Key.View
+		case "version":
+			return fmt.Sprintf("%d", o.Key.Version)
+		}
+		return o.Props[name]
+	}
+}
+
+// Evaluate computes the state report of a single OID snapshot under bp.
+func Evaluate(bp *bpl.Blueprint, o *meta.OID) OIDState {
+	st := OIDState{Key: o.Key, Ready: true, Lets: map[string]bool{}, Props: o.Props}
+	lookup := lookupFor(o)
+	for _, l := range bp.EffectiveLets(o.Key.View) {
+		ok := l.Expr.Eval(lookup)
+		st.Lets[l.Name] = ok
+		if !ok {
+			st.Ready = false
+			for _, r := range bpl.ExplainFailure(l.Expr, lookup) {
+				st.Reasons = append(st.Reasons, l.Name+": "+r)
+			}
+		}
+	}
+	return st
+}
+
+// Report evaluates the latest version of every version chain and returns
+// the reports sorted by key.
+func Report(db *meta.DB, bp *bpl.Blueprint) []OIDState {
+	latest := db.LatestOIDs()
+	out := make([]OIDState, 0, len(latest))
+	for _, o := range latest {
+		out = append(out, Evaluate(bp, o))
+	}
+	return out
+}
+
+// Gap returns only the reports of OIDs that are not ready — the "what
+// still needs to be modified" answer.
+func Gap(db *meta.DB, bp *bpl.Blueprint) []OIDState {
+	var out []OIDState
+	for _, st := range Report(db, bp) {
+		if !st.Ready {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// ViewSummary aggregates readiness per view type.
+type ViewSummary struct {
+	View  string
+	Total int
+	Ready int
+}
+
+// Summarize groups a report by view.
+func Summarize(report []OIDState) []ViewSummary {
+	byView := map[string]*ViewSummary{}
+	for _, st := range report {
+		s := byView[st.Key.View]
+		if s == nil {
+			s = &ViewSummary{View: st.Key.View}
+			byView[st.Key.View] = s
+		}
+		s.Total++
+		if st.Ready {
+			s.Ready++
+		}
+	}
+	out := make([]ViewSummary, 0, len(byView))
+	for _, s := range byView {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].View < out[j].View })
+	return out
+}
+
+// Format renders a report as a fixed-width table for CLI display.
+func Format(report []OIDState) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-30s %-6s %s\n", "OID", "READY", "BLOCKING CONDITIONS")
+	for _, st := range report {
+		ready := "yes"
+		if !st.Ready {
+			ready = "no"
+		}
+		fmt.Fprintf(&sb, "%-30s %-6s %s\n", st.Key.String(), ready, strings.Join(st.Reasons, "; "))
+	}
+	return sb.String()
+}
+
+// Diff compares two stored configurations of the same database and reports
+// which OID addresses were added and removed between them — the "state of
+// the design hierarchy in a snapshot at each step of the design cycle"
+// compared across steps.
+type Diff struct {
+	Added   []meta.Key
+	Removed []meta.Key
+	Common  int
+}
+
+// DiffConfigurations computes the address-level difference from old to new.
+func DiffConfigurations(db *meta.DB, oldName, newName string) (Diff, error) {
+	oldC, err := db.GetConfiguration(oldName)
+	if err != nil {
+		return Diff{}, err
+	}
+	newC, err := db.GetConfiguration(newName)
+	if err != nil {
+		return Diff{}, err
+	}
+	var d Diff
+	inOld := map[meta.Key]bool{}
+	for _, k := range oldC.OIDs {
+		inOld[k] = true
+	}
+	for _, k := range newC.OIDs {
+		if inOld[k] {
+			d.Common++
+		} else {
+			d.Added = append(d.Added, k)
+		}
+	}
+	inNew := map[meta.Key]bool{}
+	for _, k := range newC.OIDs {
+		inNew[k] = true
+	}
+	for _, k := range oldC.OIDs {
+		if !inNew[k] {
+			d.Removed = append(d.Removed, k)
+		}
+	}
+	return d, nil
+}
+
+// Blocked computes the transitive impact of an out-of-date OID: every
+// downstream OID whose chain of links admits the outofdate event.  This is
+// the query a project administrator runs before deciding whether to loosen
+// the BluePrint.
+func Blocked(db *meta.DB, origin meta.Key, event string) []meta.Key {
+	return db.Dependents(origin, func(l *meta.Link) bool {
+		return l.CanPropagate(event)
+	})
+}

@@ -1,0 +1,98 @@
+package tools
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/meta"
+)
+
+// TestQuickLVSLineage: across random sequences of edits and re-derivations,
+// LVS reports is_equiv exactly when the layout was placed from the current
+// netlist content.
+func TestQuickLVSLineage(t *testing.T) {
+	f := func(seed int64, ops []uint8) bool {
+		s := NewSuite(uint64(seed))
+		hdl := meta.Key{Block: "b", View: "HDL_model", Version: 1}
+		lib := meta.Key{Block: "l", View: "synth_lib", Version: 1}
+		sch := meta.Key{Block: "b", View: "schematic", Version: 1}
+		nl := meta.Key{Block: "b", View: "netlist", Version: 1}
+		lay := meta.Key{Block: "b", View: "layout", Version: 1}
+		s.WriteHDL(hdl, 50, 0)
+		s.InstallLibrary(lib)
+		if _, err := s.Synthesize(hdl, lib, sch); err != nil {
+			return false
+		}
+		if _, err := s.Netlist(sch, nl); err != nil {
+			return false
+		}
+		if _, err := s.PlaceRoute(nl, lay); err != nil {
+			return false
+		}
+		layoutFresh := true
+		rng := rand.New(rand.NewSource(seed))
+		if len(ops) > 20 {
+			ops = ops[:20]
+		}
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // edit the schematic and re-netlist: layout goes stale
+				if _, err := s.EditSchematic(sch, rng.Intn(3)-1); err != nil {
+					return false
+				}
+				if _, err := s.Netlist(sch, nl); err != nil {
+					return false
+				}
+				layoutFresh = false
+			case 1: // re-place from the current netlist: layout fresh again
+				if _, err := s.PlaceRoute(nl, lay); err != nil {
+					return false
+				}
+				layoutFresh = true
+			case 2: // layout-only fix keeps lineage
+				if _, err := s.FixLayout(lay); err != nil {
+					return false
+				}
+			}
+			res, err := s.LVS(lay, nl)
+			if err != nil {
+				return false
+			}
+			want := "not_equiv"
+			if layoutFresh {
+				want = "is_equiv"
+			}
+			if res != want {
+				t.Logf("seed %d: LVS = %s, want %s (fresh=%v)", seed, res, want, layoutFresh)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSimReflectsDefects: simulation results always encode the defect
+// count exactly.
+func TestQuickSimReflectsDefects(t *testing.T) {
+	f := func(defectsRaw uint8) bool {
+		defects := int(defectsRaw) % 50
+		s := NewSuite(1)
+		k := meta.Key{Block: "b", View: "HDL_model", Version: 1}
+		s.WriteHDL(k, 10, defects)
+		res, err := s.SimulateHDL(k)
+		if err != nil {
+			return false
+		}
+		if defects == 0 {
+			return res == "good"
+		}
+		return res == simResult(defects)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

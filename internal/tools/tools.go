@@ -1,0 +1,342 @@
+// Package tools provides a deterministic simulated EDA tool suite.  The
+// paper's BluePrint observes real tools (simulator, synthesizer, netlister,
+// DRC, LVS) through wrapper programs; the tracking system never looks inside
+// them, only at the events their wrappers post.  This package supplies
+// functionally honest substitutes: each tool consumes and produces design
+// artifacts with content identity (checksums), sizes and defect counts, so
+// derived data really is a function of its inputs, simulation results
+// reflect injected defects, and LVS really compares lineage.
+//
+// All behaviour is deterministic in the artifacts' contents, which makes
+// the benchmark harness reproducible.
+package tools
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/meta"
+)
+
+// Kind labels what a design artifact is.
+type Kind string
+
+// Artifact kinds corresponding to the design views of the paper's example
+// flow.
+const (
+	KindHDL       Kind = "hdl"
+	KindSchematic Kind = "schematic"
+	KindNetlist   Kind = "netlist"
+	KindLayout    Kind = "layout"
+	KindLibrary   Kind = "library"
+)
+
+// Artifact is one piece of design data in the workspace, bound to the OID
+// that tracks it.
+type Artifact struct {
+	Key  meta.Key
+	Kind Kind
+
+	// Checksum is the content identity; editing an artifact changes it.
+	Checksum uint64
+
+	// Source is the checksum of the input artifact this one was derived
+	// from (zero for primary data).  LVS compares lineage through it.
+	Source uint64
+
+	// Gates measures size; derived artifacts scale it.
+	Gates int
+
+	// Defects counts functional errors present in the artifact.
+	// Simulation reports them; synthesis refuses defective input.
+	Defects int
+}
+
+// Store is the simulated workspace: the repository holding design data that
+// the meta-database only describes.
+type Store struct {
+	mu sync.RWMutex
+	m  map[meta.Key]*Artifact
+}
+
+// NewStore returns an empty workspace.
+func NewStore() *Store {
+	return &Store{m: make(map[meta.Key]*Artifact)}
+}
+
+// Put stores an artifact (replacing any previous one for the key).
+func (s *Store) Put(a Artifact) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := a
+	s.m[a.Key] = &cp
+}
+
+// Get fetches a copy of the artifact for a key.
+func (s *Store) Get(k meta.Key) (Artifact, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.m[k]
+	if !ok {
+		return Artifact{}, false
+	}
+	return *a, true
+}
+
+// Len reports the number of stored artifacts.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Keys returns the stored keys sorted by block, view, version.
+func (s *Store) Keys() []meta.Key {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]meta.Key, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		if a.View != b.View {
+			return a.View < b.View
+		}
+		return a.Version < b.Version
+	})
+	return keys
+}
+
+// splitmix64 is the content-mixing function: a small, well-distributed
+// deterministic hash step.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Suite binds the simulated tools to a workspace.
+type Suite struct {
+	Store *Store
+	seed  uint64
+}
+
+// NewSuite creates a tool suite over a fresh workspace.  The seed
+// parameterizes content generation so different projects diverge.
+func NewSuite(seed uint64) *Suite {
+	return &Suite{Store: NewStore(), seed: splitmix64(seed | 1)}
+}
+
+// ErrTool reports a simulated tool failure (missing or unsuitable input).
+type ErrTool struct {
+	Tool string
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ErrTool) Error() string { return fmt.Sprintf("%s: %s", e.Tool, e.Msg) }
+
+func toolErr(tool, format string, args ...any) error {
+	return &ErrTool{Tool: tool, Msg: fmt.Sprintf(format, args...)}
+}
+
+// input fetches an artifact and checks its kind.
+func (s *Suite) input(tool string, k meta.Key, want Kind) (Artifact, error) {
+	a, ok := s.Store.Get(k)
+	if !ok {
+		return Artifact{}, toolErr(tool, "no design data for %v", k)
+	}
+	if a.Kind != want {
+		return Artifact{}, toolErr(tool, "%v is %s data, want %s", k, a.Kind, want)
+	}
+	return a, nil
+}
+
+// WriteHDL simulates a designer writing or editing an HDL model: new
+// content with the given size and defect count.
+func (s *Suite) WriteHDL(k meta.Key, gates, defects int) Artifact {
+	a := Artifact{
+		Key:      k,
+		Kind:     KindHDL,
+		Checksum: splitmix64(s.seed ^ keyHash(k) ^ uint64(gates)<<16 ^ uint64(defects)),
+		Gates:    gates,
+		Defects:  defects,
+	}
+	s.Store.Put(a)
+	return a
+}
+
+// InstallLibrary simulates installing a synthesis library version.
+func (s *Suite) InstallLibrary(k meta.Key) Artifact {
+	a := Artifact{Key: k, Kind: KindLibrary, Checksum: splitmix64(s.seed ^ keyHash(k)), Gates: 0}
+	s.Store.Put(a)
+	return a
+}
+
+// SimulateHDL runs the HDL simulator and returns the designer-interpreted
+// result string the paper shows: "good" or "N errors".
+func (s *Suite) SimulateHDL(k meta.Key) (string, error) {
+	a, err := s.input("hdl_sim", k, KindHDL)
+	if err != nil {
+		return "", err
+	}
+	return simResult(a.Defects), nil
+}
+
+// Synthesize derives a schematic from an HDL model using a library.  A
+// defective model synthesizes but carries its defects forward.
+func (s *Suite) Synthesize(hdl, lib, out meta.Key) (Artifact, error) {
+	h, err := s.input("synthesis", hdl, KindHDL)
+	if err != nil {
+		return Artifact{}, err
+	}
+	l, err := s.input("synthesis", lib, KindLibrary)
+	if err != nil {
+		return Artifact{}, err
+	}
+	a := Artifact{
+		Key:      out,
+		Kind:     KindSchematic,
+		Checksum: splitmix64(h.Checksum ^ l.Checksum),
+		Source:   h.Checksum,
+		Gates:    h.Gates * 4,
+		Defects:  h.Defects,
+	}
+	s.Store.Put(a)
+	return a, nil
+}
+
+// EditSchematic simulates a manual schematic edit: content changes, and the
+// edit may introduce or fix defects (delta may be negative).
+func (s *Suite) EditSchematic(k meta.Key, defectDelta int) (Artifact, error) {
+	a, err := s.input("schematic_editor", k, KindSchematic)
+	if err != nil {
+		return Artifact{}, err
+	}
+	a.Checksum = splitmix64(a.Checksum)
+	a.Defects += defectDelta
+	if a.Defects < 0 {
+		a.Defects = 0
+	}
+	s.Store.Put(a)
+	return a, nil
+}
+
+// Netlist derives a netlist from a schematic.
+func (s *Suite) Netlist(sch, out meta.Key) (Artifact, error) {
+	sa, err := s.input("netlister", sch, KindSchematic)
+	if err != nil {
+		return Artifact{}, err
+	}
+	a := Artifact{
+		Key:      out,
+		Kind:     KindNetlist,
+		Checksum: splitmix64(sa.Checksum ^ 0x6e65746c),
+		Source:   sa.Checksum,
+		Gates:    sa.Gates,
+		Defects:  sa.Defects,
+	}
+	s.Store.Put(a)
+	return a, nil
+}
+
+// SimulateNetlist runs the gate-level simulator.
+func (s *Suite) SimulateNetlist(k meta.Key) (string, error) {
+	a, err := s.input("nl_sim", k, KindNetlist)
+	if err != nil {
+		return "", err
+	}
+	return simResult(a.Defects), nil
+}
+
+// PlaceRoute derives a layout from a netlist.  Physical defects (DRC
+// violations) appear deterministically from content for large blocks.
+func (s *Suite) PlaceRoute(nl, out meta.Key) (Artifact, error) {
+	na, err := s.input("place_route", nl, KindNetlist)
+	if err != nil {
+		return Artifact{}, err
+	}
+	cs := splitmix64(na.Checksum ^ 0x6c61796f7574)
+	drcDefects := 0
+	if na.Gates > 64 && cs%5 == 0 {
+		drcDefects = int(cs%3) + 1
+	}
+	a := Artifact{
+		Key:      out,
+		Kind:     KindLayout,
+		Checksum: cs,
+		Source:   na.Checksum,
+		Gates:    na.Gates,
+		Defects:  drcDefects,
+	}
+	s.Store.Put(a)
+	return a, nil
+}
+
+// FixLayout simulates manual DRC fixing: clears defects, changes content,
+// keeps lineage.
+func (s *Suite) FixLayout(k meta.Key) (Artifact, error) {
+	a, err := s.input("layout_editor", k, KindLayout)
+	if err != nil {
+		return Artifact{}, err
+	}
+	a.Checksum = splitmix64(a.Checksum)
+	a.Defects = 0
+	s.Store.Put(a)
+	return a, nil
+}
+
+// DRC runs design-rule checking on a layout: "good" or "bad".
+func (s *Suite) DRC(k meta.Key) (string, error) {
+	a, err := s.input("drc", k, KindLayout)
+	if err != nil {
+		return "", err
+	}
+	if a.Defects == 0 {
+		return "good", nil
+	}
+	return "bad", nil
+}
+
+// LVS compares a layout against a netlist: "is_equiv" when the layout was
+// derived from this netlist's content, "not_equiv" otherwise.
+func (s *Suite) LVS(layout, netlist meta.Key) (string, error) {
+	la, err := s.input("lvs", layout, KindLayout)
+	if err != nil {
+		return "", err
+	}
+	na, err := s.input("lvs", netlist, KindNetlist)
+	if err != nil {
+		return "", err
+	}
+	if la.Source == na.Checksum {
+		return "is_equiv", nil
+	}
+	return "not_equiv", nil
+}
+
+// simResult renders a defect count the way the paper's designers would
+// annotate it.
+func simResult(defects int) string {
+	if defects == 0 {
+		return "good"
+	}
+	return fmt.Sprintf("%d errors", defects)
+}
+
+// keyHash mixes an OID key into a content seed.
+func keyHash(k meta.Key) uint64 {
+	h := uint64(14695981039346656037)
+	for _, s := range []string{k.Block, k.View} {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 1099511628211
+		}
+	}
+	return splitmix64(h ^ uint64(k.Version))
+}

@@ -1,0 +1,229 @@
+package tools
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/meta"
+)
+
+func key(block, view string, v int) meta.Key {
+	return meta.Key{Block: block, View: view, Version: v}
+}
+
+func TestWriteAndSimulateHDL(t *testing.T) {
+	s := NewSuite(1)
+	k := key("CPU", "HDL_model", 1)
+	a := s.WriteHDL(k, 100, 4)
+	if a.Checksum == 0 {
+		t.Error("zero checksum")
+	}
+	res, err := s.SimulateHDL(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != "4 errors" {
+		t.Errorf("sim = %q", res)
+	}
+	// Fixing the defects gives "good".
+	s.WriteHDL(key("CPU", "HDL_model", 2), 100, 0)
+	res, err = s.SimulateHDL(key("CPU", "HDL_model", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != "good" {
+		t.Errorf("sim = %q", res)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewSuite(7).WriteHDL(key("b", "HDL_model", 1), 50, 0)
+	b := NewSuite(7).WriteHDL(key("b", "HDL_model", 1), 50, 0)
+	if a.Checksum != b.Checksum {
+		t.Error("same seed, different content")
+	}
+	c := NewSuite(8).WriteHDL(key("b", "HDL_model", 1), 50, 0)
+	if a.Checksum == c.Checksum {
+		t.Error("different seed, same content")
+	}
+	d := NewSuite(7).WriteHDL(key("b", "HDL_model", 2), 50, 0)
+	if a.Checksum == d.Checksum {
+		t.Error("different version, same content")
+	}
+}
+
+func TestSynthesisChain(t *testing.T) {
+	s := NewSuite(42)
+	hdl := key("CPU", "HDL_model", 1)
+	lib := key("stdlib", "synth_lib", 1)
+	sch := key("CPU", "schematic", 1)
+	nl := key("CPU", "netlist", 1)
+	lay := key("CPU", "layout", 1)
+
+	s.WriteHDL(hdl, 100, 0)
+	s.InstallLibrary(lib)
+	sa, err := s.Synthesize(hdl, lib, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Gates != 400 || sa.Kind != KindSchematic {
+		t.Errorf("schematic = %+v", sa)
+	}
+	na, err := s.Netlist(sch, nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na.Source != sa.Checksum {
+		t.Error("netlist lineage broken")
+	}
+	if res, err := s.SimulateNetlist(nl); err != nil || res != "good" {
+		t.Errorf("nl_sim = %q %v", res, err)
+	}
+	la, err := s.PlaceRoute(nl, lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.Source != na.Checksum {
+		t.Error("layout lineage broken")
+	}
+	// LVS against the right netlist is equivalent.
+	if res, err := s.LVS(lay, nl); err != nil || res != "is_equiv" {
+		t.Errorf("lvs = %q %v", res, err)
+	}
+}
+
+func TestLVSDetectsStaleLayout(t *testing.T) {
+	s := NewSuite(3)
+	hdl := key("CPU", "HDL_model", 1)
+	lib := key("l", "synth_lib", 1)
+	sch := key("CPU", "schematic", 1)
+	nl1 := key("CPU", "netlist", 1)
+	nl2 := key("CPU", "netlist", 2)
+	lay := key("CPU", "layout", 1)
+	s.WriteHDL(hdl, 60, 0)
+	s.InstallLibrary(lib)
+	if _, err := s.Synthesize(hdl, lib, sch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Netlist(sch, nl1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PlaceRoute(nl1, lay); err != nil {
+		t.Fatal(err)
+	}
+	// The schematic is edited and re-netlisted; the old layout no longer
+	// matches.
+	if _, err := s.EditSchematic(sch, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Netlist(sch, nl2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.LVS(lay, nl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != "not_equiv" {
+		t.Errorf("lvs = %q, want not_equiv", res)
+	}
+}
+
+func TestEditSchematicDefects(t *testing.T) {
+	s := NewSuite(5)
+	hdl := key("b", "HDL_model", 1)
+	lib := key("l", "synth_lib", 1)
+	sch := key("b", "schematic", 1)
+	s.WriteHDL(hdl, 10, 0)
+	s.InstallLibrary(lib)
+	if _, err := s.Synthesize(hdl, lib, sch); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.EditSchematic(sch, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Defects != 2 {
+		t.Errorf("defects = %d", a.Defects)
+	}
+	a, err = s.EditSchematic(sch, -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Defects != 0 {
+		t.Errorf("defects clamped = %d", a.Defects)
+	}
+}
+
+func TestDRCAndFix(t *testing.T) {
+	s := NewSuite(11)
+	nl := key("big", "netlist", 1)
+	// Manufacture a large netlist directly to reach the DRC-defect path.
+	s.Store.Put(Artifact{Key: nl, Kind: KindNetlist, Checksum: 12345, Gates: 1000})
+	// Find a version whose placement has DRC defects by iterating layouts.
+	var lay meta.Key
+	var bad bool
+	for v := 1; v <= 40; v++ {
+		lay = key("big", "layout", v)
+		a, err := s.PlaceRoute(nl, lay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Defects > 0 {
+			bad = true
+			break
+		}
+		// Perturb the netlist content to vary placement results.
+		s.Store.Put(Artifact{Key: nl, Kind: KindNetlist, Checksum: a.Checksum, Gates: 1000})
+	}
+	if !bad {
+		t.Skip("defect path not reached in 40 placements (seed-dependent)")
+	}
+	if res, _ := s.DRC(lay); res != "bad" {
+		t.Errorf("DRC = %q, want bad", res)
+	}
+	if _, err := s.FixLayout(lay); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := s.DRC(lay); res != "good" {
+		t.Errorf("DRC after fix = %q", res)
+	}
+}
+
+func TestToolErrors(t *testing.T) {
+	s := NewSuite(1)
+	missing := key("ghost", "HDL_model", 1)
+	if _, err := s.SimulateHDL(missing); err == nil {
+		t.Error("missing input accepted")
+	}
+	var te *ErrTool
+	_, err := s.SimulateHDL(missing)
+	if !errors.As(err, &te) || te.Tool != "hdl_sim" {
+		t.Errorf("error type = %v", err)
+	}
+	// Wrong kind.
+	k := key("b", "HDL_model", 1)
+	s.WriteHDL(k, 10, 0)
+	if _, err := s.Netlist(k, key("b", "netlist", 1)); err == nil {
+		t.Error("netlister accepted HDL input")
+	} else if !strings.Contains(err.Error(), "want schematic") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStoreKeysSorted(t *testing.T) {
+	s := NewStore()
+	s.Put(Artifact{Key: key("b", "v", 2)})
+	s.Put(Artifact{Key: key("a", "v", 1)})
+	s.Put(Artifact{Key: key("b", "v", 1)})
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0].Block != "a" || keys[1].Version != 1 || keys[2].Version != 2 {
+		t.Errorf("Keys = %v", keys)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if _, ok := s.Get(key("ghost", "v", 1)); ok {
+		t.Error("phantom artifact")
+	}
+}

@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickQuoteTokenizeRoundTrip: any byte string survives
+// Quote→Tokenize unchanged.
+func TestQuickQuoteTokenizeRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		s := sanitize(raw)
+		fields, err := Tokenize(Quote(s))
+		if err != nil {
+			t.Logf("Quote(%q) = %q: %v", s, Quote(s), err)
+			return false
+		}
+		return len(fields) == 1 && fields[0] == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRequestRoundTrip: random requests encode and parse back
+// identically.
+func TestQuickRequestRoundTrip(t *testing.T) {
+	verbs := []string{VerbPost, VerbCreate, VerbState, VerbPing, VerbLatest}
+	f := func(seed int64, argData [][]byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		req := Request{Verb: verbs[rng.Intn(len(verbs))]}
+		if rng.Intn(2) == 0 {
+			req.User = "user" + sanitize([]byte{byte('a' + rng.Intn(26))})
+		}
+		for i, a := range argData {
+			if i >= 6 {
+				break
+			}
+			req.Args = append(req.Args, sanitize(a))
+		}
+		got, err := ParseRequest(req.Encode())
+		if err != nil {
+			t.Logf("encode %+v -> %q: %v", req, req.Encode(), err)
+			return false
+		}
+		return got.Verb == req.Verb && got.User == req.User &&
+			reflect.DeepEqual(got.Args, req.Args)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitize maps arbitrary bytes into the value space the protocol
+// supports: no NUL and valid single-byte content (the protocol is
+// byte-oriented; newlines, tabs, quotes and backslashes are all escaped by
+// Quote).
+func sanitize(raw []byte) string {
+	out := make([]byte, 0, len(raw))
+	for _, b := range raw {
+		if b == 0 {
+			continue
+		}
+		out = append(out, b)
+	}
+	return string(out)
+}

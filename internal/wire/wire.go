@@ -1,0 +1,250 @@
+// Package wire defines the text protocol spoken between wrapper programs
+// and the DAMOCLES project server.  The paper's wrappers post event
+// messages of the form
+//
+//	postEvent ckin up reg,verilog,4 "logic sim passed"
+//
+// through the computer network; this package provides the line-based
+// framing, quoting and request/response encoding both ends share.
+//
+// Requests are single lines: a verb followed by space-separated arguments;
+// arguments containing spaces are double-quoted with backslash escapes.
+// Responses are either a single "OK <detail>" / "ERR <message>" line, or a
+// multi-line form "OK+ <detail>" followed by body lines each prefixed with
+// '|' and a terminating "." line.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Protocol verbs.
+const (
+	VerbPost      = "POST"      // POST <event> <up|down> <oid> [args...]
+	VerbCreate    = "CREATE"    // CREATE <block> <view>
+	VerbLink      = "LINK"      // LINK <use|derive> <from-oid> <to-oid>
+	VerbState     = "STATE"     // STATE <oid>
+	VerbReport    = "REPORT"    // REPORT
+	VerbGap       = "GAP"       // GAP
+	VerbSnapshot  = "SNAPSHOT"  // SNAPSHOT <name> <root-oid|*>
+	VerbStats     = "STATS"     // STATS
+	VerbBlueprint = "BLUEPRINT" // BLUEPRINT
+	VerbPing      = "PING"      // PING
+	VerbQuit      = "QUIT"      // QUIT
+	VerbLatest    = "LATEST"    // LATEST <block> <view>
+	VerbProp      = "PROP"      // PROP <oid> <name>
+	VerbDot       = "DOT"       // DOT <flow|state>
+	VerbLinks     = "LINKS"     // LINKS <oid>
+	VerbSync      = "SYNC"      // SYNC — wait until the event queue settles
+)
+
+// ErrSyntax reports a malformed protocol line.
+var ErrSyntax = errors.New("wire: syntax error")
+
+// Request is one client command.
+type Request struct {
+	Verb string
+	Args []string
+	// User identifies the posting designer; carried as a "user=<name>"
+	// prefix field so every verb can be attributed.
+	User string
+}
+
+// Encode renders the request as a protocol line (without newline).
+func (r Request) Encode() string {
+	var sb strings.Builder
+	if r.User != "" {
+		sb.WriteString(Quote("user=" + r.User))
+		sb.WriteByte(' ')
+	}
+	sb.WriteString(r.Verb)
+	for _, a := range r.Args {
+		sb.WriteByte(' ')
+		sb.WriteString(Quote(a))
+	}
+	return sb.String()
+}
+
+// ParseRequest parses a protocol line.
+func ParseRequest(line string) (Request, error) {
+	fields, err := Tokenize(line)
+	if err != nil {
+		return Request{}, err
+	}
+	if len(fields) == 0 {
+		return Request{}, fmt.Errorf("%w: empty request", ErrSyntax)
+	}
+	var req Request
+	if strings.HasPrefix(fields[0], "user=") {
+		req.User = strings.TrimPrefix(fields[0], "user=")
+		fields = fields[1:]
+		if len(fields) == 0 {
+			return Request{}, fmt.Errorf("%w: missing verb", ErrSyntax)
+		}
+	}
+	req.Verb = strings.ToUpper(fields[0])
+	if len(fields) > 1 {
+		req.Args = fields[1:]
+	}
+	return req, nil
+}
+
+// Response is one server reply.
+type Response struct {
+	OK     bool
+	Detail string   // single-line detail / error message
+	Body   []string // optional multi-line payload
+}
+
+// Encode renders the response as protocol lines (without trailing newline
+// on the last line).
+func (r Response) Encode() string {
+	status := "ERR"
+	if r.OK {
+		status = "OK"
+	}
+	if len(r.Body) == 0 {
+		if r.Detail == "" {
+			return status
+		}
+		return status + " " + r.Detail
+	}
+	var sb strings.Builder
+	sb.WriteString(status)
+	sb.WriteString("+")
+	if r.Detail != "" {
+		sb.WriteByte(' ')
+		sb.WriteString(r.Detail)
+	}
+	for _, line := range r.Body {
+		sb.WriteString("\n|")
+		sb.WriteString(line)
+	}
+	sb.WriteString("\n.")
+	return sb.String()
+}
+
+// ParseResponseHeader parses the first line of a response and reports
+// whether body lines follow.
+func ParseResponseHeader(line string) (resp Response, multiline bool, err error) {
+	head, detail, _ := strings.Cut(line, " ")
+	switch head {
+	case "OK":
+		return Response{OK: true, Detail: detail}, false, nil
+	case "OK+":
+		return Response{OK: true, Detail: detail}, true, nil
+	case "ERR":
+		return Response{OK: false, Detail: detail}, false, nil
+	case "ERR+":
+		return Response{OK: false, Detail: detail}, true, nil
+	default:
+		return Response{}, false, fmt.Errorf("%w: bad response header %q", ErrSyntax, line)
+	}
+}
+
+// ParseBodyLine interprets one line following a multiline header: a body
+// line ("|" prefix, returned unprefixed) or the "." terminator (done=true).
+func ParseBodyLine(line string) (content string, done bool, err error) {
+	if line == "." {
+		return "", true, nil
+	}
+	if strings.HasPrefix(line, "|") {
+		return line[1:], false, nil
+	}
+	return "", false, fmt.Errorf("%w: bad body line %q", ErrSyntax, line)
+}
+
+// Quote renders s as a protocol field: bare when it contains no spaces,
+// quotes or control characters, double-quoted with escapes otherwise.
+func Quote(s string) string {
+	if s != "" && !strings.ContainsAny(s, " \t\"\\\r\n") {
+		return s
+	}
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case '\r':
+			sb.WriteString(`\r`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+// Tokenize splits a protocol line into fields, honoring double quotes and
+// backslash escapes.
+func Tokenize(line string) ([]string, error) {
+	var fields []string
+	i := 0
+	n := len(line)
+	for {
+		for i < n && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= n {
+			return fields, nil
+		}
+		var sb strings.Builder
+		if line[i] == '"' {
+			i++
+			closed := false
+			for i < n {
+				c := line[i]
+				if c == '"' {
+					i++
+					closed = true
+					break
+				}
+				if c == '\\' {
+					if i+1 >= n {
+						return nil, fmt.Errorf("%w: dangling escape", ErrSyntax)
+					}
+					i++
+					switch line[i] {
+					case '"':
+						sb.WriteByte('"')
+					case '\\':
+						sb.WriteByte('\\')
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case 'r':
+						sb.WriteByte('\r')
+					default:
+						return nil, fmt.Errorf("%w: unknown escape \\%c", ErrSyntax, line[i])
+					}
+					i++
+					continue
+				}
+				sb.WriteByte(c)
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("%w: unterminated quote", ErrSyntax)
+			}
+		} else {
+			for i < n && line[i] != ' ' && line[i] != '\t' {
+				if line[i] == '"' {
+					return nil, fmt.Errorf("%w: quote inside bare field", ErrSyntax)
+				}
+				sb.WriteByte(line[i])
+				i++
+			}
+		}
+		fields = append(fields, sb.String())
+	}
+}

@@ -1,0 +1,166 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{`POST ckin up reg,verilog,4 "logic sim passed"`,
+			[]string{"POST", "ckin", "up", "reg,verilog,4", "logic sim passed"}},
+		{``, nil},
+		{`  a   b  `, []string{"a", "b"}},
+		{`"a \"quoted\" word" plain`, []string{`a "quoted" word`, "plain"}},
+		{`"tab\there" "nl\nthere" "bs\\"`, []string{"tab\there", "nl\nthere", `bs\`}},
+		{`""`, []string{""}},
+	}
+	for _, tt := range tests {
+		got, err := Tokenize(tt.in)
+		if err != nil {
+			t.Errorf("Tokenize(%q): %v", tt.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("Tokenize(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	for _, in := range []string{`"open`, `a"b`, `"esc\q"`, `"dangling\`} {
+		if _, err := Tokenize(in); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Tokenize(%q) err = %v, want ErrSyntax", in, err)
+		}
+	}
+}
+
+func TestQuoteRoundTrip(t *testing.T) {
+	values := []string{
+		"plain", "two words", `with "quotes"`, "tab\tnl\n", "", `back\slash`,
+		"reg,verilog,4",
+	}
+	for _, v := range values {
+		got, err := Tokenize(Quote(v))
+		if err != nil {
+			t.Errorf("Quote(%q) = %q does not tokenize: %v", v, Quote(v), err)
+			continue
+		}
+		if len(got) != 1 || got[0] != v {
+			t.Errorf("round trip %q -> %q -> %q", v, Quote(v), got)
+		}
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Verb: "POST", Args: []string{"ckin", "up", "reg,verilog,4", "logic sim passed"}, User: "yves"},
+		{Verb: "PING"},
+		{Verb: "CREATE", Args: []string{"cpu", "schematic"}, User: "marc m"},
+		{Verb: "STATE", Args: []string{"cpu,schematic,1"}},
+	}
+	for _, r := range reqs {
+		got, err := ParseRequest(r.Encode())
+		if err != nil {
+			t.Errorf("ParseRequest(%q): %v", r.Encode(), err)
+			continue
+		}
+		if got.Verb != r.Verb || got.User != r.User || !reflect.DeepEqual(got.Args, r.Args) {
+			t.Errorf("round trip %+v -> %+v", r, got)
+		}
+	}
+}
+
+func TestParseRequestNormalizesVerb(t *testing.T) {
+	r, err := ParseRequest("post ev down a,v,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verb != "POST" {
+		t.Errorf("verb = %q", r.Verb)
+	}
+}
+
+func TestParseRequestErrors(t *testing.T) {
+	for _, in := range []string{"", "   ", `user=x`, `"unterminated`} {
+		if _, err := ParseRequest(in); err == nil {
+			t.Errorf("ParseRequest(%q) accepted", in)
+		}
+	}
+}
+
+func TestResponseSingleLine(t *testing.T) {
+	r := Response{OK: true, Detail: "cpu,schematic,1"}
+	if got := r.Encode(); got != "OK cpu,schematic,1" {
+		t.Errorf("Encode = %q", got)
+	}
+	parsed, multi, err := ParseResponseHeader(r.Encode())
+	if err != nil || multi || !parsed.OK || parsed.Detail != "cpu,schematic,1" {
+		t.Errorf("parse = %+v %v %v", parsed, multi, err)
+	}
+	e := Response{OK: false, Detail: "no such OID"}
+	parsed, multi, err = ParseResponseHeader(e.Encode())
+	if err != nil || multi || parsed.OK || parsed.Detail != "no such OID" {
+		t.Errorf("parse err resp = %+v %v %v", parsed, multi, err)
+	}
+	if got := (Response{OK: true}).Encode(); got != "OK" {
+		t.Errorf("empty ok = %q", got)
+	}
+}
+
+func TestResponseMultiLine(t *testing.T) {
+	r := Response{OK: true, Detail: "2 rows", Body: []string{"row one", ". leading dot", ""}}
+	enc := r.Encode()
+	want := "OK+ 2 rows\n|row one\n|. leading dot\n|\n."
+	if enc != want {
+		t.Errorf("Encode = %q, want %q", enc, want)
+	}
+	// Parse back line by line.
+	lines := splitLines(enc)
+	head, multi, err := ParseResponseHeader(lines[0])
+	if err != nil || !multi || !head.OK {
+		t.Fatalf("header = %+v %v %v", head, multi, err)
+	}
+	var body []string
+	for _, l := range lines[1:] {
+		content, done, err := ParseBodyLine(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		body = append(body, content)
+	}
+	if !reflect.DeepEqual(body, r.Body) {
+		t.Errorf("body = %q, want %q", body, r.Body)
+	}
+}
+
+func TestParseBodyLineErrors(t *testing.T) {
+	if _, _, err := ParseBodyLine("no prefix"); !errors.Is(err, ErrSyntax) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestParseResponseHeaderErrors(t *testing.T) {
+	if _, _, err := ParseResponseHeader("WAT 1"); !errors.Is(err, ErrSyntax) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}

@@ -1,0 +1,172 @@
+package wrapper
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/bpl"
+	"repro/internal/engine"
+	"repro/internal/meta"
+	"repro/internal/server"
+	"repro/internal/tools"
+)
+
+func startRemote(t *testing.T) *Remote {
+	t.Helper()
+	bp, err := bpl.Parse(bpl.EDTCExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(meta.NewDB(), bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	c.User = "remote-designer"
+	return NewRemote(c, tools.NewSuite(314))
+}
+
+// TestRemoteFullFlow drives the front of the design flow entirely across
+// TCP: every permission check, creation, link and event is a protocol
+// round trip; only the design data stays local to the wrapper.
+func TestRemoteFullFlow(t *testing.T) {
+	r := startRemote(t)
+	hdl, err := r.CheckinHDL("CPU", 80, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := r.RunHDLSim(hdl); err != nil || res != "good" {
+		t.Fatalf("hdl_sim = %q %v", res, err)
+	}
+	lib, err := r.InstallLibrary("stdlib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := r.Synthesize(hdl, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := r.RunNetlister(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := r.RunNetlistSim(nl); err != nil || res != "good" {
+		t.Fatalf("nl_sim = %q %v", res, err)
+	}
+	// The nl_sim result reached the schematic server-side.
+	v, ok, err := r.Client.Prop(sch, "nl_sim_res")
+	if err != nil || !ok || v != "good" {
+		t.Errorf("remote nl_sim_res = %q %v %v", v, ok, err)
+	}
+}
+
+func TestRemotePermissionDenied(t *testing.T) {
+	r := startRemote(t)
+	hdl, err := r.CheckinHDL("CPU", 80, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunHDLSim(hdl); err != nil {
+		t.Fatal(err)
+	}
+	lib, err := r.InstallLibrary("stdlib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := r.Synthesize(hdl, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := r.RunNetlister(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A new model version invalidates downstream data server-side; the
+	// remote wrapper's permission query sees it.
+	if _, err := r.CheckinHDL("CPU", 81, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunNetlistSim(nl); !errors.Is(err, ErrStale) {
+		t.Errorf("stale remote sim: %v", err)
+	}
+	// Unverified synthesis is refused remotely too.
+	hdl3, err := r.CheckinHDL("CPU", 82, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunHDLSim(hdl3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Synthesize(hdl3, lib); !errors.Is(err, ErrNotReady) {
+		t.Errorf("unverified remote synthesis: %v", err)
+	}
+}
+
+func TestRemoteLatestAndDot(t *testing.T) {
+	r := startRemote(t)
+	if _, err := r.CheckinHDL("CPU", 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CheckinHDL("CPU", 11, 0); err != nil {
+		t.Fatal(err)
+	}
+	k, err := r.Client.Latest("CPU", "HDL_model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Version != 2 {
+		t.Errorf("Latest = %v", k)
+	}
+	if _, err := r.Client.Latest("ghost", "HDL_model"); err == nil {
+		t.Error("missing chain accepted")
+	}
+	flowDot, err := r.Client.Dot("flow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(flowDot, "digraph") || !strings.Contains(flowDot, "schematic") {
+		t.Errorf("flow dot:\n%s", flowDot)
+	}
+	stateDot, err := r.Client.Dot("state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stateDot, "CPU,HDL_model,2") {
+		t.Errorf("state dot:\n%s", stateDot)
+	}
+	if _, err := r.Client.Dot("nonsense"); err == nil {
+		t.Error("bad dot kind accepted")
+	}
+}
+
+func TestRemotePropQuoting(t *testing.T) {
+	r := startRemote(t)
+	k, err := r.CheckinHDL("CPU", 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunHDLSim(k); err != nil {
+		t.Fatal(err)
+	}
+	// "2 errors" has a space: the PROP response must quote it correctly.
+	v, ok, err := r.Client.Prop(k, "sim_result")
+	if err != nil || !ok || v != "2 errors" {
+		t.Errorf("prop = %q %v %v", v, ok, err)
+	}
+	// Unset property.
+	_, ok, err = r.Client.Prop(k, "never_set")
+	if err != nil || ok {
+		t.Errorf("unset prop = %v %v", ok, err)
+	}
+}

@@ -1,0 +1,112 @@
+package repro
+
+// Soak test: a long random design-team workload over TCP with periodic
+// state queries, snapshots and a final persistence round trip — the
+// whole system under sustained realistic load.  Skipped with -short.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/server"
+	"repro/internal/state"
+)
+
+func TestSoakWorkloadWithServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	sess, _, err := flow.NewEDTCSession(20240612)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(sess.Eng)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const rounds = 10
+	for round := 0; round < rounds; round++ {
+		st, err := flow.Workload{
+			Seed: int64(round), Blocks: 5, Steps: 150, EditDefectRate: 30,
+		}.Run(sess)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if st.Edits == 0 {
+			t.Fatalf("round %d did nothing: %v", round, st)
+		}
+		// Remote queries stay consistent with in-process state.
+		gapRemote, err := c.Gap()
+		if err != nil {
+			t.Fatalf("round %d gap: %v", round, err)
+		}
+		gapLocal := state.Gap(sess.Eng.DB(), sess.Eng.Blueprint())
+		if len(gapRemote) != len(gapLocal) {
+			t.Fatalf("round %d: remote gap %d != local %d", round, len(gapRemote), len(gapLocal))
+		}
+		// Periodic snapshot.
+		if _, err := c.Snapshot(fmt.Sprintf("round%d", round), "*"); err != nil {
+			t.Fatalf("round %d snapshot: %v", round, err)
+		}
+	}
+
+	db := sess.Eng.DB()
+	stats := db.Stats()
+	if stats.OIDs < 50 {
+		t.Errorf("soak produced only %d OIDs", stats.OIDs)
+	}
+	if stats.Configurations != rounds {
+		t.Errorf("configurations = %d", stats.Configurations)
+	}
+	// No chain ever skips or repeats versions (pruning never ran here).
+	for _, bv := range db.BlockViews() {
+		vs := db.Versions(bv.Block, bv.View)
+		for i, v := range vs {
+			if v != i+1 {
+				t.Fatalf("chain %v broken: %v", bv, vs)
+			}
+		}
+	}
+	// Engine accounting is self-consistent.
+	es := sess.Eng.Stats()
+	if es.Deliveries < es.Posted {
+		t.Errorf("deliveries %d < posted %d", es.Deliveries, es.Posted)
+	}
+	if es.OIDsCreated != int64(stats.OIDs) {
+		t.Errorf("engine created %d, database holds %d", es.OIDsCreated, stats.OIDs)
+	}
+
+	// Full persistence round trip of the soaked database.
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := LoadDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Stats() != stats {
+		t.Errorf("reload stats differ: %+v vs %+v", db2.Stats(), stats)
+	}
+	rep1 := state.Report(db, sess.Eng.Blueprint())
+	rep2 := state.Report(db2, sess.Eng.Blueprint())
+	if len(rep1) != len(rep2) {
+		t.Fatalf("report sizes differ: %d vs %d", len(rep1), len(rep2))
+	}
+	for i := range rep1 {
+		if rep1[i].Key != rep2[i].Key || rep1[i].Ready != rep2[i].Ready {
+			t.Errorf("report row %d differs: %+v vs %+v", i, rep1[i], rep2[i])
+		}
+	}
+}
