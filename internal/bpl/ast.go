@@ -3,12 +3,31 @@ package bpl
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Blueprint is the parsed form of one "blueprint ... endblueprint" block.
+// Blueprints are immutable once parsed; mutating one after Index has been
+// called leaves the cached index stale.
 type Blueprint struct {
 	Name  string
 	Views []*View
+
+	// idx caches the compiled policy index (see index.go).  Lazily set by
+	// Index; nil until then, so freshly parsed blueprints still compare
+	// equal under reflect.DeepEqual.
+	idx atomic.Pointer[Index]
+}
+
+// Index returns the compiled policy index of the blueprint, building it on
+// first use.  Concurrent callers may race to build; all observe the same
+// winning index afterwards.
+func (bp *Blueprint) Index() *Index {
+	if ix := bp.idx.Load(); ix != nil {
+		return ix
+	}
+	bp.idx.CompareAndSwap(nil, NewIndex(bp))
+	return bp.idx.Load()
 }
 
 // DefaultViewName is the name of the special view whose template and

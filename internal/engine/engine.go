@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bpl"
@@ -16,28 +17,49 @@ import (
 // loop in the blueprint (an event whose rules post the same event back).
 var ErrStepLimit = errors.New("engine: step limit exceeded (event feedback loop in blueprint?)")
 
+// policy pairs a loaded blueprint with its compiled index.  The two are
+// immutable and always swapped together, so a single atomic pointer load
+// gives a delivery a consistent view of the project rules.
+type policy struct {
+	bp  *bpl.Blueprint
+	idx *bpl.Index
+}
+
 // Engine is the BluePrint run-time engine bound to one meta-database and
 // one loaded blueprint.  It is safe for concurrent use; event processing
 // itself is serialized FIFO, as in the paper.
 type Engine struct {
 	db *meta.DB
 
+	// pol is the current policy.  Drain captures it once per delivery at
+	// dequeue time: an event processed after SetBlueprint runs under the
+	// new rules even if it was posted under the old ones (the paper's
+	// policy loosening applies to queued work), while a delivery already
+	// in flight finishes under the policy it started with.
+	pol atomic.Pointer[policy]
+
 	mu       sync.Mutex
 	idle     *sync.Cond // broadcast when the queue settles
-	bp       *bpl.Blueprint
 	queue    []queueItem
+	qhead    int      // queue[:qhead] has been consumed; see dequeue in Drain
 	pending  []func() // deferred exec-rule invocations (external tools)
 	draining bool
 	nextWave int64
-	stats    Stats
+
+	stats counters
 
 	executor exec.Executor
 	tracer   Tracer
+	tracing  bool // false iff tracer is a NopTracer; gates all entry construction
 	clock    func() time.Time
 	user     string
 	maxSteps int64
 	dedup    bool
 	maxHops  int
+
+	// hopBuf is reused across propagate calls.  Only the single active
+	// drainer touches it (Drain is exclusive), so no lock is needed.
+	hopBuf []meta.Key
 }
 
 // Option configures an Engine.
@@ -83,7 +105,6 @@ func New(db *meta.DB, bp *bpl.Blueprint, opts ...Option) (*Engine, error) {
 	}
 	e := &Engine{
 		db:       db,
-		bp:       bp,
 		executor: exec.Nop{},
 		tracer:   NopTracer{},
 		clock:    time.Now,
@@ -92,10 +113,16 @@ func New(db *meta.DB, bp *bpl.Blueprint, opts ...Option) (*Engine, error) {
 		dedup:    true,
 		maxHops:  64,
 	}
+	e.pol.Store(&policy{bp: bp, idx: bp.Index()})
 	e.idle = sync.NewCond(&e.mu)
 	for _, o := range opts {
 		o(e)
 	}
+	if e.tracer == nil {
+		e.tracer = NopTracer{}
+	}
+	_, nop := e.tracer.(NopTracer)
+	e.tracing = !nop
 	return e, nil
 }
 
@@ -105,47 +132,44 @@ func New(db *meta.DB, bp *bpl.Blueprint, opts ...Option) (*Engine, error) {
 // quiescence.
 func (e *Engine) WaitIdle() {
 	e.mu.Lock()
-	for len(e.queue) > 0 || len(e.pending) > 0 || e.draining {
+	for e.qlenLocked() > 0 || len(e.pending) > 0 || e.draining {
 		e.idle.Wait()
 	}
 	e.mu.Unlock()
 }
 
+// qlenLocked reports the number of queued deliveries.  Callers hold e.mu.
+func (e *Engine) qlenLocked() int { return len(e.queue) - e.qhead }
+
 // DB returns the engine's meta-database.
 func (e *Engine) DB() *meta.DB { return e.db }
 
 // Blueprint returns the currently loaded blueprint.
-func (e *Engine) Blueprint() *bpl.Blueprint {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.bp
-}
+func (e *Engine) Blueprint() *bpl.Blueprint { return e.pol.Load().bp }
 
 // SetBlueprint replaces the project policy — the paper's re-initialization
 // of the BluePrint mechanism for a new project phase ("loosening").  Queued
-// events are preserved and will be processed under the new rules.
+// events are preserved and will be processed under the new rules: Drain
+// resolves the policy per delivery at dequeue time, so loosening takes
+// effect for all not-yet-delivered events, including mid-drain.
 func (e *Engine) SetBlueprint(bp *bpl.Blueprint) error {
 	if ds := bpl.Analyze(bp); bpl.HasErrors(ds) {
 		return fmt.Errorf("engine: blueprint %s has errors", bp.Name)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.bp = bp
+	e.pol.Store(&policy{bp: bp, idx: bp.Index()})
 	return nil
 }
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	return e.stats.snapshot()
 }
 
 // QueueLen reports the number of pending deliveries.
 func (e *Engine) QueueLen() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return len(e.queue)
+	return e.qlenLocked()
 }
 
 // ---------------------------------------------------------------------------
@@ -178,13 +202,59 @@ func (e *Engine) PostAndDrain(ev Event) error {
 	return e.Drain()
 }
 
+// wavePool recycles wave descriptors; a wave is returned to the pool once
+// its last delivery retires (see retireWave).  visitedPool recycles the
+// per-wave visited sets, which are allocated lazily at the wave's first
+// propagation — most events never cross a link and then need no set at
+// all.  Sets that grew beyond maxPooledVisited are dropped instead of
+// recycled: clearing a large-capacity map costs O(capacity) on every
+// later small wave that draws it.
+var (
+	wavePool = sync.Pool{
+		New: func() any { return new(wave) },
+	}
+	visitedPool = sync.Pool{
+		New: func() any { return make(map[meta.Key]bool, 8) },
+	}
+)
+
+const (
+	maxPooledVisited = 64
+	// maxRetainedQueue bounds the queue capacity kept across drains; a
+	// larger backing array (one huge wave) is dropped on settle instead of
+	// holding burst-sized memory for the engine's lifetime.
+	maxRetainedQueue = 4096
+)
+
 // enqueueLocked appends a fresh-wave delivery.  Callers hold e.mu.
 func (e *Engine) enqueueLocked(ev Event, skipRules bool) {
 	e.nextWave++
-	wv := &wave{id: e.nextWave, visited: map[meta.Key]bool{ev.Target: true}}
+	wv := wavePool.Get().(*wave)
+	wv.id = e.nextWave
+	wv.visited = nil
+	wv.pending = 1
 	e.queue = append(e.queue, queueItem{ev: ev, wv: wv, skipRules: skipRules})
-	e.stats.Posted++
-	e.tracer.Trace(TraceEntry{Kind: TraceEnqueue, OID: ev.Target.String(), Event: ev.Name})
+	e.stats.posted.Add(1)
+	if e.tracing {
+		e.tracer.Trace(TraceEntry{Kind: TraceEnqueue, OID: ev.Target.String(), Event: ev.Name})
+	}
+}
+
+// retireWave marks one delivery of the wave finished and recycles the
+// descriptor when it was the last.
+func (e *Engine) retireWave(wv *wave) {
+	e.mu.Lock()
+	wv.pending--
+	done := wv.pending == 0
+	e.mu.Unlock()
+	if done {
+		if m := wv.visited; m != nil && len(m) <= maxPooledVisited {
+			clear(m)
+			visitedPool.Put(m)
+		}
+		wv.visited = nil
+		wavePool.Put(wv)
+	}
 }
 
 // Drain processes queued events first-in first-out until the queue is
@@ -209,11 +279,21 @@ func (e *Engine) Drain() error {
 	var steps int64
 	for {
 		e.mu.Lock()
-		if len(e.queue) == 0 {
-			// The queue has settled; now dispatch deferred exec-rule
-			// invocations.  In the paper these are external wrapper
-			// processes: the events they post arrive after the current
-			// wave has fully propagated, never interleaved inside it.
+		if e.qhead >= len(e.queue) {
+			// The queue has settled; reset it so the backing array is
+			// reused by the next wave instead of reallocated.  A burst-sized
+			// array is released rather than pinned for the engine's
+			// lifetime.
+			if cap(e.queue) > maxRetainedQueue {
+				e.queue = nil
+			} else {
+				e.queue = e.queue[:0]
+			}
+			e.qhead = 0
+			// Now dispatch deferred exec-rule invocations.  In the paper
+			// these are external wrapper processes: the events they post
+			// arrive after the current wave has fully propagated, never
+			// interleaved inside it.
 			if len(e.pending) == 0 {
 				e.mu.Unlock()
 				return nil
@@ -228,68 +308,76 @@ func (e *Engine) Drain() error {
 			run()
 			continue
 		}
-		item := e.queue[0]
-		e.queue = e.queue[1:]
-		bp := e.bp
+		// Head-index dequeue: O(1) with a reusable backing array, where
+		// re-slicing queue[1:] forced append to grow a fresh array every
+		// wave.  The consumed slot is zeroed to release its references.
+		item := e.queue[e.qhead]
+		e.queue[e.qhead] = queueItem{}
+		e.qhead++
 		e.mu.Unlock()
 
 		steps++
 		if steps > e.maxSteps {
+			// The dequeued item is dropped, not delivered: retire it so its
+			// wave's pending count still reaches zero.
+			e.retireWave(item.wv)
 			return fmt.Errorf("%w: after %d deliveries", ErrStepLimit, steps-1)
 		}
-		e.deliver(bp, item)
+		// The policy is resolved at dequeue time, not post time: see the
+		// field comment on pol for the SetBlueprint semantics.
+		e.deliver(e.pol.Load(), item)
+		e.retireWave(item.wv)
 	}
 }
 
 // deliver processes one queued delivery: run the matching run-time rules on
 // the target OID (unless propagate-only), then propagate the event across
 // the target's links.
-func (e *Engine) deliver(bp *bpl.Blueprint, item queueItem) {
+func (e *Engine) deliver(pol *policy, item queueItem) {
 	ev := item.ev
-	e.bumpStat(func(s *Stats) { s.Deliveries++ })
+	e.stats.deliveries.Add(1)
 	if !e.db.HasOID(ev.Target) {
-		e.bumpStat(func(s *Stats) { s.Drops++ })
-		e.tracer.Trace(TraceEntry{Kind: TraceDrop, OID: ev.Target.String(), Event: ev.Name, Detail: "target missing"})
+		e.stats.drops.Add(1)
+		if e.tracing {
+			e.tracer.Trace(TraceEntry{Kind: TraceDrop, OID: ev.Target.String(), Event: ev.Name, Detail: "target missing"})
+		}
 		return
 	}
-	e.tracer.Trace(TraceEntry{Kind: TraceDeliver, OID: ev.Target.String(), Event: ev.Name})
+	if e.tracing {
+		e.tracer.Trace(TraceEntry{Kind: TraceDeliver, OID: ev.Target.String(), Event: ev.Name})
+	}
 
 	if !item.skipRules {
-		e.runRules(bp, ev)
+		e.runRules(pol, ev)
 	}
 	e.propagate(item)
 }
 
 // runRules executes the run-time rules matching the event on its target,
 // in the paper's phase order: assigns, continuous assignments, execs and
-// notifies, posts.
-func (e *Engine) runRules(bp *bpl.Blueprint, ev Event) {
-	rules := bp.EffectiveRules(ev.Target.View, ev.Name)
-	if len(rules) > 0 {
-		e.bumpStat(func(s *Stats) { s.RulesFired += int64(len(rules)) })
-	}
-	lookup := e.lookupFor(ev)
-
-	// Phase 1: assignments, in rule and action order.
-	for _, r := range rules {
-		for _, a := range r.Actions {
-			aa, ok := a.(*bpl.AssignAction)
-			if !ok {
-				continue
-			}
-			val := aa.Value.Expand(lookup)
-			if err := e.db.SetProp(ev.Target, aa.Prop, val); err != nil {
-				e.traceError(ev, fmt.Sprintf("assign %s: %v", aa.Prop, err))
-				continue
-			}
-			e.bumpStat(func(s *Stats) { s.Assigns++ })
-			e.tracer.Trace(TraceEntry{Kind: TraceAssign, OID: ev.Target.String(), Event: ev.Name,
-				Detail: aa.Prop + " = " + val})
-		}
+// notifies, posts.  The compiled program has the actions pre-partitioned
+// by phase, so no per-delivery scan of the rule set is needed.
+func (e *Engine) runRules(pol *policy, ev Event) {
+	prog := pol.idx.Program(ev.Target.View, ev.Name)
+	lets := pol.idx.Lets(ev.Target.View)
+	if prog != nil {
+		e.stats.rulesFired.Add(int64(len(prog.Rules)))
 	}
 
-	// Phase 2: re-evaluate continuous assignments.
-	e.reevalLets(bp, ev.Target, lookup)
+	// Phases 1 and 2: property assignments, then re-evaluation of the
+	// continuous assignments — batched into one locked database
+	// round-trip (UpdateOID) instead of a GetProp/SetProp pair per value.
+	if (prog != nil && len(prog.Assigns) > 0) || len(lets) > 0 {
+		e.applyAssignsAndLets(ev, prog, lets)
+	}
+	if prog == nil {
+		return
+	}
+
+	var lookup bpl.LookupFunc
+	if len(prog.Execs) > 0 || len(prog.Posts) > 0 {
+		lookup = e.lookupFor(ev)
+	}
 
 	// Phase 3: exec and notify actions.  Exec invocations are launched
 	// like the paper's wrapper shell scripts: the environment is captured
@@ -297,35 +385,41 @@ func (e *Engine) runRules(bp *bpl.Blueprint, ev Event) {
 	// wave has settled (the engine defers the call until the queue is
 	// empty), so a tool triggered by a check-in is not caught by that
 	// check-in's own invalidation wave.
-	for _, r := range rules {
-		for _, a := range r.Actions {
-			switch act := a.(type) {
-			case *bpl.ExecAction:
-				inv := exec.Invocation{
-					Script: act.Argv[0].Expand(lookup),
-					Env:    e.envSnapshot(ev),
-				}
-				for _, t := range act.Argv[1:] {
-					inv.Args = append(inv.Args, t.Expand(lookup))
-				}
-				e.bumpStat(func(s *Stats) { s.Execs++ })
+	for _, a := range prog.Execs {
+		switch act := a.(type) {
+		case *bpl.ExecAction:
+			inv := exec.Invocation{
+				Script: act.Argv[0].Expand(lookup),
+				Env:    e.envSnapshot(ev),
+			}
+			for _, t := range act.Argv[1:] {
+				inv.Args = append(inv.Args, t.Expand(lookup))
+			}
+			e.stats.execs.Add(1)
+			if e.tracing {
 				e.tracer.Trace(TraceEntry{Kind: TraceExec, OID: ev.Target.String(), Event: ev.Name,
 					Detail: inv.String()})
-				e.mu.Lock()
-				e.pending = append(e.pending, func() {
-					if err := e.executor.Exec(inv); err != nil {
-						e.bumpStat(func(s *Stats) { s.ExecErrors++ })
+			}
+			e.mu.Lock()
+			e.pending = append(e.pending, func() {
+				if err := e.executor.Exec(inv); err != nil {
+					e.stats.execErrors.Add(1)
+					if e.tracing {
 						e.traceError(ev, fmt.Sprintf("exec %s: %v", inv.Script, err))
 					}
-				})
-				e.mu.Unlock()
-			case *bpl.NotifyAction:
-				msg := act.Message.Expand(lookup)
-				e.bumpStat(func(s *Stats) { s.Notifies++ })
+				}
+			})
+			e.mu.Unlock()
+		case *bpl.NotifyAction:
+			msg := act.Message.Expand(lookup)
+			e.stats.notifies.Add(1)
+			if e.tracing {
 				e.tracer.Trace(TraceEntry{Kind: TraceNotify, OID: ev.Target.String(), Event: ev.Name,
 					Detail: msg})
-				if err := e.executor.Notify(msg); err != nil {
-					e.bumpStat(func(s *Stats) { s.ExecErrors++ })
+			}
+			if err := e.executor.Notify(msg); err != nil {
+				e.stats.execErrors.Add(1)
+				if e.tracing {
 					e.traceError(ev, fmt.Sprintf("notify: %v", err))
 				}
 			}
@@ -333,22 +427,87 @@ func (e *Engine) runRules(bp *bpl.Blueprint, ev Event) {
 	}
 
 	// Phase 4: post actions.
-	for _, r := range rules {
-		for _, a := range r.Actions {
-			pa, ok := a.(*bpl.PostAction)
-			if !ok {
+	for _, pa := range prog.Posts {
+		e.execPost(ev, pa, lookup)
+	}
+}
+
+// applyAssignsAndLets runs delivery phases 1 and 2 on the target OID in a
+// single write-locked round-trip.  Phase-1 assignments are visible to the
+// phase-2 continuous assignments (and to later phases) because both read
+// and write the live property map.  Trace entries are recorded inside the
+// critical section (only when tracing) and emitted after it, in execution
+// order, so a slow tracer never extends the database lock hold time.
+func (e *Engine) applyAssignsAndLets(ev Event, prog *bpl.Program, lets []*bpl.LetDecl) {
+	type rec struct {
+		kind   TraceKind
+		detail string
+	}
+	var recs []rec
+	err := e.db.UpdateOID(ev.Target, func(o *meta.OID) {
+		lookup := e.lookupOver(ev, o.Props)
+		if prog != nil {
+			for _, aa := range prog.Assigns {
+				val := aa.Value.Expand(lookup)
+				if verr := meta.ValidateName(aa.Prop); verr != nil {
+					if e.tracing {
+						recs = append(recs, rec{TraceError,
+							fmt.Sprintf("assign %s: property: %v", aa.Prop, verr)})
+					}
+					continue
+				}
+				o.Props[aa.Prop] = val
+				e.stats.assigns.Add(1)
+				if e.tracing {
+					recs = append(recs, rec{TraceAssign, aa.Prop + " = " + val})
+				}
+			}
+		}
+		for _, l := range lets {
+			val := "false"
+			if l.Expr.Eval(lookup) {
+				val = "true"
+			}
+			e.stats.letEvals.Add(1)
+			if old, had := o.Props[l.Name]; had && old == val {
 				continue
 			}
-			e.execPost(ev, pa, lookup)
+			if meta.ValidateName(l.Name) != nil {
+				continue
+			}
+			o.Props[l.Name] = val
+			if e.tracing {
+				recs = append(recs, rec{TraceLet, l.Name + " = " + val})
+			}
+		}
+	})
+	if err != nil {
+		// The target vanished between the delivery check and the update
+		// (concurrent prune); drop the phases silently like the unbatched
+		// path did.
+		return
+	}
+	if e.tracing {
+		oid := ev.Target.String()
+		for _, r := range recs {
+			switch r.kind {
+			case TraceLet:
+				e.tracer.Trace(TraceEntry{Kind: TraceLet, OID: oid, Detail: r.detail})
+			default:
+				e.tracer.Trace(TraceEntry{Kind: r.kind, OID: oid, Event: ev.Name, Detail: r.detail})
+			}
 		}
 	}
 }
 
 // execPost runs one post action in the context of event ev.
 func (e *Engine) execPost(ev Event, pa *bpl.PostAction, lookup bpl.LookupFunc) {
-	args := make([]string, 0, len(pa.Args))
-	for _, t := range pa.Args {
-		args = append(args, t.Expand(lookup))
+	var args []string
+	if len(pa.Args) > 0 {
+		args = make([]string, 0, len(pa.Args))
+		for _, t := range pa.Args {
+			args = append(args, t.Expand(lookup))
+		}
 	}
 	nev := Event{Name: pa.Event, Dir: pa.Dir, Args: args, User: ev.User}
 	skipRules := false
@@ -357,7 +516,9 @@ func (e *Engine) execPost(ev Event, pa *bpl.PostAction, lookup bpl.LookupFunc) {
 		// the same block; rules run there.
 		target, err := e.db.Latest(ev.Target.Block, pa.ToView)
 		if err != nil {
-			e.traceError(ev, fmt.Sprintf("post %s to %s: no such OID", pa.Event, pa.ToView))
+			if e.tracing {
+				e.traceError(ev, fmt.Sprintf("post %s to %s: no such OID", pa.Event, pa.ToView))
+			}
 			return
 		}
 		nev.Target = target
@@ -369,44 +530,34 @@ func (e *Engine) execPost(ev Event, pa *bpl.PostAction, lookup bpl.LookupFunc) {
 	}
 	e.mu.Lock()
 	e.enqueueLocked(nev, skipRules)
-	e.stats.Posts++
 	e.mu.Unlock()
-	e.tracer.Trace(TraceEntry{Kind: TracePost, OID: nev.Target.String(), Event: pa.Event,
-		Detail: "dir " + pa.Dir.String()})
+	e.stats.posts.Add(1)
+	if e.tracing {
+		e.tracer.Trace(TraceEntry{Kind: TracePost, OID: nev.Target.String(), Event: pa.Event,
+			Detail: "dir " + pa.Dir.String()})
+	}
 }
 
 // reevalLets re-evaluates every continuous assignment of the OID's view and
-// stores the boolean results as properties.
-func (e *Engine) reevalLets(bp *bpl.Blueprint, k meta.Key, lookup bpl.LookupFunc) {
-	for _, l := range bp.EffectiveLets(k.View) {
-		val := "false"
-		if l.Expr.Eval(lookup) {
-			val = "true"
-		}
-		e.bumpStat(func(s *Stats) { s.LetEvals++ })
-		old, had, err := e.db.GetProp(k, l.Name)
-		if err != nil {
-			return
-		}
-		if had && old == val {
-			continue
-		}
-		if err := e.db.SetProp(k, l.Name, val); err == nil {
-			e.tracer.Trace(TraceEntry{Kind: TraceLet, OID: k.String(),
-				Detail: l.Name + " = " + val})
-		}
+// stores the boolean results as properties.  ev supplies the variable
+// context; CreateOID passes a synthetic create event.
+func (e *Engine) reevalLets(idx *bpl.Index, ev Event) {
+	lets := idx.Lets(ev.Target.View)
+	if len(lets) == 0 {
+		return
 	}
+	e.applyAssignsAndLets(ev, nil, lets)
 }
 
 // propagate crosses the target's links with the delivered event, enqueuing
 // continuation deliveries within the same wave.
 func (e *Engine) propagate(item queueItem) {
 	ev := item.ev
-	type hop struct{ to meta.Key }
-	var hops []hop
+	hops := e.hopBuf[:0]
+	var blocked int64
 	e.db.EachLinkOf(ev.Target, func(l *meta.Link) bool {
 		if !l.CanPropagate(ev.Name) {
-			e.bumpStat(func(s *Stats) { s.Blocked++ })
+			blocked++
 			return true
 		}
 		var next meta.Key
@@ -416,46 +567,63 @@ func (e *Engine) propagate(item queueItem) {
 		case ev.Dir == bpl.DirUp && l.To == ev.Target:
 			next = l.From
 		default:
-			e.bumpStat(func(s *Stats) { s.Blocked++ })
+			blocked++
 			return true
 		}
-		hops = append(hops, hop{to: next})
+		hops = append(hops, next)
 		return true
 	})
-
+	e.hopBuf = hops
+	if blocked > 0 {
+		e.stats.blocked.Add(blocked)
+	}
 	if len(hops) == 0 {
 		return
 	}
+
+	var drops, propagations int64
 	e.mu.Lock()
-	for _, h := range hops {
+	if e.dedup && item.wv.visited == nil {
+		// First propagation of the wave.  FIFO order guarantees it happens
+		// at the wave's origin, so marking the current target seeds the
+		// set exactly as marking at enqueue time would.
+		item.wv.visited = visitedPool.Get().(map[meta.Key]bool)
+		item.wv.visited[ev.Target] = true
+	}
+	for _, to := range hops {
 		if e.dedup {
-			if item.wv.visited[h.to] {
-				e.stats.Drops++
-				e.tracer.Trace(TraceEntry{Kind: TraceDrop, OID: h.to.String(), Event: ev.Name,
-					Detail: "already visited in wave"})
+			if item.wv.visited[to] {
+				drops++
+				if e.tracing {
+					e.tracer.Trace(TraceEntry{Kind: TraceDrop, OID: to.String(), Event: ev.Name,
+						Detail: "already visited in wave"})
+				}
 				continue
 			}
-			item.wv.visited[h.to] = true
+			item.wv.visited[to] = true
 		} else if item.hops >= e.maxHops {
-			e.stats.Drops++
-			e.tracer.Trace(TraceEntry{Kind: TraceDrop, OID: h.to.String(), Event: ev.Name,
-				Detail: "hop limit (dedup ablated)"})
+			drops++
+			if e.tracing {
+				e.tracer.Trace(TraceEntry{Kind: TraceDrop, OID: to.String(), Event: ev.Name,
+					Detail: "hop limit (dedup ablated)"})
+			}
 			continue
 		}
 		nev := ev
-		nev.Target = h.to
+		nev.Target = to
+		item.wv.pending++
 		e.queue = append(e.queue, queueItem{ev: nev, wv: item.wv, hops: item.hops + 1})
-		e.stats.Propagations++
-		e.tracer.Trace(TraceEntry{Kind: TracePropagate, OID: h.to.String(), Event: ev.Name,
-			Detail: "from " + ev.Target.String()})
+		propagations++
+		if e.tracing {
+			e.tracer.Trace(TraceEntry{Kind: TracePropagate, OID: to.String(), Event: ev.Name,
+				Detail: "from " + ev.Target.String()})
+		}
 	}
 	e.mu.Unlock()
-}
-
-func (e *Engine) bumpStat(f func(*Stats)) {
-	e.mu.Lock()
-	f(&e.stats)
-	e.mu.Unlock()
+	if drops > 0 {
+		e.stats.drops.Add(drops)
+	}
+	e.stats.propagations.Add(propagations)
 }
 
 func (e *Engine) traceError(ev Event, detail string) {

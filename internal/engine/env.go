@@ -62,10 +62,46 @@ func (e *Engine) lookupFor(ev Event) bpl.LookupFunc {
 	}
 }
 
-// lookupForKey resolves variables for contexts without a triggering event
-// (template application at creation time).
-func (e *Engine) lookupForKey(k meta.Key, user string) bpl.LookupFunc {
-	return e.lookupFor(Event{Name: EventCreate, Target: k, User: user})
+// lookupOver resolves the same variables as lookupFor but reads properties
+// straight from a live property map instead of through the database.  It is
+// used inside the batched phase-1/phase-2 round-trip (meta.DB UpdateOID),
+// where the database lock is already held: earlier assignments in the batch
+// are visible to later expansions because both touch props directly.
+func (e *Engine) lookupOver(ev Event, props map[string]string) bpl.LookupFunc {
+	return func(name string) string {
+		switch name {
+		case "oid", "OID":
+			return ev.Target.String()
+		case "block":
+			return ev.Target.Block
+		case "view":
+			return ev.Target.View
+		case "version":
+			return strconv.Itoa(ev.Target.Version)
+		case "arg":
+			return strings.Join(ev.Args, " ")
+		case "user":
+			return ev.User
+		case "owner":
+			if v := props[meta.PropOwner]; v != "" {
+				return v
+			}
+			return ev.User
+		case "date":
+			return e.clock().Format(time.RFC3339)
+		case "event":
+			return ev.Name
+		case "dir":
+			return ev.Dir.String()
+		}
+		if n, ok := argIndex(name); ok {
+			if n >= 1 && n <= len(ev.Args) {
+				return ev.Args[n-1]
+			}
+			return ""
+		}
+		return props[name]
+	}
 }
 
 // argIndex parses "argN" names.
@@ -98,10 +134,10 @@ func (e *Engine) envSnapshot(ev Event) map[string]string {
 	for i, a := range ev.Args {
 		env["arg"+strconv.Itoa(i+1)] = a
 	}
-	if o, err := e.db.GetOID(ev.Target); err == nil {
-		for _, name := range o.PropNames() {
+	_ = e.db.WithOID(ev.Target, func(o *meta.OID) {
+		for name, v := range o.Props {
 			if _, exists := env[name]; !exists {
-				env[name] = o.Props[name]
+				env[name] = v
 			}
 		}
 		if owner, ok := o.Props[meta.PropOwner]; ok && owner != "" {
@@ -109,6 +145,6 @@ func (e *Engine) envSnapshot(ev Event) map[string]string {
 		} else {
 			env["owner"] = ev.User
 		}
-	}
+	})
 	return env
 }

@@ -14,6 +14,34 @@
 //  5. propagate the event across the OID's links, delivering it to every
 //     OID at the other end of a link that propagates this event type in the
 //     event's direction — and repeat the whole procedure at each receiver.
+//
+// # Compiled policy
+//
+// Loading a blueprint (New, SetBlueprint) compiles it into a bpl.Index: the
+// effective rules per (view, event) — pre-partitioned into the phase order
+// above — and the effective continuous assignments, property templates and
+// link templates per view.  Deliveries resolve policy by map lookup instead
+// of re-deriving default-view unions per event.  The blueprint and its
+// index are immutable and swapped together behind one atomic pointer;
+// Drain captures that pointer once per delivery at dequeue time, so a
+// SetBlueprint mid-drain (the paper's policy loosening) governs every
+// not-yet-delivered event while never splitting one delivery across two
+// policies.
+//
+// # Concurrency model
+//
+// The meta-database has its own lock; the engine adds a single mutex that
+// guards only the event queue, the deferred-exec list and the drain flag.
+// Activity counters are per-counter atomics (Stats never blocks event
+// processing), and audit tracing is gated by a boolean fixed at
+// construction, so an engine built with the default NopTracer constructs no
+// trace entries at all — no Key.String formatting, no detail strings.
+// Drain is exclusive: concurrent calls return immediately, which lets the
+// drainer own scratch state (the propagation hop buffer) without locking.
+// Delivery phases 1 and 2 batch all property reads and writes of one
+// delivery into a single locked round-trip on the database (meta.DB
+// UpdateOID); per-wave visited sets are pooled and recycled when the last
+// delivery of a wave retires.
 package engine
 
 import (
@@ -91,6 +119,10 @@ func (e Event) Validate() error {
 type wave struct {
 	id      int64
 	visited map[meta.Key]bool
+	// pending counts queued-but-unretired deliveries of the wave, guarded
+	// by Engine.mu.  When it reaches zero the visited map is recycled
+	// (Engine.retireWave).
+	pending int
 }
 
 // queueItem is one pending delivery.

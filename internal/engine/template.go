@@ -27,9 +27,9 @@ func (e *Engine) CreateOID(block, view, user string) (meta.Key, error) {
 	if err != nil {
 		return meta.Key{}, err
 	}
-	e.bumpStat(func(s *Stats) { s.OIDsCreated++ })
+	e.stats.oidsCreated.Add(1)
 
-	bp := e.Blueprint()
+	pol := e.pol.Load()
 	prev, hasPrev := e.db.Predecessor(k)
 
 	// Owner is a generic property the engine always records.
@@ -38,7 +38,7 @@ func (e *Engine) CreateOID(block, view, user string) (meta.Key, error) {
 	}
 
 	// Property templates.
-	for _, p := range bp.EffectiveProperties(view) {
+	for _, p := range pol.idx.Properties(view) {
 		val := p.Default
 		if hasPrev && p.Inherit != bpl.InheritNone {
 			if pv, ok, _ := e.db.GetProp(prev, p.Name); ok {
@@ -57,15 +57,17 @@ func (e *Engine) CreateOID(block, view, user string) (meta.Key, error) {
 
 	// Link templates: shift or copy instances from the previous version.
 	if hasPrev {
-		if err := e.inheritLinks(bp, prev, k); err != nil {
+		if err := e.inheritLinks(pol.bp, prev, k); err != nil {
 			return meta.Key{}, err
 		}
 	}
 
 	// Continuous assignments get an initial evaluation.
-	e.reevalLets(bp, k, e.lookupForKey(k, user))
+	e.reevalLets(pol.idx, Event{Name: EventCreate, Target: k, User: user})
 
-	e.tracer.Trace(TraceEntry{Kind: TraceCreateOID, OID: k.String(), Detail: "owner " + user})
+	if e.tracing {
+		e.tracer.Trace(TraceEntry{Kind: TraceCreateOID, OID: k.String(), Detail: "owner " + user})
+	}
 
 	// Let blueprints hook creations.
 	e.mu.Lock()
@@ -103,9 +105,11 @@ func (e *Engine) inheritLinks(bp *bpl.Blueprint, prev, newK meta.Key) error {
 			if err := e.db.RetargetLink(m.id, prev, newK); err != nil {
 				return fmt.Errorf("engine: shift link %d: %w", m.id, err)
 			}
-			e.bumpStat(func(s *Stats) { s.LinksShifted++ })
-			e.tracer.Trace(TraceEntry{Kind: TraceShiftLink, OID: newK.String(),
-				Detail: fmt.Sprintf("link %d from %v", m.id, prev)})
+			e.stats.linksShifted.Add(1)
+			if e.tracing {
+				e.tracer.Trace(TraceEntry{Kind: TraceShiftLink, OID: newK.String(),
+					Detail: fmt.Sprintf("link %d from %v", m.id, prev)})
+			}
 		case bpl.InheritCopy:
 			from, to := m.link.From, m.link.To
 			if from == prev {
@@ -121,9 +125,11 @@ func (e *Engine) inheritLinks(bp *bpl.Blueprint, prev, newK meta.Key) error {
 			if err != nil {
 				return fmt.Errorf("engine: copy link %d: %w", m.id, err)
 			}
-			e.bumpStat(func(s *Stats) { s.LinksCreated++ })
-			e.tracer.Trace(TraceEntry{Kind: TraceCopyLink, OID: newK.String(),
-				Detail: fmt.Sprintf("link %d copied as %d", m.id, id)})
+			e.stats.linksCreated.Add(1)
+			if e.tracing {
+				e.tracer.Trace(TraceEntry{Kind: TraceCopyLink, OID: newK.String(),
+					Detail: fmt.Sprintf("link %d copied as %d", m.id, id)})
+			}
 		}
 	}
 	return nil
@@ -137,13 +143,13 @@ func (e *Engine) inheritLinks(bp *bpl.Blueprint, prev, newK meta.Key) error {
 // newly created Links.  Links with no matching template are created bare:
 // they propagate nothing.
 func (e *Engine) CreateLink(class meta.LinkClass, from, to meta.Key) (meta.LinkID, error) {
-	bp := e.Blueprint()
+	idx := e.pol.Load().idx
 	var (
 		template   string
 		propagates []string
 		props      map[string]string
 	)
-	if d, ok := bp.LinkTemplate(class == meta.UseLink, from.View, to.View); ok {
+	if d, ok := idx.LinkTemplate(class == meta.UseLink, from.View, to.View); ok {
 		template = d.TemplateID
 		propagates = d.Propagates
 		if d.Type != "" {
@@ -154,8 +160,10 @@ func (e *Engine) CreateLink(class meta.LinkClass, from, to meta.Key) (meta.LinkI
 	if err != nil {
 		return 0, err
 	}
-	e.bumpStat(func(s *Stats) { s.LinksCreated++ })
-	e.tracer.Trace(TraceEntry{Kind: TraceCreateLink, OID: to.String(),
-		Detail: fmt.Sprintf("%s link %d from %v (template %q)", class, id, from, template)})
+	e.stats.linksCreated.Add(1)
+	if e.tracing {
+		e.tracer.Trace(TraceEntry{Kind: TraceCreateLink, OID: to.String(),
+			Detail: fmt.Sprintf("%s link %d from %v (template %q)", class, id, from, template)})
+	}
 	return id, nil
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // TraceKind classifies audit-trace entries.
@@ -187,4 +188,33 @@ type Stats struct {
 	LinksShifted int64
 	// ExecErrors counts executor failures (non-fatal).
 	ExecErrors int64
+}
+
+// counters is the engine-internal form of Stats: one atomic per counter, so
+// rule execution bumps activity counts without taking the engine mutex and
+// Stats snapshots never block event processing.
+type counters struct {
+	posted, deliveries, rulesFired, assigns, letEvals, execs, notifies,
+	posts, propagations, blocked, drops, oidsCreated, linksCreated,
+	linksShifted, execErrors atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Posted:       c.posted.Load(),
+		Deliveries:   c.deliveries.Load(),
+		RulesFired:   c.rulesFired.Load(),
+		Assigns:      c.assigns.Load(),
+		LetEvals:     c.letEvals.Load(),
+		Execs:        c.execs.Load(),
+		Notifies:     c.notifies.Load(),
+		Posts:        c.posts.Load(),
+		Propagations: c.propagations.Load(),
+		Blocked:      c.blocked.Load(),
+		Drops:        c.drops.Load(),
+		OIDsCreated:  c.oidsCreated.Load(),
+		LinksCreated: c.linksCreated.Load(),
+		LinksShifted: c.linksShifted.Load(),
+		ExecErrors:   c.execErrors.Load(),
+	}
 }

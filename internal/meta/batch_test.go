@@ -1,0 +1,102 @@
+package meta
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestWithOIDAndUpdateOID(t *testing.T) {
+	db := NewDB()
+	k, err := db.NewVersion("cpu", "netlist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetProp(k, "a", "1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// WithOID exposes the live properties under the read lock.
+	var seen map[string]string
+	if err := db.WithOID(k, func(o *OID) {
+		seen = map[string]string{}
+		for n, v := range o.Props {
+			seen[n] = v
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seen, map[string]string{"a": "1"}) {
+		t.Fatalf("WithOID saw %v", seen)
+	}
+
+	// UpdateOID batches a read-modify-write; later reads observe it.
+	if err := db.UpdateOID(k, func(o *OID) {
+		if o.Props["a"] != "1" {
+			t.Errorf("UpdateOID read a=%q", o.Props["a"])
+		}
+		o.Props["a"] = "2"
+		o.Props["b"] = "3"
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := db.GetProp(k, "a"); v != "2" {
+		t.Errorf("a = %q after UpdateOID", v)
+	}
+	if v, _, _ := db.GetProp(k, "b"); v != "3" {
+		t.Errorf("b = %q after UpdateOID", v)
+	}
+
+	missing := Key{Block: "nope", View: "v", Version: 1}
+	if err := db.WithOID(missing, func(*OID) {}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("WithOID missing: %v", err)
+	}
+	if err := db.UpdateOID(missing, func(*OID) {}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("UpdateOID missing: %v", err)
+	}
+}
+
+func TestEachLatestOID(t *testing.T) {
+	db := NewDB()
+	for _, bv := range []struct {
+		block    string
+		versions int
+	}{{"alu", 3}, {"cpu", 1}, {"reg", 2}} {
+		for i := 0; i < bv.versions; i++ {
+			if _, err := db.NewVersion(bv.block, "netlist"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got := map[Key]bool{}
+	db.EachLatestOID(func(o *OID) bool {
+		got[o.Key] = true
+		return true
+	})
+	want := map[Key]bool{
+		{Block: "alu", View: "netlist", Version: 3}: true,
+		{Block: "cpu", View: "netlist", Version: 1}: true,
+		{Block: "reg", View: "netlist", Version: 2}: true,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("EachLatestOID = %v, want %v", got, want)
+	}
+
+	// Must agree with the cloning form.
+	latest := db.LatestOIDs()
+	if len(latest) != len(want) {
+		t.Fatalf("LatestOIDs returned %d", len(latest))
+	}
+	for _, o := range latest {
+		if !want[o.Key] {
+			t.Errorf("LatestOIDs unexpected %v", o.Key)
+		}
+	}
+
+	// Early stop.
+	n := 0
+	db.EachLatestOID(func(*OID) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}

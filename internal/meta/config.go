@@ -34,15 +34,7 @@ func (c *Configuration) Contains(k Key) bool {
 	return i < len(c.OIDs) && c.OIDs[i] == k
 }
 
-func keyLess(a, b Key) bool {
-	if a.Block != b.Block {
-		return a.Block < b.Block
-	}
-	if a.View != b.View {
-		return a.View < b.View
-	}
-	return a.Version < b.Version
-}
+func keyLess(a, b Key) bool { return a.Less(b) }
 
 func (c *Configuration) clone() *Configuration {
 	cc := &Configuration{Name: c.Name, Seq: c.Seq}

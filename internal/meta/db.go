@@ -225,6 +225,40 @@ func (db *DB) SetProp(k Key, name, value string) error {
 	return nil
 }
 
+// WithOID runs fn on the live OID under the read lock — a batched read
+// path for callers that need several properties at once without paying for
+// a deep copy (GetOID) or one lock round-trip per GetProp.  fn must not
+// retain or mutate the OID and must not call other DB methods.
+func (db *DB) WithOID(k Key, fn func(o *OID)) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	o, ok := db.oids[k]
+	if !ok {
+		return fmt.Errorf("oid %v: %w", k, ErrNotFound)
+	}
+	fn(o)
+	return nil
+}
+
+// UpdateOID runs fn on the live OID under the write lock.  It is the
+// batched read-modify-write path of the run-time engine: one delivery's
+// property assignments and continuous re-evaluations read and write Props
+// in a single lock round-trip instead of one GetProp/SetProp pair each.
+// fn may read and mutate o.Props directly but must not retain o or the map
+// and must not call other DB methods (which would deadlock).  Property
+// names written by fn must satisfy ValidateName; the caller validates
+// because fn has no error channel.
+func (db *DB) UpdateOID(k Key, fn func(o *OID)) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	o, ok := db.oids[k]
+	if !ok {
+		return fmt.Errorf("oid %v: %w", k, ErrNotFound)
+	}
+	fn(o)
+	return nil
+}
+
 // GetProp returns a property value of an OID.  Missing properties return
 // ("", false, nil); a missing OID is an error.
 func (db *DB) GetProp(k Key, name string) (string, bool, error) {
@@ -451,6 +485,24 @@ func (db *DB) EachOID(fn func(*OID) bool) {
 	}
 }
 
+// EachLatestOID invokes fn for the newest version of every version chain
+// under the read lock, in unspecified order.  It is the allocation-free
+// form of LatestOIDs: fn must not retain or mutate the OID and must not
+// call other DB methods.  Returning false stops the iteration.
+func (db *DB) EachLatestOID(fn func(*OID) bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for bv, chain := range db.chains {
+		if len(chain) == 0 {
+			continue
+		}
+		k := Key{Block: bv.Block, View: bv.View, Version: chain[len(chain)-1]}
+		if o, ok := db.oids[k]; ok && !fn(o) {
+			return
+		}
+	}
+}
+
 // Keys returns every OID key, sorted by block, view, version.
 func (db *DB) Keys() []Key {
 	db.mu.RLock()
@@ -524,14 +576,5 @@ func removeID(ids []LinkID, id LinkID) []LinkID {
 }
 
 func sortKeys(keys []Key) {
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.Block != b.Block {
-			return a.Block < b.Block
-		}
-		if a.View != b.View {
-			return a.View < b.View
-		}
-		return a.Version < b.Version
-	})
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
 }

@@ -46,6 +46,18 @@ func (k Key) String() string {
 // IsZero reports whether the key is the zero value.
 func (k Key) IsZero() bool { return k.Block == "" && k.View == "" && k.Version == 0 }
 
+// Less is the canonical key ordering used by every sorted listing: block,
+// then view, then version.
+func (k Key) Less(o Key) bool {
+	if k.Block != o.Block {
+		return k.Block < o.Block
+	}
+	if k.View != o.View {
+		return k.View < o.View
+	}
+	return k.Version < o.Version
+}
+
 // Validate checks that the key names a plausible OID: non-empty block and
 // view names without separator characters, and a positive version.
 func (k Key) Validate() error {

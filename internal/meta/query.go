@@ -1,5 +1,7 @@
 package meta
 
+import "sort"
+
 // Query helpers.  Designers "retrieve the state of the project by performing
 // queries" (section 1); these are the volume-query primitives the higher
 // level state package builds on.
@@ -177,18 +179,12 @@ func (db *DB) Equivalents(k Key) []Key {
 }
 
 func sortOIDs(oids []*OID) {
-	// Insertion-stable sort by key; slices are typically small.
-	for i := 1; i < len(oids); i++ {
-		for j := i; j > 0 && keyLess(oids[j].Key, oids[j-1].Key); j-- {
-			oids[j], oids[j-1] = oids[j-1], oids[j]
-		}
-	}
+	// Map iteration hands us a random permutation, so an insertion sort
+	// here is quadratic on large databases (it dominated state reports at
+	// a thousand blocks); use the library sort.
+	sort.Slice(oids, func(i, j int) bool { return keyLess(oids[i].Key, oids[j].Key) })
 }
 
 func sortLinks(links []*Link) {
-	for i := 1; i < len(links); i++ {
-		for j := i; j > 0 && links[j].ID < links[j-1].ID; j-- {
-			links[j], links[j-1] = links[j-1], links[j]
-		}
-	}
+	sort.Slice(links, func(i, j int) bool { return links[i].ID < links[j].ID })
 }

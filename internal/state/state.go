@@ -56,16 +56,26 @@ func lookupFor(o *meta.OID) bpl.LookupFunc {
 	}
 }
 
-// Evaluate computes the state report of a single OID snapshot under bp.
-func Evaluate(bp *bpl.Blueprint, o *meta.OID) OIDState {
+// evaluate computes the state of one OID against a resolved let slice.
+// With a non-nil index, failing lets are explained through the compiled
+// explainers; otherwise through one-shot ExplainFailure.  The returned
+// state shares o.Props; callers iterating live database objects must
+// replace it with a copy.
+func evaluate(lets []*bpl.LetDecl, ix *bpl.Index, o *meta.OID) OIDState {
 	st := OIDState{Key: o.Key, Ready: true, Lets: map[string]bool{}, Props: o.Props}
 	lookup := lookupFor(o)
-	for _, l := range bp.EffectiveLets(o.Key.View) {
+	for _, l := range lets {
 		ok := l.Expr.Eval(lookup)
 		st.Lets[l.Name] = ok
 		if !ok {
 			st.Ready = false
-			for _, r := range bpl.ExplainFailure(l.Expr, lookup) {
+			var reasons []string
+			if ix != nil {
+				reasons = ix.Explainer(l).Failures(lookup)
+			} else {
+				reasons = bpl.ExplainFailure(l.Expr, lookup)
+			}
+			for _, r := range reasons {
 				st.Reasons = append(st.Reasons, l.Name+": "+r)
 			}
 		}
@@ -73,15 +83,49 @@ func Evaluate(bp *bpl.Blueprint, o *meta.OID) OIDState {
 	return st
 }
 
+// Evaluate computes the state report of a single OID snapshot under bp.
+func Evaluate(bp *bpl.Blueprint, o *meta.OID) OIDState {
+	return evaluate(bp.EffectiveLets(o.Key.View), nil, o)
+}
+
+// EvaluateWith is Evaluate against a compiled policy index; callers that
+// evaluate many OIDs (Report) resolve each view's continuous assignments
+// and failure explanations once instead of once per OID.
+func EvaluateWith(ix *bpl.Index, o *meta.OID) OIDState {
+	return evaluate(ix.Lets(o.Key.View), ix, o)
+}
+
 // Report evaluates the latest version of every version chain and returns
-// the reports sorted by key.
+// the reports sorted by key.  The blueprint is compiled once (and cached on
+// it), and the database is read in a single locked pass without
+// materializing intermediate OID clones.
 func Report(db *meta.DB, bp *bpl.Blueprint) []OIDState {
-	latest := db.LatestOIDs()
-	out := make([]OIDState, 0, len(latest))
-	for _, o := range latest {
-		out = append(out, Evaluate(bp, o))
+	ix := bp.Index()
+	var out []OIDState
+	db.EachLatestOID(func(o *meta.OID) bool {
+		st := EvaluateWith(ix, o)
+		props := make(map[string]string, len(o.Props))
+		for k, v := range o.Props {
+			props[k] = v
+		}
+		st.Props = props
+		out = append(out, st)
+		return true
+	})
+	// Sort a permutation, not the states themselves: OIDState is large and
+	// swapping it through the generic sorter shows up in profiles.
+	perm := make([]int, len(out))
+	for i := range perm {
+		perm[i] = i
 	}
-	return out
+	sort.Slice(perm, func(i, j int) bool {
+		return out[perm[i]].Key.Less(out[perm[j]].Key)
+	})
+	sorted := make([]OIDState, len(out))
+	for i, j := range perm {
+		sorted[i] = out[j]
+	}
+	return sorted
 }
 
 // Gap returns only the reports of OIDs that are not ready — the "what

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Runs the key engine benchmarks and emits BENCH_<n>.json so the perf
+# trajectory across PRs is machine-readable.
+#
+#   BENCH_INDEX=2 BENCH_COUNT=3 scripts/bench.sh
+#
+# BENCH_INDEX (default 1) selects the output file BENCH_<n>.json;
+# BENCH_COUNT (default 1) is passed to -count.  The raw `go test` output is
+# kept next to the JSON as BENCH_<n>.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+INDEX="${BENCH_INDEX:-1}"
+COUNT="${BENCH_COUNT:-1}"
+PATTERN="${BENCH_PATTERN:-BenchmarkEventThroughput\$|BenchmarkPropagationScaling|BenchmarkStateReport}"
+OUT="BENCH_${INDEX}.json"
+RAW="BENCH_${INDEX}.txt"
+
+go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" . | tee "$RAW"
+
+{
+  printf '{\n'
+  printf '  "index": %s,\n' "$INDEX"
+  printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "go": "%s",\n' "$(go version | sed 's/"/\\"/g')"
+  printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  printf '  "benchmarks": [\n'
+  awk '
+    /^Benchmark/ {
+      name = $1
+      sub(/-[0-9]+$/, "", name)
+      if (out != "") printf "%s,\n", out
+      out = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", name, $2)
+      sep = ""
+      for (i = 3; i < NF; i += 2) {
+        out = out sprintf("%s\"%s\": %s", sep, $(i+1), $i)
+        sep = ", "
+      }
+      out = out "}}"
+    }
+    END { if (out != "") printf "%s\n", out }
+  ' "$RAW"
+  printf '  ]\n'
+  printf '}\n'
+} > "$OUT"
+
+echo "wrote $OUT"
