@@ -11,6 +11,7 @@ package repro
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/baseline"
@@ -695,4 +696,237 @@ func BenchmarkBlueprintParse(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// EXP-PAR — parallel wave drains and batched posts (PR 2)
+
+// buildBenchForest creates trees disjoint use-link trees (depth levels,
+// fanout children) with per-tree block prefixes — disjoint components, so
+// their waves may drain concurrently — and returns the roots.
+func buildBenchForest(b *testing.B, eng *Engine, trees, depth, fanout int) []Key {
+	b.Helper()
+	roots := make([]Key, 0, trees)
+	for tr := 0; tr < trees; tr++ {
+		root, err := eng.CreateOID(fmt.Sprintf("t%02d-root", tr), "node", "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		roots = append(roots, root)
+		level := []Key{root}
+		id := 0
+		for d := 1; d < depth; d++ {
+			var next []Key
+			for _, parent := range level {
+				for f := 0; f < fanout; f++ {
+					k, err := eng.CreateOID(fmt.Sprintf("t%02d-n%03d", tr, id), "node", "bench")
+					if err != nil {
+						b.Fatal(err)
+					}
+					id++
+					if _, err := eng.CreateLink(UseLink, parent, k); err != nil {
+						b.Fatal(err)
+					}
+					next = append(next, k)
+				}
+			}
+			level = next
+		}
+	}
+	if err := eng.Drain(); err != nil {
+		b.Fatal(err)
+	}
+	return roots
+}
+
+func parallelDrainEngine(b *testing.B, trees int, opts ...EngineOption) (*Engine, []Key) {
+	b.Helper()
+	bp, err := flow.PropagationBlueprint("par", "node", []string{"outofdate"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := NewEngine(NewDB(), bp, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, buildBenchForest(b, eng, trees, 4, 2)
+}
+
+// BenchmarkParallelDrain posts one check-in at the root of each of 8
+// disjoint 15-node trees and drains the batch: under workers=1 the waves
+// run back to back, under the default pool they drain concurrently.  The
+// parallel sub-benchmark drives the same engine from b.RunParallel
+// posters.  Run with -cpu=1,4 to see the scaling.
+func BenchmarkParallelDrain(b *testing.B) {
+	const trees = 8
+	run := func(b *testing.B, opts ...EngineOption) {
+		eng, roots := parallelDrainEngine(b, trees, opts...)
+		ev := Event{Name: EventCheckin, Dir: DirDown}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, r := range roots {
+				ev.Target = r
+				if err := eng.Post(ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := eng.Drain(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(trees), "waves/op")
+	}
+	b.Run("workers=1", func(b *testing.B) { run(b, WithDrainWorkers(1)) })
+	b.Run("pool", func(b *testing.B) { run(b) })
+	b.Run("parallel", func(b *testing.B) {
+		eng, roots := parallelDrainEngine(b, trees)
+		var next atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				r := roots[int(next.Add(1))%len(roots)]
+				if err := eng.PostAndDrain(Event{Name: EventCheckin, Dir: DirDown, Target: r}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := eng.Drain(); err != nil {
+				b.Fatal(err)
+			}
+			eng.WaitIdle()
+		})
+	})
+}
+
+// BenchmarkEventThroughputParallel is the multi-core companion of
+// BenchmarkEventThroughput: concurrent posters drive check-ins into 16
+// disjoint components while the drain pool processes the waves.  Compare
+// ops/sec at -cpu=1 and -cpu=4 for the scaling headroom the sharded
+// database and parallel drains buy.
+func BenchmarkEventThroughputParallel(b *testing.B) {
+	eng, roots := parallelDrainEngine(b, 16)
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r := roots[int(next.Add(1))%len(roots)]
+			if err := eng.PostAndDrain(Event{Name: EventCheckin, Dir: DirDown, Target: r}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Settle the backlog inside the timed region so ops/sec reflects
+		// fully processed events, not just accepted ones.
+		if err := eng.Drain(); err != nil {
+			b.Fatal(err)
+		}
+		eng.WaitIdle()
+	})
+}
+
+// BenchmarkBatchPost contrasts N single POST round-trips with one BATCH
+// carrying N events (one parse, one drain, one response), plus a
+// b.RunParallel variant hammering BATCH from concurrent clients.
+func BenchmarkBatchPost(b *testing.B) {
+	const batch = 64
+	setup := func(b *testing.B) (*server.Server, []wire.Request, wire.Request) {
+		proj := mustProject(b, EDTCExample)
+		srv := server.New(proj.Engine)
+		var singles []wire.Request
+		var items []string
+		for i := 0; i < batch; i++ {
+			k := mustKey(b, proj.Engine, fmt.Sprintf("blk%02d", i%16), "HDL_model")
+			singles = append(singles, wire.Request{Verb: wire.VerbPost, User: "bench",
+				Args: []string{"hdl_sim", "down", k.String(), "good"}})
+			items = append(items, wire.BatchItem{Event: "hdl_sim", Dir: "down",
+				OID: k.String(), Args: []string{"good"}}.Encode())
+		}
+		return srv, singles, wire.Request{Verb: wire.VerbBatch, User: "bench", Args: items}
+	}
+	b.Run("single", func(b *testing.B) {
+		srv, singles, _ := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, req := range singles {
+				if resp := srv.Handle(req); !resp.OK {
+					b.Fatal(resp.Detail)
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(batch, "events/op")
+	})
+	b.Run("batch", func(b *testing.B) {
+		srv, _, breq := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if resp := srv.Handle(breq); !resp.OK {
+				b.Fatal(resp.Detail)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(batch, "events/op")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		srv, _, breq := setup(b)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if resp := srv.Handle(breq); !resp.OK {
+					b.Fatal(resp.Detail)
+				}
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(batch, "events/op")
+	})
+
+	// The round-trip savings BATCH exists for: over TCP, one batched
+	// request replaces `batch` request/response cycles.
+	tcp := func(b *testing.B) (*server.Client, []meta.Key) {
+		proj := mustProject(b, EDTCExample)
+		srv := server.New(proj.Engine)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { srv.Close() })
+		var keys []meta.Key
+		for i := 0; i < batch; i++ {
+			keys = append(keys, mustKey(b, proj.Engine, fmt.Sprintf("blk%02d", i%16), "HDL_model"))
+		}
+		c, err := server.Dial(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		return c, keys
+	}
+	b.Run("tcp-single", func(b *testing.B) {
+		c, keys := tcp(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, k := range keys {
+				if err := c.PostEvent("hdl_sim", "down", k, "good"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(batch, "events/op")
+	})
+	b.Run("tcp-batch", func(b *testing.B) {
+		c, keys := tcp(b)
+		items := make([]wire.BatchItem, len(keys))
+		for i, k := range keys {
+			items[i] = wire.BatchItem{Event: "hdl_sim", Dir: "down", OID: k.String(), Args: []string{"good"}}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if n, err := c.PostBatch(items); err != nil || n != batch {
+				b.Fatal(n, err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(batch, "events/op")
+	})
 }

@@ -97,6 +97,11 @@ const EDTCExample = bpl.EDTCExample
 // NewDB returns an empty meta-database.
 func NewDB() *DB { return meta.NewDB() }
 
+// NewDBWithShards returns an empty meta-database lock-striped over n
+// shards (rounded up to a power of two).  Shard count is a performance
+// knob; results are identical for any n.
+func NewDBWithShards(n int) *DB { return meta.NewDBWithShards(n) }
+
 // LoadDB reads a database saved with (*DB).Save.
 func LoadDB(r io.Reader) (*DB, error) { return meta.Load(r) }
 
@@ -119,6 +124,15 @@ func WithExecutor(x Executor) EngineOption { return engine.WithExecutor(x) }
 
 // WithUser configures the engine's default user.
 func WithUser(u string) EngineOption { return engine.WithUser(u) }
+
+// WithDrainWorkers bounds the engine's drain worker pool; 1 forces
+// strictly sequential wave processing.
+func WithDrainWorkers(n int) EngineOption { return engine.WithDrainWorkers(n) }
+
+// StreamReport hands the state of the latest version of every design
+// object to fn without materializing property maps; see state.Stream for
+// the aliasing contract.
+func StreamReport(db *DB, bp *Blueprint, fn func(*OIDState) bool) { state.Stream(db, bp, fn) }
 
 // Report evaluates the state of the latest version of every design object.
 func Report(db *DB, bp *Blueprint) []OIDState { return state.Report(db, bp) }

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,8 +27,13 @@ type policy struct {
 }
 
 // Engine is the BluePrint run-time engine bound to one meta-database and
-// one loaded blueprint.  It is safe for concurrent use; event processing
-// itself is serialized FIFO, as in the paper.
+// one loaded blueprint.  It is safe for concurrent use.  Event processing
+// is organized in waves (one posted event and its propagation closure):
+// deliveries within a wave are FIFO, as in the paper; waves whose
+// footprints — the connected component of their seed block under
+// propagating links, per the compiled link templates' PROPAGATE stamps —
+// are disjoint drain concurrently on a bounded worker pool, while
+// overlapping waves run one after another in enqueue order.
 type Engine struct {
 	db *meta.DB
 
@@ -38,15 +44,40 @@ type Engine struct {
 	// in flight finishes under the policy it started with.
 	pol atomic.Pointer[policy]
 
-	mu       sync.Mutex
-	idle     *sync.Cond // broadcast when the queue settles
-	queue    []queueItem
-	qhead    int      // queue[:qhead] has been consumed; see dequeue in Drain
+	mu      sync.Mutex
+	cond    *sync.Cond // signaled on queue/worker transitions (see waiters)
+	waiters int        // goroutines blocked in cond.Wait; gates Broadcast
+
+	// waves[whead:] holds the incomplete waves in enqueue (id) order.
+	// Completion usually retires the head (one slot advance); a wave
+	// finishing out of order — possible only with parallel workers — is
+	// nilled in place and skipped by the scans.  nwaves counts the live
+	// entries.
+	waves  []*wave
+	whead  int
+	nwaves int
+
 	pending  []func() // deferred exec-rule invocations (external tools)
 	draining bool
+	active   int // waves currently claimed by drain workers
 	nextWave int64
+	compGen  int64 // component generation the cached roots reflect
+
+	// rootCache memoizes seed block → component root between component
+	// merges, so repeated waves on the same block skip the database's
+	// component lock; lastSeed/lastRoot are a one-entry cache in front of
+	// it for the common post-to-one-block loop.  Guarded by mu; cleared
+	// when compGen moves.
+	rootCache map[string]string
+	lastSeed  string
+	lastRoot  string
 
 	stats counters
+
+	// drain is the accounting of the in-flight Drain call (delivery count,
+	// stop flag).  Drain is exclusive, so one embedded instance serves every
+	// call without a per-drain allocation.
+	drain drainState
 
 	executor exec.Executor
 	tracer   Tracer
@@ -56,10 +87,7 @@ type Engine struct {
 	maxSteps int64
 	dedup    bool
 	maxHops  int
-
-	// hopBuf is reused across propagate calls.  Only the single active
-	// drainer touches it (Drain is exclusive), so no lock is needed.
-	hopBuf []meta.Key
+	workers  int // drain worker bound; 0 = min(GOMAXPROCS, maxDrainWorkers)
 }
 
 // Option configures an Engine.
@@ -93,6 +121,19 @@ func WithWaveDedup(on bool) Option { return func(e *Engine) { e.dedup = on } }
 // backstop when wave dedup is ablated away.
 func WithMaxHops(n int) Option { return func(e *Engine) { e.maxHops = n } }
 
+// WithDrainWorkers bounds the drain worker pool.  n = 1 forces strictly
+// sequential draining (every wave in enqueue order); the default (0) uses
+// min(GOMAXPROCS, 8).  Whatever the bound, waves whose footprints overlap
+// never start concurrently, so for a fixed link topology results are
+// independent of n.  One caveat survives, inherent to live scheduling: a
+// propagating link created *while a drain is in flight* can join the
+// components of two waves that are already running, and those in-flight
+// waves are not re-serialized — the same class of interleaving the
+// sequential engine admitted between a drain and concurrent DB writers.
+// Waves scheduled after the merge observe it (the scheduler refreshes
+// every cached footprint when the component generation moves).
+func WithDrainWorkers(n int) Option { return func(e *Engine) { e.workers = n } }
+
 // New creates an engine over db with the given blueprint.  The blueprint
 // must be free of analyzer errors.
 func New(db *meta.DB, bp *bpl.Blueprint, opts ...Option) (*Engine, error) {
@@ -114,7 +155,7 @@ func New(db *meta.DB, bp *bpl.Blueprint, opts ...Option) (*Engine, error) {
 		maxHops:  64,
 	}
 	e.pol.Store(&policy{bp: bp, idx: bp.Index()})
-	e.idle = sync.NewCond(&e.mu)
+	e.cond = sync.NewCond(&e.mu)
 	for _, o := range opts {
 		o(e)
 	}
@@ -132,14 +173,26 @@ func New(db *meta.DB, bp *bpl.Blueprint, opts ...Option) (*Engine, error) {
 // quiescence.
 func (e *Engine) WaitIdle() {
 	e.mu.Lock()
-	for e.qlenLocked() > 0 || len(e.pending) > 0 || e.draining {
-		e.idle.Wait()
+	for e.nwaves > 0 || e.active > 0 || len(e.pending) > 0 || e.draining {
+		e.waitLocked()
 	}
 	e.mu.Unlock()
 }
 
-// qlenLocked reports the number of queued deliveries.  Callers hold e.mu.
-func (e *Engine) qlenLocked() int { return len(e.queue) - e.qhead }
+// waitLocked blocks on the engine condition with waiter accounting, so
+// signalers can skip the Broadcast when nobody listens.  Callers hold e.mu.
+func (e *Engine) waitLocked() {
+	e.waiters++
+	e.cond.Wait()
+	e.waiters--
+}
+
+// wakeLocked wakes blocked waiters, if any.  Callers hold e.mu.
+func (e *Engine) wakeLocked() {
+	if e.waiters > 0 {
+		e.cond.Broadcast()
+	}
+}
 
 // DB returns the engine's meta-database.
 func (e *Engine) DB() *meta.DB { return e.db }
@@ -169,7 +222,13 @@ func (e *Engine) Stats() Stats {
 func (e *Engine) QueueLen() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.qlenLocked()
+	n := 0
+	for _, w := range e.waves[e.whead:] {
+		if w != nil {
+			n += int(w.n.Load())
+		}
+	}
+	return n
 }
 
 // ---------------------------------------------------------------------------
@@ -202,13 +261,13 @@ func (e *Engine) PostAndDrain(ev Event) error {
 	return e.Drain()
 }
 
-// wavePool recycles wave descriptors; a wave is returned to the pool once
-// its last delivery retires (see retireWave).  visitedPool recycles the
-// per-wave visited sets, which are allocated lazily at the wave's first
-// propagation — most events never cross a link and then need no set at
-// all.  Sets that grew beyond maxPooledVisited are dropped instead of
-// recycled: clearing a large-capacity map costs O(capacity) on every
-// later small wave that draws it.
+// wavePool recycles wave descriptors (with their item arrays) once the
+// wave's last delivery retires.  visitedPool recycles the per-wave visited
+// sets, which are allocated lazily at the wave's first propagation — most
+// events never cross a link and then need no set at all.  Sets that grew
+// beyond maxPooledVisited are dropped instead of recycled: clearing a
+// large-capacity map costs O(capacity) on every later small wave that
+// draws it.
 var (
 	wavePool = sync.Pool{
 		New: func() any { return new(wave) },
@@ -220,47 +279,70 @@ var (
 
 const (
 	maxPooledVisited = 64
-	// maxRetainedQueue bounds the queue capacity kept across drains; a
-	// larger backing array (one huge wave) is dropped on settle instead of
-	// holding burst-sized memory for the engine's lifetime.
+	// maxRetainedQueue bounds the item capacity a recycled wave keeps; a
+	// larger backing array (one huge wave) is dropped on completion instead
+	// of holding burst-sized memory for the engine's lifetime.
 	maxRetainedQueue = 4096
+	// maxDrainWorkers caps the default drain pool.
+	maxDrainWorkers = 8
 )
 
-// enqueueLocked appends a fresh-wave delivery.  Callers hold e.mu.
+// enqueueLocked starts a fresh wave holding one delivery.  Callers hold
+// e.mu.
 func (e *Engine) enqueueLocked(ev Event, skipRules bool) {
 	e.nextWave++
 	wv := wavePool.Get().(*wave)
 	wv.id = e.nextWave
+	wv.seed = ev.Target.Block
+	wv.root = ""
+	wv.rootSet = false
+	wv.running = false
 	wv.visited = nil
-	wv.pending = 1
-	e.queue = append(e.queue, queueItem{ev: ev, wv: wv, skipRules: skipRules})
+	wv.head = 0
+	wv.items = append(wv.items[:0], queueItem{ev: ev, skipRules: skipRules})
+	wv.n.Store(1)
+	e.waves = append(e.waves, wv)
+	e.nwaves++
 	e.stats.posted.Add(1)
 	if e.tracing {
 		e.tracer.Trace(TraceEntry{Kind: TraceEnqueue, OID: ev.Target.String(), Event: ev.Name})
 	}
+	e.wakeLocked()
 }
 
-// retireWave marks one delivery of the wave finished and recycles the
-// descriptor when it was the last.
-func (e *Engine) retireWave(wv *wave) {
-	e.mu.Lock()
-	wv.pending--
-	done := wv.pending == 0
-	e.mu.Unlock()
-	if done {
-		if m := wv.visited; m != nil && len(m) <= maxPooledVisited {
-			clear(m)
-			visitedPool.Put(m)
-		}
-		wv.visited = nil
-		wavePool.Put(wv)
+// recycleWave returns a fully delivered wave to the pool.
+func recycleWave(w *wave) {
+	if m := w.visited; m != nil && len(m) <= maxPooledVisited {
+		clear(m)
+		visitedPool.Put(m)
 	}
+	w.visited = nil
+	if cap(w.items) > maxRetainedQueue {
+		w.items = nil
+	} else {
+		w.items = w.items[:0]
+	}
+	w.head = 0
+	w.n.Store(0)
+	wavePool.Put(w)
 }
 
-// Drain processes queued events first-in first-out until the queue is
-// empty.  Rule-posted events and propagations join the same queue.  Only
-// one Drain runs at a time; concurrent calls return immediately so posters
-// can call PostAndDrain freely.
+// drainState is the shared accounting of one Drain call: the delivery
+// counter and the stop flag every worker observes.
+type drainState struct {
+	steps atomic.Int64
+	stop  atomic.Bool
+}
+
+// Drain processes queued events until the queue is empty.  Deliveries
+// within one wave (a posted event and its propagation closure) are strictly
+// first-in first-out, as in the paper.  Waves whose footprints are disjoint
+// — seed blocks in different connected components under propagating links —
+// are dispatched to a bounded worker pool and drain concurrently; waves
+// with overlapping footprints run one after another in enqueue order, so
+// the outcome is independent of the worker bound.  Rule-posted events start
+// new waves at the queue tail.  Only one Drain runs at a time; concurrent
+// calls return immediately so posters can call PostAndDrain freely.
 func (e *Engine) Drain() error {
 	e.mu.Lock()
 	if e.draining {
@@ -272,68 +354,259 @@ func (e *Engine) Drain() error {
 	defer func() {
 		e.mu.Lock()
 		e.draining = false
-		e.idle.Broadcast()
+		e.wakeLocked()
 		e.mu.Unlock()
 	}()
 
-	var steps int64
+	workers := e.workers
+	if workers <= 0 {
+		workers = min(runtime.GOMAXPROCS(0), maxDrainWorkers)
+	}
+	d := &e.drain
+	d.steps.Store(0)
+	d.stop.Store(false)
+	var inline *wave // dispatcher-run wave awaiting finalization
+	var inlineDone bool
 	for {
 		e.mu.Lock()
-		if e.qhead >= len(e.queue) {
-			// The queue has settled; reset it so the backing array is
-			// reused by the next wave instead of reallocated.  A burst-sized
-			// array is released rather than pinned for the engine's
-			// lifetime.
-			if cap(e.queue) > maxRetainedQueue {
-				e.queue = nil
-			} else {
-				e.queue = e.queue[:0]
+		if inline != nil {
+			// Finalize the wave the dispatcher just ran inline, in the
+			// same lock round-trip that schedules the next one.
+			recycle := e.finishWaveLocked(inline, inlineDone)
+			inline = nil
+			if recycle != nil {
+				e.mu.Unlock()
+				recycleWave(recycle)
+				e.mu.Lock()
 			}
-			e.qhead = 0
-			// Now dispatch deferred exec-rule invocations.  In the paper
-			// these are external wrapper processes: the events they post
-			// arrive after the current wave has fully propagated, never
-			// interleaved inside it.
+		}
+		if d.stop.Load() {
+			// A worker hit the step limit.  Wait for the pool to retire;
+			// undelivered waves stay queued, like the unprocessed tail of
+			// the old FIFO queue.
+			for e.active > 0 {
+				e.waitLocked()
+			}
+			e.mu.Unlock()
+			return fmt.Errorf("%w: after %d deliveries", ErrStepLimit, d.steps.Load()-1)
+		}
+		if w := e.scheduleLocked(workers, d); w != nil {
+			// The dispatcher doubles as worker zero: the first runnable
+			// wave runs inline, so a solitary wave pays no goroutine or
+			// signaling cost.
+			e.mu.Unlock()
+			inlineDone = e.runWaveBody(w, d)
+			inline = w
+			continue
+		}
+		if e.nwaves == 0 && e.active == 0 {
 			if len(e.pending) == 0 {
 				e.mu.Unlock()
 				return nil
 			}
+			// Dispatch deferred exec-rule invocations.  In the paper these
+			// are external wrapper processes: the events they post arrive
+			// after every in-flight wave has fully propagated, never
+			// interleaved inside one.
 			run := e.pending[0]
 			e.pending = e.pending[1:]
 			e.mu.Unlock()
-			steps++
-			if steps > e.maxSteps {
-				return fmt.Errorf("%w: after %d deliveries", ErrStepLimit, steps-1)
+			if d.steps.Add(1) > e.maxSteps {
+				return fmt.Errorf("%w: after %d deliveries", ErrStepLimit, d.steps.Load()-1)
 			}
 			run()
 			continue
 		}
-		// Head-index dequeue: O(1) with a reusable backing array, where
-		// re-slicing queue[1:] forced append to grow a fresh array every
-		// wave.  The consumed slot is zeroed to release its references.
-		item := e.queue[e.qhead]
-		e.queue[e.qhead] = queueItem{}
-		e.qhead++
+		// Workers are busy and nothing new is runnable; wait for a
+		// completion or a fresh post.
+		e.waitLocked()
 		e.mu.Unlock()
+	}
+}
 
-		steps++
-		if steps > e.maxSteps {
-			// The dequeued item is dropped, not delivered: retire it so its
-			// wave's pending count still reaches zero.
-			e.retireWave(item.wv)
-			return fmt.Errorf("%w: after %d deliveries", ErrStepLimit, steps-1)
+// schedConflictCap bounds how many consecutive conflicting waves one
+// scheduling pass examines past the last claimed one.  When a long run of
+// waves shares one footprint (a busy single-component project), scanning
+// the whole tail every pass is O(queue) for nothing — after this many
+// conflicts in a row the pass gives up looking for more parallelism.  The
+// first pending wave never conflicts, so progress is unaffected; a
+// disjoint wave deep behind a conflicting prefix is merely picked up a few
+// passes later, as the prefix drains.
+const schedConflictCap = 8
+
+// scheduleLocked claims runnable waves: the first for the calling
+// dispatcher (returned), every further one for a pooled goroutine, up to
+// the worker bound.  A wave is runnable when no earlier incomplete wave
+// shares its footprint root.  Callers hold e.mu.
+func (e *Engine) scheduleLocked(workers int, d *drainState) *wave {
+	if e.nwaves == 0 {
+		return nil
+	}
+	// Links created since the roots were cached may have merged
+	// components; when the generation moved, refresh every live wave's
+	// root — including running ones, whose stale roots would otherwise
+	// let a newly rooted overlapping wave slip past the conflict check.
+	if gen := e.db.ComponentGen(); gen != e.compGen {
+		clear(e.rootCache)
+		e.lastSeed = ""
+		e.compGen = gen
+		for _, w := range e.waves[e.whead:] {
+			if w != nil {
+				w.root = e.rootLocked(w.seed)
+				w.rootSet = true
+			}
+		}
+	}
+	var mine *wave
+	conflicts := 0
+	for i := e.whead; i < len(e.waves); i++ {
+		w := e.waves[i]
+		if w == nil {
+			continue
+		}
+		if e.active >= workers || conflicts >= schedConflictCap {
+			break
+		}
+		if w.running {
+			continue
+		}
+		if !w.rootSet {
+			w.root = e.rootLocked(w.seed)
+			w.rootSet = true
+		}
+		if e.conflictsLocked(w, i) {
+			conflicts++
+			continue
+		}
+		conflicts = 0
+		w.running = true
+		e.active++
+		if mine == nil {
+			mine = w
+		} else {
+			go e.runWaveWorker(w, d)
+		}
+	}
+	return mine
+}
+
+// rootLocked resolves a seed block's component root through the engine's
+// caches.  Callers hold e.mu.
+func (e *Engine) rootLocked(seed string) string {
+	if seed == e.lastSeed {
+		return e.lastRoot
+	}
+	root, ok := e.rootCache[seed]
+	if !ok {
+		root = e.db.Component(seed)
+		if e.rootCache == nil {
+			e.rootCache = make(map[string]string)
+		}
+		e.rootCache[seed] = root
+	}
+	e.lastSeed, e.lastRoot = seed, root
+	return root
+}
+
+// conflictsLocked reports whether an earlier incomplete wave shares the
+// footprint root of e.waves[i].  The list holds incomplete waves in
+// enqueue order, and every live wave before i has its root cached by the
+// scheduling scan, so this is a prefix scan of string compares.  Callers
+// hold e.mu.
+func (e *Engine) conflictsLocked(w *wave, i int) bool {
+	for j := e.whead; j < i; j++ {
+		if x := e.waves[j]; x != nil && x.root == w.root {
+			return true
+		}
+	}
+	return false
+}
+
+// runWaveBody delivers a claimed wave's items FIFO until the wave is
+// exhausted or the drain stops, and reports whether the wave completed.
+// The wave is owned: items, head, visited and the hops scratch are touched
+// only by this worker until the completion transition under e.mu.
+func (e *Engine) runWaveBody(w *wave, d *drainState) bool {
+	for !d.stop.Load() {
+		if w.head >= len(w.items) {
+			return true
+		}
+		// The consumed slot is zeroed to release its references.
+		item := w.items[w.head]
+		w.items[w.head] = queueItem{}
+		w.head++
+		w.n.Add(-1)
+		if d.steps.Add(1) > e.maxSteps {
+			// The dequeued item is dropped, not delivered, matching the
+			// pre-parallel dequeue-at-limit behavior.
+			d.stop.Store(true)
+			return false
 		}
 		// The policy is resolved at dequeue time, not post time: see the
 		// field comment on pol for the SetBlueprint semantics.
-		e.deliver(e.pol.Load(), item)
-		e.retireWave(item.wv)
+		e.deliver(e.pol.Load(), item, w)
+	}
+	return w.head >= len(w.items)
+}
+
+// finishWaveLocked retires a worker's claim on a wave: a completed wave
+// leaves the list (returned for recycling outside the lock), a stopped one
+// stays queued for the next Drain.  Callers hold e.mu.
+func (e *Engine) finishWaveLocked(w *wave, done bool) *wave {
+	if done {
+		if e.waves[e.whead] == w {
+			// The usual case: the oldest wave retires; advance the head
+			// past it and any slots nilled by out-of-order completions.
+			e.waves[e.whead] = nil
+			e.whead++
+		} else {
+			for i := e.whead + 1; i < len(e.waves); i++ {
+				if e.waves[i] == w {
+					e.waves[i] = nil
+					break
+				}
+			}
+		}
+		for e.whead < len(e.waves) && e.waves[e.whead] == nil {
+			e.whead++
+		}
+		if e.whead >= len(e.waves) {
+			// Reuse the backing array for the next burst, unless it grew
+			// beyond the retention bound.
+			if cap(e.waves) > maxRetainedQueue {
+				e.waves = nil
+			} else {
+				e.waves = e.waves[:0]
+			}
+			e.whead = 0
+		}
+		e.nwaves--
+	} else {
+		w.running = false // stopped mid-wave; resumable by the next Drain
+	}
+	e.active--
+	e.wakeLocked()
+	if done {
+		return w
+	}
+	return nil
+}
+
+// runWaveWorker is the pooled-goroutine wrapper around runWaveBody.
+func (e *Engine) runWaveWorker(w *wave, d *drainState) {
+	done := e.runWaveBody(w, d)
+	e.mu.Lock()
+	recycle := e.finishWaveLocked(w, done)
+	e.mu.Unlock()
+	if recycle != nil {
+		recycleWave(recycle)
 	}
 }
 
 // deliver processes one queued delivery: run the matching run-time rules on
 // the target OID (unless propagate-only), then propagate the event across
-// the target's links.
-func (e *Engine) deliver(pol *policy, item queueItem) {
+// the target's links within the owning wave.
+func (e *Engine) deliver(pol *policy, item queueItem, w *wave) {
 	ev := item.ev
 	e.stats.deliveries.Add(1)
 	if !e.db.HasOID(ev.Target) {
@@ -350,7 +623,7 @@ func (e *Engine) deliver(pol *policy, item queueItem) {
 	if !item.skipRules {
 		e.runRules(pol, ev)
 	}
-	e.propagate(item)
+	e.propagate(item, w)
 }
 
 // runRules executes the run-time rules matching the event on its target,
@@ -550,10 +823,11 @@ func (e *Engine) reevalLets(idx *bpl.Index, ev Event) {
 }
 
 // propagate crosses the target's links with the delivered event, enqueuing
-// continuation deliveries within the same wave.
-func (e *Engine) propagate(item queueItem) {
+// continuation deliveries within the same wave.  The wave is owned by the
+// calling worker, so the visited set and item queue need no locking.
+func (e *Engine) propagate(item queueItem, w *wave) {
 	ev := item.ev
-	hops := e.hopBuf[:0]
+	hops := w.hops[:0]
 	var blocked int64
 	e.db.EachLinkOf(ev.Target, func(l *meta.Link) bool {
 		if !l.CanPropagate(ev.Name) {
@@ -573,7 +847,7 @@ func (e *Engine) propagate(item queueItem) {
 		hops = append(hops, next)
 		return true
 	})
-	e.hopBuf = hops
+	w.hops = hops
 	if blocked > 0 {
 		e.stats.blocked.Add(blocked)
 	}
@@ -582,17 +856,16 @@ func (e *Engine) propagate(item queueItem) {
 	}
 
 	var drops, propagations int64
-	e.mu.Lock()
-	if e.dedup && item.wv.visited == nil {
+	if e.dedup && w.visited == nil {
 		// First propagation of the wave.  FIFO order guarantees it happens
 		// at the wave's origin, so marking the current target seeds the
 		// set exactly as marking at enqueue time would.
-		item.wv.visited = visitedPool.Get().(map[meta.Key]bool)
-		item.wv.visited[ev.Target] = true
+		w.visited = visitedPool.Get().(map[meta.Key]bool)
+		w.visited[ev.Target] = true
 	}
 	for _, to := range hops {
 		if e.dedup {
-			if item.wv.visited[to] {
+			if w.visited[to] {
 				drops++
 				if e.tracing {
 					e.tracer.Trace(TraceEntry{Kind: TraceDrop, OID: to.String(), Event: ev.Name,
@@ -600,7 +873,7 @@ func (e *Engine) propagate(item queueItem) {
 				}
 				continue
 			}
-			item.wv.visited[to] = true
+			w.visited[to] = true
 		} else if item.hops >= e.maxHops {
 			drops++
 			if e.tracing {
@@ -611,15 +884,14 @@ func (e *Engine) propagate(item queueItem) {
 		}
 		nev := ev
 		nev.Target = to
-		item.wv.pending++
-		e.queue = append(e.queue, queueItem{ev: nev, wv: item.wv, hops: item.hops + 1})
+		w.items = append(w.items, queueItem{ev: nev, hops: item.hops + 1})
+		w.n.Add(1)
 		propagations++
 		if e.tracing {
 			e.tracer.Trace(TraceEntry{Kind: TracePropagate, OID: to.String(), Event: ev.Name,
 				Detail: "from " + ev.Target.String()})
 		}
 	}
-	e.mu.Unlock()
 	if drops > 0 {
 		e.stats.drops.Add(drops)
 	}

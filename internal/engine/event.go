@@ -30,23 +30,35 @@
 //
 // # Concurrency model
 //
-// The meta-database has its own lock; the engine adds a single mutex that
-// guards only the event queue, the deferred-exec list and the drain flag.
-// Activity counters are per-counter atomics (Stats never blocks event
-// processing), and audit tracing is gated by a boolean fixed at
-// construction, so an engine built with the default NopTracer constructs no
-// trace entries at all — no Key.String formatting, no detail strings.
-// Drain is exclusive: concurrent calls return immediately, which lets the
-// drainer own scratch state (the propagation hop buffer) without locking.
-// Delivery phases 1 and 2 batch all property reads and writes of one
-// delivery into a single locked round-trip on the database (meta.DB
-// UpdateOID); per-wave visited sets are pooled and recycled when the last
-// delivery of a wave retires.
+// The meta-database carries its own lock striping; the engine adds a
+// single mutex that guards only the wave list, the deferred-exec list and
+// the drain bookkeeping.  Activity counters are per-counter atomics (Stats
+// never blocks event processing), and audit tracing is gated by a boolean
+// fixed at construction, so an engine built with the default NopTracer
+// constructs no trace entries at all — no Key.String formatting, no detail
+// strings.
+//
+// Drain is exclusive as an entry point (concurrent calls return
+// immediately) but fans out internally: each posted event and its
+// propagation closure form a wave, and waves whose footprints are disjoint
+// — seed blocks in different connected components under propagating links
+// (meta.DB.Component, maintained from the PROPAGATE sets the compiled link
+// templates stamp on link instances) — are dispatched to a bounded worker
+// pool and drain concurrently.  Waves with overlapping footprints run one
+// after another in enqueue order, so for a fixed link topology the final
+// state never depends on the worker bound (WithDrainWorkers; see its doc
+// for the one caveat — a propagating link created mid-drain joining the
+// components of two already-running waves).  A wave is owned by exactly one worker
+// while it runs: its item queue, visited set and hop scratch are touched
+// lock-free and recycled when the wave completes.  Delivery phases 1 and 2
+// batch all property reads and writes of one delivery into a single locked
+// round-trip on the owning database shard (meta.DB UpdateOID).
 package engine
 
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/bpl"
 	"repro/internal/meta"
@@ -116,19 +128,36 @@ func (e Event) Validate() error {
 // wave identifies one propagation of one event instance through the link
 // graph.  All deliveries of the same wave share a visited set, which
 // guarantees termination on cyclic link graphs.
+//
+// A wave owns its delivery queue: while the wave runs, exactly one drain
+// worker pops items and appends propagation continuations, so items, head,
+// visited and the hops scratch need no locking.  The scheduler only touches
+// id, seed, root and running — always under Engine.mu — and reads the
+// atomic n for QueueLen.  Waves are recycled through wavePool once fully
+// delivered.
 type wave struct {
-	id      int64
+	id   int64
+	seed string // block of the origin event, the footprint seed
+
+	// root caches the seed block's connected component under propagating
+	// links (meta.DB.Component) — the wave's conservative footprint.  Two
+	// waves with different roots cannot touch a common OID and may drain
+	// concurrently.  Guarded by Engine.mu; invalidated when the database's
+	// component generation moves.
+	root    string
+	rootSet bool
+	running bool // claimed by a drain worker; guarded by Engine.mu
+
 	visited map[meta.Key]bool
-	// pending counts queued-but-unretired deliveries of the wave, guarded
-	// by Engine.mu.  When it reaches zero the visited map is recycled
-	// (Engine.retireWave).
-	pending int
+	items   []queueItem // FIFO: items[head:] are pending
+	head    int
+	n       atomic.Int64 // pending item count, read lock-free by QueueLen
+	hops    []meta.Key   // propagation scratch, reused across deliveries
 }
 
 // queueItem is one pending delivery.
 type queueItem struct {
 	ev Event
-	wv *wave
 	// skipRules marks propagate-only deliveries: a "post EVENT dir" action
 	// without a target view propagates the event directly from the current
 	// OID, without re-running local rules on it.

@@ -1,0 +1,85 @@
+package meta
+
+// Block connectivity tracking for the engine's parallel wave scheduler.
+//
+// Two event waves may drain concurrently only if they cannot touch a common
+// OID.  Propagation crosses a link only when the event name is in the
+// link's PROPAGATE set (stamped from the blueprint's compiled link
+// templates at creation), and rule-posted events always target a view of
+// the same block — so the set of blocks a wave can reach is bounded by the
+// connected component of its seed block in the graph whose edges are links
+// with a non-empty PROPAGATE set.
+//
+// The DB maintains that component structure as a union-find over block
+// names: AddLink, RetargetLink and SetLinkPropagates merge the endpoint
+// blocks (before the link becomes visible, so the analysis never
+// underestimates), and nothing ever splits a component — deleting or
+// pruning links leaves the partition conservatively coarse.  Components
+// therefore only merge, which is exactly the monotonicity the scheduler's
+// cached footprints rely on: ComponentGen bumps on every merge so cached
+// roots can be revalidated cheaply.
+
+// Component returns a canonical representative of the block's connected
+// component under propagating links.  Two blocks can share a propagation
+// path only if their Component results are equal (the converse does not
+// hold: the analysis is conservative and never splits).  A block with no
+// propagating links is its own component.
+func (db *DB) Component(block string) string {
+	if db.compGen.Load() == 0 {
+		// No propagating link has ever merged two blocks: every block is
+		// its own component, no lock needed.  (A merge racing with this
+		// read is indistinguishable from reading just before it.)
+		return block
+	}
+	db.compMu.Lock()
+	defer db.compMu.Unlock()
+	return db.findLocked(block)
+}
+
+// SameComponent reports whether two blocks may be connected by propagating
+// links.
+func (db *DB) SameComponent(a, b string) bool {
+	if a == b {
+		return true
+	}
+	db.compMu.Lock()
+	defer db.compMu.Unlock()
+	return db.findLocked(a) == db.findLocked(b)
+}
+
+// ComponentGen returns a generation counter that increases whenever two
+// components merge.  Callers caching Component results revalidate when the
+// generation moves.
+func (db *DB) ComponentGen() int64 { return db.compGen.Load() }
+
+// findLocked resolves the root of a block with path halving.  Callers hold
+// compMu.  Unknown blocks are their own root and are not materialized.
+func (db *DB) findLocked(block string) string {
+	cur := block
+	for {
+		parent, ok := db.comp[cur]
+		if !ok || parent == cur {
+			return cur
+		}
+		if gp, ok := db.comp[parent]; ok && gp != parent {
+			db.comp[cur] = gp // path halving
+			cur = gp
+			continue
+		}
+		cur = parent
+	}
+}
+
+// unionBlocks merges the components of two blocks.
+func (db *DB) unionBlocks(a, b string) {
+	if a == b {
+		return
+	}
+	db.compMu.Lock()
+	ra, rb := db.findLocked(a), db.findLocked(b)
+	if ra != rb {
+		db.comp[ra] = rb
+		db.compGen.Add(1)
+	}
+	db.compMu.Unlock()
+}

@@ -76,16 +76,18 @@ func (db *DB) SnapshotHierarchy(name string, root Key, follow FollowFunc) (*Conf
 	if follow == nil {
 		follow = FollowUseLinks
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.ctl.Lock()
+	defer db.ctl.Unlock()
 	if _, ok := db.configs[name]; ok {
 		return nil, fmt.Errorf("configuration %q: %w", name, ErrExists)
 	}
-	if _, ok := db.oids[root]; !ok {
+	db.rlockAll()
+	defer db.runlockAll()
+	if _, ok := db.shardOf(root).oids[root]; !ok {
 		return nil, fmt.Errorf("root %v: %w", root, ErrNotFound)
 	}
 
-	c := &Configuration{Name: name, Seq: db.seq}
+	c := &Configuration{Name: name, Seq: db.seq.Load()}
 	visited := map[Key]bool{root: true}
 	linkSeen := map[LinkID]bool{}
 	queue := []Key{root}
@@ -93,18 +95,17 @@ func (db *DB) SnapshotHierarchy(name string, root Key, follow FollowFunc) (*Conf
 		k := queue[0]
 		queue = queue[1:]
 		c.OIDs = append(c.OIDs, k)
-		for _, id := range db.outLinks[k] {
-			l := db.links[id]
-			if l == nil || !follow(l) {
+		for _, r := range db.shardOf(k).outLinks[k] {
+			if !follow(r.l) {
 				continue
 			}
-			if !linkSeen[id] {
-				linkSeen[id] = true
-				c.Links = append(c.Links, id)
+			if !linkSeen[r.id] {
+				linkSeen[r.id] = true
+				c.Links = append(c.Links, r.id)
 			}
-			if !visited[l.To] {
-				visited[l.To] = true
-				queue = append(queue, l.To)
+			if !visited[r.l.To] {
+				visited[r.l.To] = true
+				queue = append(queue, r.l.To)
 			}
 		}
 	}
@@ -121,22 +122,28 @@ func (db *DB) SnapshotQuery(name string, pred func(*OID) bool) (*Configuration, 
 	if err := ValidateName(name); err != nil {
 		return nil, fmt.Errorf("configuration: %w", err)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.ctl.Lock()
+	defer db.ctl.Unlock()
 	if _, ok := db.configs[name]; ok {
 		return nil, fmt.Errorf("configuration %q: %w", name, ErrExists)
 	}
-	c := &Configuration{Name: name, Seq: db.seq}
+	db.rlockAll()
+	defer db.runlockAll()
+	c := &Configuration{Name: name, Seq: db.seq.Load()}
 	selected := make(map[Key]bool)
-	for k, o := range db.oids {
-		if pred(o) {
-			selected[k] = true
-			c.OIDs = append(c.OIDs, k)
+	for _, sh := range db.shards {
+		for k, o := range sh.oids {
+			if pred(o) {
+				selected[k] = true
+				c.OIDs = append(c.OIDs, k)
+			}
 		}
 	}
-	for id, l := range db.links {
-		if selected[l.From] && selected[l.To] {
-			c.Links = append(c.Links, id)
+	for _, st := range db.stripes {
+		for id, l := range st.links {
+			if selected[l.From] && selected[l.To] {
+				c.Links = append(c.Links, id)
+			}
 		}
 	}
 	sort.Slice(c.OIDs, func(i, j int) bool { return keyLess(c.OIDs[i], c.OIDs[j]) })
@@ -156,33 +163,39 @@ func (db *DB) SnapshotAsOf(name string, seq int64) (*Configuration, error) {
 	if err := ValidateName(name); err != nil {
 		return nil, fmt.Errorf("configuration: %w", err)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.ctl.Lock()
+	defer db.ctl.Unlock()
 	if _, ok := db.configs[name]; ok {
 		return nil, fmt.Errorf("configuration %q: %w", name, ErrExists)
 	}
+	db.rlockAll()
+	defer db.runlockAll()
 	c := &Configuration{Name: name, Seq: seq}
 	selected := make(map[Key]bool)
-	for bv, chain := range db.chains {
-		// Chains are ascending in version and creation order; pick the
-		// newest version created at or before seq.
-		var pick Key
-		for _, v := range chain {
-			k := Key{Block: bv.Block, View: bv.View, Version: v}
-			o, ok := db.oids[k]
-			if !ok || o.Seq > seq {
-				continue
+	for _, sh := range db.shards {
+		for bv, chain := range sh.chains {
+			// Chains are ascending in version and creation order; pick the
+			// newest version created at or before seq.
+			var pick Key
+			for _, v := range chain {
+				k := Key{Block: bv.Block, View: bv.View, Version: v}
+				o, ok := sh.oids[k]
+				if !ok || o.Seq > seq {
+					continue
+				}
+				pick = k
 			}
-			pick = k
-		}
-		if !pick.IsZero() {
-			selected[pick] = true
-			c.OIDs = append(c.OIDs, pick)
+			if !pick.IsZero() {
+				selected[pick] = true
+				c.OIDs = append(c.OIDs, pick)
+			}
 		}
 	}
-	for id, l := range db.links {
-		if l.Seq <= seq && selected[l.From] && selected[l.To] {
-			c.Links = append(c.Links, id)
+	for _, st := range db.stripes {
+		for id, l := range st.links {
+			if l.Seq <= seq && selected[l.From] && selected[l.To] {
+				c.Links = append(c.Links, id)
+			}
 		}
 	}
 	sort.Slice(c.OIDs, func(i, j int) bool { return keyLess(c.OIDs[i], c.OIDs[j]) })
@@ -193,8 +206,8 @@ func (db *DB) SnapshotAsOf(name string, seq int64) (*Configuration, error) {
 
 // GetConfiguration returns a copy of a stored configuration.
 func (db *DB) GetConfiguration(name string) (*Configuration, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.ctl.RLock()
+	defer db.ctl.RUnlock()
 	c, ok := db.configs[name]
 	if !ok {
 		return nil, fmt.Errorf("configuration %q: %w", name, ErrNotFound)
@@ -204,8 +217,8 @@ func (db *DB) GetConfiguration(name string) (*Configuration, error) {
 
 // DeleteConfiguration removes a stored configuration.
 func (db *DB) DeleteConfiguration(name string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.ctl.Lock()
+	defer db.ctl.Unlock()
 	if _, ok := db.configs[name]; !ok {
 		return fmt.Errorf("configuration %q: %w", name, ErrNotFound)
 	}
@@ -215,8 +228,8 @@ func (db *DB) DeleteConfiguration(name string) error {
 
 // ConfigurationNames lists stored configurations in sorted order.
 func (db *DB) ConfigurationNames() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.ctl.RLock()
+	defer db.ctl.RUnlock()
 	names := make([]string, 0, len(db.configs))
 	for n := range db.configs {
 		names = append(names, n)
@@ -244,22 +257,26 @@ type ResolvedConfiguration struct {
 
 // Resolve materializes a stored configuration.
 func (db *DB) Resolve(name string) (*ResolvedConfiguration, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.ctl.RLock()
+	defer db.ctl.RUnlock()
 	c, ok := db.configs[name]
 	if !ok {
 		return nil, fmt.Errorf("configuration %q: %w", name, ErrNotFound)
 	}
+	db.rlockAll()
+	defer db.runlockAll()
 	r := &ResolvedConfiguration{Config: c.clone()}
+	r.OIDs = make([]*OID, 0, len(c.OIDs))
 	for _, k := range c.OIDs {
-		if o, ok := db.oids[k]; ok {
+		if o, ok := db.shardOf(k).oids[k]; ok {
 			r.OIDs = append(r.OIDs, o.clone())
 		} else {
 			r.MissingOIDs = append(r.MissingOIDs, k)
 		}
 	}
+	r.Links = make([]*Link, 0, len(c.Links))
 	for _, id := range c.Links {
-		if l, ok := db.links[id]; ok {
+		if l := db.linkLocked(id); l != nil {
 			r.Links = append(r.Links, l.clone())
 		} else {
 			r.MissingLinks = append(r.MissingLinks, id)

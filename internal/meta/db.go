@@ -4,61 +4,239 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // DB is the DAMOCLES meta-database: an in-memory, concurrency-safe store of
 // OIDs, Links, Configurations and workspace bindings.  A DB models one
 // project; the paper's project server owns exactly one.
 //
+// # Sharding and locking
+//
+// The hot maps are lock-striped so concurrent drains, queries and state
+// reports stop serializing on one mutex.  OIDs, version chains and the
+// adjacency indexes are partitioned into shards keyed by the hash of the
+// block name — every view, version and adjacency list of a block lives on
+// one shard, so the single-OID hot paths (HasOID, GetProp, UpdateOID,
+// WithOID, Latest, Predecessor, EachLinkOf) take exactly one shard lock.
+// Link objects live in separate stripes keyed by LinkID and are immutable
+// once published (mutators install a replacement object), which is what
+// lets link walks read them under the shard lock alone.  Configurations
+// and workspaces sit on a small control-plane lock; the logical clock and
+// link-ID counter are atomics.  NewDBWithShards picks the stripe count —
+// a pure performance knob that never changes results.
+//
+// Multi-shard operations follow one deterministic lock order — control
+// plane, then key shards in ascending index, then link stripes in
+// ascending index — so cross-shard link walks (graph traversals,
+// snapshots, pruning) cannot deadlock.  Operations that discover their
+// shard set from a link's endpoints (DeleteLink, RetargetLink, the
+// annotation setters) snapshot the link optimistically, lock in canonical
+// order, then re-validate object identity and retry if it was replaced
+// underneath them.
+//
 // All mutation goes through DB methods.  Read accessors either return deep
 // copies (safe to retain) or, for the Each* iterators, expose internal
-// objects under the read lock: iterator callbacks must not retain or mutate
-// the objects they are handed and must not call DB methods (which would
-// deadlock).
+// objects under the owning locks: iterator callbacks must not retain or
+// mutate the objects they are handed and must not call DB methods (which
+// would deadlock).  EachOID, EachLatestOID and the Select*/Latest* queries
+// visit shards one at a time: each shard is internally consistent, but the
+// iteration is not a point-in-time snapshot of the whole database when
+// writers run concurrently.  Operations that need whole-database atomicity
+// (Save, Snapshot*, PruneVersions, Reachable, Dependents, Equivalents) lock
+// every shard and stripe for their duration.
 type DB struct {
-	mu sync.RWMutex
+	shards []*dbShard
+	mask   uint32
 
-	oids   map[Key]*OID
-	chains map[BlockView][]int // ascending version numbers
-	links  map[LinkID]*Link
+	stripes []*linkStripe
+	lmask   uint32
 
-	// Adjacency indexes: links where the key is the From / To endpoint.
-	outLinks map[Key][]LinkID
-	inLinks  map[Key][]LinkID
+	seq      atomic.Int64
+	nextLink atomic.Int64
 
+	// ctl guards the control plane: configurations and workspaces.
+	ctl        sync.RWMutex
 	configs    map[string]*Configuration
 	workspaces map[string]*Workspace
 
-	nextLink LinkID
-	seq      int64
+	// Block connectivity (union-find) for the engine's wave-conflict
+	// analysis; see component.go.
+	compMu  sync.Mutex
+	comp    map[string]string
+	compGen atomic.Int64
 }
 
-// NewDB returns an empty meta-database.
-func NewDB() *DB {
-	return &DB{
-		oids:       make(map[Key]*OID),
-		chains:     make(map[BlockView][]int),
-		links:      make(map[LinkID]*Link),
-		outLinks:   make(map[Key][]LinkID),
-		inLinks:    make(map[Key][]LinkID),
+// dbShard holds one stripe of the OID/chain/adjacency maps.  Every key in
+// all four maps hashes to this shard.
+type dbShard struct {
+	mu       sync.RWMutex
+	oids     map[Key]*OID
+	chains   map[BlockView][]int
+	outLinks map[Key][]linkRef
+	inLinks  map[Key][]linkRef
+}
+
+// linkRef pairs a link ID with its current object in the adjacency lists,
+// so link walks resolve links under the shard lock alone — no stripe
+// round-trip per link on the propagation hot path.
+//
+// Link objects are immutable once published: every mutation (SetLinkProp,
+// SetLinkPropagates, RetargetLink) installs a replacement object in the
+// stripe map and in both endpoints' adjacency refs while holding the
+// endpoint shard locks and the stripe lock.  Readers therefore never see a
+// link change underneath them, only an older or newer complete object.
+type linkRef struct {
+	id LinkID
+	l  *Link
+}
+
+// linkStripe holds one stripe of the link table, keyed by LinkID.
+type linkStripe struct {
+	mu    sync.RWMutex
+	links map[LinkID]*Link
+}
+
+// DefaultShards is the shard count of NewDB: enough stripes to spread a
+// worker pool's drains without bloating small databases.
+const DefaultShards = 16
+
+// NewDB returns an empty meta-database with DefaultShards shards.
+func NewDB() *DB { return NewDBWithShards(DefaultShards) }
+
+// NewDBWithShards returns an empty meta-database striped over n shards
+// (rounded up to a power of two, minimum 1).  Shard count is a pure
+// performance knob: every query and report returns identical results for
+// any n.
+func NewDBWithShards(n int) *DB {
+	if n < 1 {
+		n = 1
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	db := &DB{
+		shards:     make([]*dbShard, pow),
+		mask:       uint32(pow - 1),
+		stripes:    make([]*linkStripe, pow),
+		lmask:      uint32(pow - 1),
 		configs:    make(map[string]*Configuration),
 		workspaces: make(map[string]*Workspace),
+		comp:       make(map[string]string),
+	}
+	for i := range db.shards {
+		db.shards[i] = &dbShard{
+			oids:     make(map[Key]*OID),
+			chains:   make(map[BlockView][]int),
+			outLinks: make(map[Key][]linkRef),
+			inLinks:  make(map[Key][]linkRef),
+		}
+	}
+	for i := range db.stripes {
+		db.stripes[i] = &linkStripe{links: make(map[LinkID]*Link)}
+	}
+	return db
+}
+
+// blockHash is FNV-1a over the block name.  Sharding is by block alone:
+// every view and version of a block — and therefore every version chain of
+// it, and every rule-posted event between its views — lands on one shard.
+// That keeps the hash off the hot path short and makes a wave's intra-block
+// work single-shard.
+func blockHash(block string) uint32 {
+	const prime32 = 16777619
+	h := uint32(2166136261)
+	for i := 0; i < len(block); i++ {
+		h = (h ^ uint32(block[i])) * prime32
+	}
+	return h
+}
+
+func (db *DB) shardIndex(block string) uint32 { return blockHash(block) & db.mask }
+func (db *DB) shardOf(k Key) *dbShard         { return db.shards[db.shardIndex(k.Block)] }
+func (db *DB) stripeOf(id LinkID) *linkStripe { return db.stripes[uint32(id)&db.lmask] }
+
+// lockPair write-locks the shards of two keys in ascending index order
+// (once when they coincide) and returns them.  unlockPair releases in
+// reverse.
+func (db *DB) lockPair(a, b Key) (sa, sb *dbShard) {
+	ia, ib := db.shardIndex(a.Block), db.shardIndex(b.Block)
+	sa, sb = db.shards[ia], db.shards[ib]
+	switch {
+	case ia == ib:
+		sa.mu.Lock()
+	case ia < ib:
+		sa.mu.Lock()
+		sb.mu.Lock()
+	default:
+		sb.mu.Lock()
+		sa.mu.Lock()
+	}
+	return sa, sb
+}
+
+func unlockPair(sa, sb *dbShard) {
+	sa.mu.Unlock()
+	if sb != sa {
+		sb.mu.Unlock()
 	}
 }
 
-// tick advances and returns the logical clock.  Callers must hold mu.
-func (db *DB) tick() int64 {
-	db.seq++
-	return db.seq
+// lockAll / unlockAll write-lock every shard then every stripe, in
+// ascending index order — the whole-database critical section behind
+// pruning and loading.
+func (db *DB) lockAll() {
+	for _, s := range db.shards {
+		s.mu.Lock()
+	}
+	for _, s := range db.stripes {
+		s.mu.Lock()
+	}
 }
+
+func (db *DB) unlockAll() {
+	for i := len(db.stripes) - 1; i >= 0; i-- {
+		db.stripes[i].mu.Unlock()
+	}
+	for i := len(db.shards) - 1; i >= 0; i-- {
+		db.shards[i].mu.Unlock()
+	}
+}
+
+// rlockAll / runlockAll are the shared-mode form of lockAll, used by
+// cross-shard graph walks and snapshots: concurrent readers still proceed,
+// writers wait.
+func (db *DB) rlockAll() {
+	for _, s := range db.shards {
+		s.mu.RLock()
+	}
+	for _, s := range db.stripes {
+		s.mu.RLock()
+	}
+}
+
+func (db *DB) runlockAll() {
+	for i := len(db.stripes) - 1; i >= 0; i-- {
+		db.stripes[i].mu.RUnlock()
+	}
+	for i := len(db.shards) - 1; i >= 0; i-- {
+		db.shards[i].mu.RUnlock()
+	}
+}
+
+// linkLocked resolves a link by ID.  Callers hold the relevant stripe lock
+// (or all stripes).
+func (db *DB) linkLocked(id LinkID) *Link {
+	return db.stripeOf(id).links[id]
+}
+
+// tick advances and returns the logical clock.
+func (db *DB) tick() int64 { return db.seq.Add(1) }
 
 // Seq returns the current logical time: the Seq of the most recently created
 // object.
-func (db *DB) Seq() int64 {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.seq
-}
+func (db *DB) Seq() int64 { return db.seq.Load() }
 
 // ---------------------------------------------------------------------------
 // OIDs and version chains
@@ -73,17 +251,18 @@ func (db *DB) NewVersion(block, view string) (Key, error) {
 	if err := ValidateName(view); err != nil {
 		return Key{}, fmt.Errorf("view: %w", err)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	sh := db.shards[db.shardIndex(block)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	bv := BlockView{Block: block, View: view}
-	chain := db.chains[bv]
+	chain := sh.chains[bv]
 	next := 1
 	if len(chain) > 0 {
 		next = chain[len(chain)-1] + 1
 	}
 	k := Key{Block: block, View: view, Version: next}
-	db.oids[k] = &OID{Key: k, Props: make(map[string]string), Seq: db.tick()}
-	db.chains[bv] = append(chain, next)
+	sh.oids[k] = &OID{Key: k, Props: make(map[string]string), Seq: db.tick()}
+	sh.chains[bv] = append(chain, next)
 	return k, nil
 }
 
@@ -95,19 +274,20 @@ func (db *DB) InsertOID(k Key) error {
 	if err := k.Validate(); err != nil {
 		return err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, ok := db.oids[k]; ok {
+	sh := db.shardOf(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.oids[k]; ok {
 		return fmt.Errorf("oid %v: %w", k, ErrExists)
 	}
 	bv := k.BV()
-	chain := db.chains[bv]
+	chain := sh.chains[bv]
 	if len(chain) > 0 && k.Version <= chain[len(chain)-1] {
 		return fmt.Errorf("oid %v: chain is already at version %d: %w",
 			k, chain[len(chain)-1], ErrBadVersion)
 	}
-	db.oids[k] = &OID{Key: k, Props: make(map[string]string), Seq: db.tick()}
-	db.chains[bv] = append(chain, k.Version)
+	sh.oids[k] = &OID{Key: k, Props: make(map[string]string), Seq: db.tick()}
+	sh.chains[bv] = append(chain, k.Version)
 	return nil
 }
 
@@ -118,14 +298,17 @@ func (db *DB) InsertOID(k Key) error {
 // the paper cites).  Version numbering is preserved: the chain keeps
 // counting from its highest version.  It returns the number of OIDs
 // removed.  keep must be at least 1.
+//
+// Pruning locks the whole database (incident links may land on any shard).
 func (db *DB) PruneVersions(block, view string, keep int) (int, error) {
 	if keep < 1 {
 		return 0, fmt.Errorf("prune %s.%s: keep %d: %w", block, view, keep, ErrBadVersion)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.lockAll()
+	defer db.unlockAll()
+	sh := db.shards[db.shardIndex(block)]
 	bv := BlockView{Block: block, View: view}
-	chain := db.chains[bv]
+	chain := sh.chains[bv]
 	if len(chain) == 0 {
 		return 0, fmt.Errorf("prune %s.%s: %w", block, view, ErrNotFound)
 	}
@@ -136,36 +319,40 @@ func (db *DB) PruneVersions(block, view string, keep int) (int, error) {
 	for _, v := range drop {
 		k := Key{Block: block, View: view, Version: v}
 		// Remove incident links first.
-		for _, id := range append(append([]LinkID(nil), db.outLinks[k]...), db.inLinks[k]...) {
-			l, ok := db.links[id]
+		for _, r := range append(append([]linkRef(nil), sh.outLinks[k]...), sh.inLinks[k]...) {
+			st := db.stripeOf(r.id)
+			l, ok := st.links[r.id]
 			if !ok {
 				continue
 			}
-			delete(db.links, id)
-			db.outLinks[l.From] = removeID(db.outLinks[l.From], id)
-			db.inLinks[l.To] = removeID(db.inLinks[l.To], id)
+			delete(st.links, r.id)
+			fs, ts := db.shardOf(l.From), db.shardOf(l.To)
+			fs.outLinks[l.From] = removeRef(fs.outLinks[l.From], r.id)
+			ts.inLinks[l.To] = removeRef(ts.inLinks[l.To], r.id)
 		}
-		delete(db.outLinks, k)
-		delete(db.inLinks, k)
-		delete(db.oids, k)
+		delete(sh.outLinks, k)
+		delete(sh.inLinks, k)
+		delete(sh.oids, k)
 	}
-	db.chains[bv] = append([]int(nil), chain[len(chain)-keep:]...)
+	sh.chains[bv] = append([]int(nil), chain[len(chain)-keep:]...)
 	return len(drop), nil
 }
 
 // HasOID reports whether the OID exists.
 func (db *DB) HasOID(k Key) bool {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	_, ok := db.oids[k]
+	sh := db.shardOf(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.oids[k]
 	return ok
 }
 
 // GetOID returns a deep copy of the OID.
 func (db *DB) GetOID(k Key) (*OID, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	o, ok := db.oids[k]
+	sh := db.shardOf(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	o, ok := sh.oids[k]
 	if !ok {
 		return nil, fmt.Errorf("oid %v: %w", k, ErrNotFound)
 	}
@@ -174,9 +361,10 @@ func (db *DB) GetOID(k Key) (*OID, error) {
 
 // Latest returns the key of the newest version of (block, view).
 func (db *DB) Latest(block, view string) (Key, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	chain := db.chains[BlockView{Block: block, View: view}]
+	sh := db.shards[db.shardIndex(block)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	chain := sh.chains[BlockView{Block: block, View: view}]
 	if len(chain) == 0 {
 		return Key{}, fmt.Errorf("no versions of %s.%s: %w", block, view, ErrNotFound)
 	}
@@ -185,29 +373,28 @@ func (db *DB) Latest(block, view string) (Key, error) {
 
 // Versions returns the version numbers of (block, view) in ascending order.
 func (db *DB) Versions(block, view string) []int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	chain := db.chains[BlockView{Block: block, View: view}]
+	sh := db.shards[db.shardIndex(block)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	chain := sh.chains[BlockView{Block: block, View: view}]
 	out := make([]int, len(chain))
 	copy(out, chain)
 	return out
 }
 
 // Predecessor returns the key of the version immediately preceding k in its
-// chain, or ok=false if k is the first version.
+// chain, or ok=false if k is the first version.  Chains are ascending, so
+// the position is found by binary search.
 func (db *DB) Predecessor(k Key) (Key, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	chain := db.chains[k.BV()]
-	for i, v := range chain {
-		if v == k.Version {
-			if i == 0 {
-				return Key{}, false
-			}
-			return Key{Block: k.Block, View: k.View, Version: chain[i-1]}, true
-		}
+	sh := db.shardOf(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	chain := sh.chains[k.BV()]
+	i := sort.SearchInts(chain, k.Version)
+	if i >= len(chain) || chain[i] != k.Version || i == 0 {
+		return Key{}, false
 	}
-	return Key{}, false
+	return Key{Block: k.Block, View: k.View, Version: chain[i-1]}, true
 }
 
 // SetProp sets a property on an OID.
@@ -215,9 +402,10 @@ func (db *DB) SetProp(k Key, name, value string) error {
 	if err := ValidateName(name); err != nil {
 		return fmt.Errorf("property: %w", err)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	o, ok := db.oids[k]
+	sh := db.shardOf(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	o, ok := sh.oids[k]
 	if !ok {
 		return fmt.Errorf("oid %v: %w", k, ErrNotFound)
 	}
@@ -225,14 +413,16 @@ func (db *DB) SetProp(k Key, name, value string) error {
 	return nil
 }
 
-// WithOID runs fn on the live OID under the read lock — a batched read
-// path for callers that need several properties at once without paying for
-// a deep copy (GetOID) or one lock round-trip per GetProp.  fn must not
-// retain or mutate the OID and must not call other DB methods.
+// WithOID runs fn on the live OID under the owning shard's read lock — a
+// batched read path for callers that need several properties at once
+// without paying for a deep copy (GetOID) or one lock round-trip per
+// GetProp.  fn must not retain or mutate the OID and must not call other DB
+// methods.
 func (db *DB) WithOID(k Key, fn func(o *OID)) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	o, ok := db.oids[k]
+	sh := db.shardOf(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	o, ok := sh.oids[k]
 	if !ok {
 		return fmt.Errorf("oid %v: %w", k, ErrNotFound)
 	}
@@ -240,18 +430,20 @@ func (db *DB) WithOID(k Key, fn func(o *OID)) error {
 	return nil
 }
 
-// UpdateOID runs fn on the live OID under the write lock.  It is the
-// batched read-modify-write path of the run-time engine: one delivery's
-// property assignments and continuous re-evaluations read and write Props
-// in a single lock round-trip instead of one GetProp/SetProp pair each.
-// fn may read and mutate o.Props directly but must not retain o or the map
-// and must not call other DB methods (which would deadlock).  Property
-// names written by fn must satisfy ValidateName; the caller validates
-// because fn has no error channel.
+// UpdateOID runs fn on the live OID under the owning shard's write lock.
+// It is the batched read-modify-write path of the run-time engine: one
+// delivery's property assignments and continuous re-evaluations read and
+// write Props in a single lock round-trip instead of one GetProp/SetProp
+// pair each — and, under sharding, deliveries to OIDs on different shards
+// update concurrently.  fn may read and mutate o.Props directly but must
+// not retain o or the map and must not call other DB methods (which would
+// deadlock).  Property names written by fn must satisfy ValidateName; the
+// caller validates because fn has no error channel.
 func (db *DB) UpdateOID(k Key, fn func(o *OID)) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	o, ok := db.oids[k]
+	sh := db.shardOf(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	o, ok := sh.oids[k]
 	if !ok {
 		return fmt.Errorf("oid %v: %w", k, ErrNotFound)
 	}
@@ -262,9 +454,10 @@ func (db *DB) UpdateOID(k Key, fn func(o *OID)) error {
 // GetProp returns a property value of an OID.  Missing properties return
 // ("", false, nil); a missing OID is an error.
 func (db *DB) GetProp(k Key, name string) (string, bool, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	o, ok := db.oids[k]
+	sh := db.shardOf(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	o, ok := sh.oids[k]
 	if !ok {
 		return "", false, fmt.Errorf("oid %v: %w", k, ErrNotFound)
 	}
@@ -275,9 +468,10 @@ func (db *DB) GetProp(k Key, name string) (string, bool, error) {
 // DelProp removes a property from an OID.  Removing an absent property is a
 // no-op.
 func (db *DB) DelProp(k Key, name string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	o, ok := db.oids[k]
+	sh := db.shardOf(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	o, ok := sh.oids[k]
 	if !ok {
 		return fmt.Errorf("oid %v: %w", k, ErrNotFound)
 	}
@@ -309,46 +503,81 @@ func (db *DB) AddLink(class LinkClass, from, to Key, template string, propagates
 	if err := l.validate(); err != nil {
 		return 0, err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, ok := db.oids[from]; !ok {
+	sf, st := db.lockPair(from, to)
+	defer unlockPair(sf, st)
+	if _, ok := sf.oids[from]; !ok {
 		return 0, fmt.Errorf("link from %v: %w", from, ErrNotFound)
 	}
-	if _, ok := db.oids[to]; !ok {
+	if _, ok := st.oids[to]; !ok {
 		return 0, fmt.Errorf("link to %v: %w", to, ErrNotFound)
 	}
-	db.nextLink++
-	l.ID = db.nextLink
+	// Merge the block components before the link is visible (we hold both
+	// endpoint shard locks, so nothing can observe the link yet): the
+	// engine's wave-conflict analysis must never see a propagating link
+	// between blocks it believes disjoint.  Validation came first —
+	// components never split, so a failed AddLink must not coarsen the
+	// partition for the database's lifetime.
+	if len(l.Propagates) > 0 {
+		db.unionBlocks(from.Block, to.Block)
+	}
+	l.ID = LinkID(db.nextLink.Add(1))
 	l.Seq = db.tick()
-	db.links[l.ID] = l
-	db.outLinks[from] = append(db.outLinks[from], l.ID)
-	db.inLinks[to] = append(db.inLinks[to], l.ID)
+	stripe := db.stripeOf(l.ID)
+	stripe.mu.Lock()
+	stripe.links[l.ID] = l
+	stripe.mu.Unlock()
+	sf.outLinks[from] = append(sf.outLinks[from], linkRef{id: l.ID, l: l})
+	st.inLinks[to] = append(st.inLinks[to], linkRef{id: l.ID, l: l})
 	return l.ID, nil
 }
 
 // GetLink returns a deep copy of the link.
 func (db *DB) GetLink(id LinkID) (*Link, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	l, ok := db.links[id]
+	st := db.stripeOf(id)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	l, ok := st.links[id]
 	if !ok {
 		return nil, fmt.Errorf("link %d: %w", id, ErrNotFound)
 	}
 	return l.clone(), nil
 }
 
+// snapshotLink reads the current (immutable) link object optimistically,
+// under the stripe read lock only.  DeleteLink and the mutators use it to
+// discover which shards to lock, then verify the object is still current
+// (pointer identity) once the locks are held.
+func (db *DB) snapshotLink(id LinkID) *Link {
+	st := db.stripeOf(id)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.links[id]
+}
+
 // DeleteLink removes a link.
 func (db *DB) DeleteLink(id LinkID) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	l, ok := db.links[id]
-	if !ok {
-		return fmt.Errorf("link %d: %w", id, ErrNotFound)
+	for {
+		l := db.snapshotLink(id)
+		if l == nil {
+			return fmt.Errorf("link %d: %w", id, ErrNotFound)
+		}
+		sf, st := db.lockPair(l.From, l.To)
+		stripe := db.stripeOf(id)
+		stripe.mu.Lock()
+		if stripe.links[id] != l {
+			// The link vanished or was replaced between the optimistic read
+			// and the locks; retry against the new object.
+			stripe.mu.Unlock()
+			unlockPair(sf, st)
+			continue
+		}
+		delete(stripe.links, id)
+		sf.outLinks[l.From] = removeRef(sf.outLinks[l.From], id)
+		st.inLinks[l.To] = removeRef(st.inLinks[l.To], id)
+		stripe.mu.Unlock()
+		unlockPair(sf, st)
+		return nil
 	}
-	delete(db.links, id)
-	db.outLinks[l.From] = removeID(db.outLinks[l.From], id)
-	db.inLinks[l.To] = removeID(db.inLinks[l.To], id)
-	return nil
 }
 
 // RetargetLink moves one endpoint of a link from oldEnd to newEnd.  It
@@ -356,114 +585,200 @@ func (db *DB) DeleteLink(id LinkID) error {
 // is created, move-mode links are shifted from the previous version to the
 // new one.  oldEnd must currently be an endpoint of the link.
 func (db *DB) RetargetLink(id LinkID, oldEnd, newEnd Key) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	l, ok := db.links[id]
-	if !ok {
-		return fmt.Errorf("link %d: %w", id, ErrNotFound)
-	}
-	if _, ok := db.oids[newEnd]; !ok {
-		return fmt.Errorf("retarget to %v: %w", newEnd, ErrNotFound)
-	}
-	moved := *l
-	switch oldEnd {
-	case l.From:
-		moved.From = newEnd
-	case l.To:
-		moved.To = newEnd
-	default:
-		return fmt.Errorf("link %d: %v is not an endpoint: %w", id, oldEnd, ErrBadLink)
-	}
-	if err := moved.validate(); err != nil {
-		return err
-	}
-	if oldEnd == l.From {
-		db.outLinks[oldEnd] = removeID(db.outLinks[oldEnd], id)
-		db.outLinks[newEnd] = append(db.outLinks[newEnd], id)
-		l.From = newEnd
-	} else {
-		db.inLinks[oldEnd] = removeID(db.inLinks[oldEnd], id)
-		db.inLinks[newEnd] = append(db.inLinks[newEnd], id)
-		l.To = newEnd
-	}
-	return nil
-}
-
-// SetLinkProp sets an annotation property on a link.
-func (db *DB) SetLinkProp(id LinkID, name, value string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	l, ok := db.links[id]
-	if !ok {
-		return fmt.Errorf("link %d: %w", id, ErrNotFound)
-	}
-	l.Props[name] = value
-	return nil
-}
-
-// SetLinkPropagates replaces the PROPAGATE set of a link.
-func (db *DB) SetLinkPropagates(id LinkID, events []string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	l, ok := db.links[id]
-	if !ok {
-		return fmt.Errorf("link %d: %w", id, ErrNotFound)
-	}
-	l.Propagates = make(map[string]bool, len(events))
-	for _, e := range events {
-		l.Propagates[e] = true
-	}
-	return nil
-}
-
-// LinksFrom returns copies of all links whose From endpoint is k.
-func (db *DB) LinksFrom(k Key) []*Link {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.cloneLinks(db.outLinks[k])
-}
-
-// LinksTo returns copies of all links whose To endpoint is k.
-func (db *DB) LinksTo(k Key) []*Link {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.cloneLinks(db.inLinks[k])
-}
-
-// LinksOf returns copies of all links incident to k, in either direction.
-func (db *DB) LinksOf(k Key) []*Link {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := db.cloneLinks(db.outLinks[k])
-	return append(out, db.cloneLinks(db.inLinks[k])...)
-}
-
-func (db *DB) cloneLinks(ids []LinkID) []*Link {
-	if len(ids) == 0 {
+	for {
+		l := db.snapshotLink(id)
+		if l == nil {
+			return fmt.Errorf("link %d: %w", id, ErrNotFound)
+		}
+		from, to := l.From, l.To
+		if oldEnd != from && oldEnd != to {
+			return fmt.Errorf("link %d: %v is not an endpoint: %w", id, oldEnd, ErrBadLink)
+		}
+		// Build and validate the replacement object before taking locks;
+		// links are immutable once published, so shifting installs a copy.
+		moved := l.clone()
+		if oldEnd == from {
+			moved.From = newEnd
+		} else {
+			moved.To = newEnd
+		}
+		if err := moved.validate(); err != nil {
+			return err
+		}
+		// Lock the shards of every involved key in canonical order.
+		locked := db.lockShardSet([]uint32{
+			db.shardIndex(from.Block),
+			db.shardIndex(to.Block),
+			db.shardIndex(newEnd.Block),
+		})
+		stripe := db.stripeOf(id)
+		stripe.mu.Lock()
+		if stripe.links[id] != l {
+			stripe.mu.Unlock()
+			db.unlockShardSet(locked)
+			continue // replaced underneath us; retry
+		}
+		ns := db.shardOf(newEnd)
+		if _, ok := ns.oids[newEnd]; !ok {
+			stripe.mu.Unlock()
+			db.unlockShardSet(locked)
+			return fmt.Errorf("retarget to %v: %w", newEnd, ErrNotFound)
+		}
+		// Keep the conflict analysis conservative: the new endpoint's
+		// block joins the component before the shifted link is visible.
+		// Validation came first so a failed retarget never coarsens the
+		// never-splitting partition.
+		if len(l.Propagates) > 0 {
+			other := from
+			if oldEnd == from {
+				other = to
+			}
+			db.unionBlocks(other.Block, newEnd.Block)
+		}
+		stripe.links[id] = moved
+		os := db.shardOf(oldEnd)
+		if oldEnd == from {
+			os.outLinks[oldEnd] = removeRef(os.outLinks[oldEnd], id)
+			ns.outLinks[newEnd] = append(ns.outLinks[newEnd], linkRef{id: id, l: moved})
+			replaceRef(db.shardOf(to).inLinks[to], id, moved)
+		} else {
+			os.inLinks[oldEnd] = removeRef(os.inLinks[oldEnd], id)
+			ns.inLinks[newEnd] = append(ns.inLinks[newEnd], linkRef{id: id, l: moved})
+			replaceRef(db.shardOf(from).outLinks[from], id, moved)
+		}
+		stripe.mu.Unlock()
+		db.unlockShardSet(locked)
 		return nil
 	}
-	out := make([]*Link, 0, len(ids))
-	for _, id := range ids {
-		if l, ok := db.links[id]; ok {
-			out = append(out, l.clone())
+}
+
+// lockShardSet write-locks the distinct shards of the given indexes in
+// ascending order and returns the sorted distinct index list for unlocking.
+func (db *DB) lockShardSet(idx []uint32) []uint32 {
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	out := idx[:0]
+	var last uint32
+	for i, v := range idx {
+		if i > 0 && v == last {
+			continue
 		}
+		db.shards[v].mu.Lock()
+		out = append(out, v)
+		last = v
 	}
 	return out
 }
 
+func (db *DB) unlockShardSet(idx []uint32) {
+	for i := len(idx) - 1; i >= 0; i-- {
+		db.shards[idx[i]].mu.Unlock()
+	}
+}
+
+// SetLinkProp sets an annotation property on a link.
+func (db *DB) SetLinkProp(id LinkID, name, value string) error {
+	return db.replaceLink(id, func(nl *Link) {
+		nl.Props[name] = value
+	})
+}
+
+// SetLinkPropagates replaces the PROPAGATE set of a link.
+func (db *DB) SetLinkPropagates(id LinkID, events []string) error {
+	return db.replaceLink(id, func(nl *Link) {
+		nl.Propagates = make(map[string]bool, len(events))
+		for _, e := range events {
+			nl.Propagates[e] = true
+		}
+		if len(events) > 0 {
+			db.unionBlocks(nl.From.Block, nl.To.Block)
+		}
+	})
+}
+
+// replaceLink installs a mutated copy of a link: links are immutable once
+// published, so in-place annotation edits clone the object, apply mutate,
+// and swap the clone into the stripe map and both adjacency refs under the
+// endpoint shard locks.  Retries if the link is replaced concurrently.
+func (db *DB) replaceLink(id LinkID, mutate func(nl *Link)) error {
+	for {
+		l := db.snapshotLink(id)
+		if l == nil {
+			return fmt.Errorf("link %d: %w", id, ErrNotFound)
+		}
+		nl := l.clone()
+		mutate(nl)
+		sf, st := db.lockPair(l.From, l.To)
+		stripe := db.stripeOf(id)
+		stripe.mu.Lock()
+		if stripe.links[id] != l {
+			stripe.mu.Unlock()
+			unlockPair(sf, st)
+			continue
+		}
+		stripe.links[id] = nl
+		replaceRef(sf.outLinks[l.From], id, nl)
+		replaceRef(st.inLinks[l.To], id, nl)
+		stripe.mu.Unlock()
+		unlockPair(sf, st)
+		return nil
+	}
+}
+
+// LinksFrom returns copies of all links whose From endpoint is k.
+func (db *DB) LinksFrom(k Key) []*Link {
+	sh := db.shardOf(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return cloneLinks(nil, sh.outLinks[k])
+}
+
+// LinksTo returns copies of all links whose To endpoint is k.
+func (db *DB) LinksTo(k Key) []*Link {
+	sh := db.shardOf(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return cloneLinks(nil, sh.inLinks[k])
+}
+
+// LinksOf returns copies of all links incident to k, in either direction.
+func (db *DB) LinksOf(k Key) []*Link {
+	sh := db.shardOf(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	out := cloneLinks(nil, sh.outLinks[k])
+	return cloneLinks(out, sh.inLinks[k])
+}
+
+// cloneLinks appends deep copies of the referenced links to dst.  Callers
+// hold the adjacency owner's shard lock; the refs carry the immutable link
+// objects, so no stripe locks are needed.
+func cloneLinks(dst []*Link, refs []linkRef) []*Link {
+	if len(refs) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make([]*Link, 0, len(refs))
+	}
+	for _, r := range refs {
+		dst = append(dst, r.l.clone())
+	}
+	return dst
+}
+
 // EachLinkOf invokes fn for every link incident to k, outgoing first, under
-// the read lock.  fn must not retain or mutate the link and must not call
-// other DB methods.  Returning false stops the iteration.
+// the owning shard's read lock.  fn must not retain or mutate the link and
+// must not call other DB methods.  Returning false stops the iteration.
 func (db *DB) EachLinkOf(k Key, fn func(*Link) bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	for _, id := range db.outLinks[k] {
-		if l, ok := db.links[id]; ok && !fn(l) {
+	sh := db.shardOf(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, r := range sh.outLinks[k] {
+		if !fn(r.l) {
 			return
 		}
 	}
-	for _, id := range db.inLinks[k] {
-		if l, ok := db.links[id]; ok && !fn(l) {
+	for _, r := range sh.inLinks[k] {
+		if !fn(r.l) {
 			return
 		}
 	}
@@ -472,56 +787,79 @@ func (db *DB) EachLinkOf(k Key, fn func(*Link) bool) {
 // ---------------------------------------------------------------------------
 // Enumeration and statistics
 
-// EachOID invokes fn for every OID under the read lock, in unspecified
-// order.  fn must not retain or mutate the OID and must not call other DB
-// methods.  Returning false stops the iteration.
+// EachOID invokes fn for every OID, shard by shard under each shard's read
+// lock, in unspecified order.  fn must not retain or mutate the OID and
+// must not call other DB methods.  Returning false stops the iteration.
+// The pass is per-shard consistent, not a whole-database snapshot.
 func (db *DB) EachOID(fn func(*OID) bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	for _, o := range db.oids {
-		if !fn(o) {
-			return
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		for _, o := range sh.oids {
+			if !fn(o) {
+				sh.mu.RUnlock()
+				return
+			}
 		}
+		sh.mu.RUnlock()
 	}
 }
 
-// EachLatestOID invokes fn for the newest version of every version chain
-// under the read lock, in unspecified order.  It is the allocation-free
-// form of LatestOIDs: fn must not retain or mutate the OID and must not
-// call other DB methods.  Returning false stops the iteration.
+// EachLatestOID invokes fn for the newest version of every version chain,
+// shard by shard under each shard's read lock, in unspecified order.  It is
+// the allocation-free form of LatestOIDs: fn must not retain or mutate the
+// OID and must not call other DB methods.  Returning false stops the
+// iteration.  The pass is per-shard consistent, not a whole-database
+// snapshot.
 func (db *DB) EachLatestOID(fn func(*OID) bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	for bv, chain := range db.chains {
-		if len(chain) == 0 {
-			continue
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		for bv, chain := range sh.chains {
+			if len(chain) == 0 {
+				continue
+			}
+			k := Key{Block: bv.Block, View: bv.View, Version: chain[len(chain)-1]}
+			if o, ok := sh.oids[k]; ok && !fn(o) {
+				sh.mu.RUnlock()
+				return
+			}
 		}
-		k := Key{Block: bv.Block, View: bv.View, Version: chain[len(chain)-1]}
-		if o, ok := db.oids[k]; ok && !fn(o) {
-			return
-		}
+		sh.mu.RUnlock()
 	}
 }
 
 // Keys returns every OID key, sorted by block, view, version.
 func (db *DB) Keys() []Key {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	keys := make([]Key, 0, len(db.oids))
-	for k := range db.oids {
-		keys = append(keys, k)
+	keys := make([]Key, 0, db.countOIDs())
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		for k := range sh.oids {
+			keys = append(keys, k)
+		}
+		sh.mu.RUnlock()
 	}
 	sortKeys(keys)
 	return keys
 }
 
+func (db *DB) countOIDs() int {
+	n := 0
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		n += len(sh.oids)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
 // BlockViews returns every version chain identity, sorted.
 func (db *DB) BlockViews() []BlockView {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	bvs := make([]BlockView, 0, len(db.chains))
-	for bv := range db.chains {
-		bvs = append(bvs, bv)
+	var bvs []BlockView
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		for bv := range sh.chains {
+			bvs = append(bvs, bv)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(bvs, func(i, j int) bool {
 		if bvs[i].Block != bvs[j].Block {
@@ -534,11 +872,13 @@ func (db *DB) BlockViews() []BlockView {
 
 // LinkIDs returns every link ID in ascending order.
 func (db *DB) LinkIDs() []LinkID {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	ids := make([]LinkID, 0, len(db.links))
-	for id := range db.links {
-		ids = append(ids, id)
+	var ids []LinkID
+	for _, st := range db.stripes {
+		st.mu.RLock()
+		for id := range st.links {
+			ids = append(ids, id)
+		}
+		st.mu.RUnlock()
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
@@ -555,24 +895,43 @@ type Stats struct {
 
 // Stats returns current object counts.
 func (db *DB) Stats() Stats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return Stats{
-		OIDs:           len(db.oids),
-		Links:          len(db.links),
-		Chains:         len(db.chains),
-		Configurations: len(db.configs),
-		Workspaces:     len(db.workspaces),
+	var s Stats
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		s.OIDs += len(sh.oids)
+		s.Chains += len(sh.chains)
+		sh.mu.RUnlock()
 	}
+	for _, st := range db.stripes {
+		st.mu.RLock()
+		s.Links += len(st.links)
+		st.mu.RUnlock()
+	}
+	db.ctl.RLock()
+	s.Configurations = len(db.configs)
+	s.Workspaces = len(db.workspaces)
+	db.ctl.RUnlock()
+	return s
 }
 
-func removeID(ids []LinkID, id LinkID) []LinkID {
-	for i, v := range ids {
-		if v == id {
-			return append(ids[:i], ids[i+1:]...)
+func removeRef(refs []linkRef, id LinkID) []linkRef {
+	for i, r := range refs {
+		if r.id == id {
+			return append(refs[:i], refs[i+1:]...)
 		}
 	}
-	return ids
+	return refs
+}
+
+// replaceRef points the ref for id at the replacement link object.  Callers
+// hold the owning shard's write lock.
+func replaceRef(refs []linkRef, id LinkID, nl *Link) {
+	for i, r := range refs {
+		if r.id == id {
+			refs[i].l = nl
+			return
+		}
+	}
 }
 
 func sortKeys(keys []Key) {

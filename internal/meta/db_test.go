@@ -530,3 +530,40 @@ func TestKeysSorted(t *testing.T) {
 		t.Errorf("BlockViews = %v", bvs)
 	}
 }
+
+// TestFailedLinkOpsDoNotMergeComponents: components only ever merge, so a
+// rejected AddLink or RetargetLink (missing endpoint) must not coarsen
+// the footprint partition the engine's parallel drain scheduler relies on.
+func TestFailedLinkOpsDoNotMergeComponents(t *testing.T) {
+	db := NewDB()
+	a, err := db.NewVersion("blk-a", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.NewVersion("blk-b", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ghost := Key{Block: "blk-ghost", View: "v", Version: 1}
+
+	if _, err := db.AddLink(DeriveLink, a, ghost, "", []string{"ev"}, nil); err == nil {
+		t.Fatal("link to missing OID accepted")
+	}
+	if db.SameComponent("blk-a", "blk-ghost") {
+		t.Error("failed AddLink merged components")
+	}
+
+	id, err := db.AddLink(DeriveLink, a, b, "", []string{"ev"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.SameComponent("blk-a", "blk-b") {
+		t.Error("successful propagating AddLink did not merge components")
+	}
+	if err := db.RetargetLink(id, b, ghost); err == nil {
+		t.Fatal("retarget to missing OID accepted")
+	}
+	if db.SameComponent("blk-a", "blk-ghost") {
+		t.Error("failed RetargetLink merged components")
+	}
+}

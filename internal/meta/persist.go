@@ -53,37 +53,44 @@ type workspaceJSON struct {
 	Paths map[string]string `json:"paths,omitempty"`
 }
 
-// Save writes the whole meta-database as indented JSON.
+// Save writes the whole meta-database as indented JSON.  The whole
+// database is read-locked (control plane, every shard, every stripe) for
+// the duration, so the document is a consistent snapshot.
 func (db *DB) Save(w io.Writer) error {
-	db.mu.RLock()
-	doc := dbJSON{Seq: db.seq, NextLink: int64(db.nextLink)}
-	for _, o := range db.oids {
-		oj := oidJSON{Block: o.Key.Block, View: o.Key.View, Version: o.Key.Version, Seq: o.Seq}
-		if len(o.Props) > 0 {
-			oj.Props = make(map[string]string, len(o.Props))
-			for k, v := range o.Props {
-				oj.Props[k] = v
+	db.ctl.RLock()
+	db.rlockAll()
+	doc := dbJSON{Seq: db.seq.Load(), NextLink: db.nextLink.Load()}
+	for _, sh := range db.shards {
+		for _, o := range sh.oids {
+			oj := oidJSON{Block: o.Key.Block, View: o.Key.View, Version: o.Key.Version, Seq: o.Seq}
+			if len(o.Props) > 0 {
+				oj.Props = make(map[string]string, len(o.Props))
+				for k, v := range o.Props {
+					oj.Props[k] = v
+				}
 			}
+			doc.OIDs = append(doc.OIDs, oj)
 		}
-		doc.OIDs = append(doc.OIDs, oj)
 	}
-	for _, l := range db.links {
-		lj := linkJSON{
-			ID:       int64(l.ID),
-			Class:    l.Class.String(),
-			From:     l.From.String(),
-			To:       l.To.String(),
-			Template: l.Template,
-			Seq:      l.Seq,
-		}
-		lj.Propagates = l.PropagateList()
-		if len(l.Props) > 0 {
-			lj.Props = make(map[string]string, len(l.Props))
-			for k, v := range l.Props {
-				lj.Props[k] = v
+	for _, st := range db.stripes {
+		for _, l := range st.links {
+			lj := linkJSON{
+				ID:       int64(l.ID),
+				Class:    l.Class.String(),
+				From:     l.From.String(),
+				To:       l.To.String(),
+				Template: l.Template,
+				Seq:      l.Seq,
 			}
+			lj.Propagates = l.PropagateList()
+			if len(l.Props) > 0 {
+				lj.Props = make(map[string]string, len(l.Props))
+				for k, v := range l.Props {
+					lj.Props[k] = v
+				}
+			}
+			doc.Links = append(doc.Links, lj)
 		}
-		doc.Links = append(doc.Links, lj)
 	}
 	for _, c := range db.configs {
 		cj := configJSON{Name: c.Name, Seq: c.Seq}
@@ -105,7 +112,8 @@ func (db *DB) Save(w io.Writer) error {
 		}
 		doc.Workspaces = append(doc.Workspaces, wj)
 	}
-	db.mu.RUnlock()
+	db.runlockAll()
+	db.ctl.RUnlock()
 
 	sort.Slice(doc.OIDs, func(i, j int) bool {
 		a, b := doc.OIDs[i], doc.OIDs[j]
@@ -152,7 +160,7 @@ func Load(r io.Reader) (*DB, error) {
 		if err := db.InsertOID(k); err != nil {
 			return nil, fmt.Errorf("meta: load oid: %w", err)
 		}
-		o := db.oids[k]
+		o := db.shardOf(k).oids[k]
 		o.Seq = oj.Seq
 		for name, v := range oj.Props {
 			o.Props[name] = v
@@ -192,18 +200,23 @@ func Load(r io.Reader) (*DB, error) {
 		if err := l.validate(); err != nil {
 			return nil, fmt.Errorf("meta: load link %d: %w", lj.ID, err)
 		}
-		if _, ok := db.links[l.ID]; ok {
+		stripe := db.stripeOf(l.ID)
+		if _, ok := stripe.links[l.ID]; ok {
 			return nil, fmt.Errorf("meta: load link %d: %w", lj.ID, ErrExists)
 		}
-		if _, ok := db.oids[from]; !ok {
+		fs, ts := db.shardOf(from), db.shardOf(to)
+		if _, ok := fs.oids[from]; !ok {
 			return nil, fmt.Errorf("meta: load link %d: from %v: %w", lj.ID, from, ErrNotFound)
 		}
-		if _, ok := db.oids[to]; !ok {
+		if _, ok := ts.oids[to]; !ok {
 			return nil, fmt.Errorf("meta: load link %d: to %v: %w", lj.ID, to, ErrNotFound)
 		}
-		db.links[l.ID] = l
-		db.outLinks[from] = append(db.outLinks[from], l.ID)
-		db.inLinks[to] = append(db.inLinks[to], l.ID)
+		stripe.links[l.ID] = l
+		fs.outLinks[from] = append(fs.outLinks[from], linkRef{id: l.ID, l: l})
+		ts.inLinks[to] = append(ts.inLinks[to], linkRef{id: l.ID, l: l})
+		if len(l.Propagates) > 0 {
+			db.unionBlocks(from.Block, to.Block)
+		}
 	}
 
 	for _, cj := range doc.Configs {
@@ -233,7 +246,7 @@ func Load(r io.Reader) (*DB, error) {
 		db.workspaces[ws.Name] = ws
 	}
 
-	db.seq = doc.Seq
-	db.nextLink = LinkID(doc.NextLink)
+	db.seq.Store(doc.Seq)
+	db.nextLink.Store(doc.NextLink)
 	return db, nil
 }

@@ -5,17 +5,28 @@ import "sort"
 // Query helpers.  Designers "retrieve the state of the project by performing
 // queries" (section 1); these are the volume-query primitives the higher
 // level state package builds on.
+//
+// The Select*/Latest* scans visit shards one at a time (per-shard
+// consistent, not a whole-database snapshot); the graph walks (Reachable,
+// Dependents, Equivalents) read-lock every shard and stripe in the
+// canonical ascending order so a cross-shard link walk sees one consistent
+// graph.
 
 // SelectOIDs returns deep copies of every OID accepted by pred, sorted by
 // key.
 func (db *DB) SelectOIDs(pred func(*OID) bool) []*OID {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	var out []*OID
-	for _, o := range db.oids {
-		if pred(o) {
-			out = append(out, o.clone())
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		if out == nil && len(sh.oids) > 0 {
+			out = make([]*OID, 0, len(sh.oids))
 		}
+		for _, o := range sh.oids {
+			if pred(o) {
+				out = append(out, o.clone())
+			}
+		}
+		sh.mu.RUnlock()
 	}
 	sortOIDs(out)
 	return out
@@ -38,34 +49,53 @@ func (db *DB) OIDsWithProp(name, value string) []*OID {
 
 // LatestOIDs returns a deep copy of the newest version of every version
 // chain, sorted by key.  This is the usual working set for state queries:
-// designers care about the state of the latest data.
+// designers care about the state of the latest data.  Chains are already
+// version-ordered, so each shard contributes its newest versions without
+// re-scanning; only the final cross-shard key sort remains.
 func (db *DB) LatestOIDs() []*OID {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]*OID, 0, len(db.chains))
-	for bv, chain := range db.chains {
-		if len(chain) == 0 {
-			continue
+	out := make([]*OID, 0, db.countChains())
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		for bv, chain := range sh.chains {
+			if len(chain) == 0 {
+				continue
+			}
+			k := Key{Block: bv.Block, View: bv.View, Version: chain[len(chain)-1]}
+			if o, ok := sh.oids[k]; ok {
+				out = append(out, o.clone())
+			}
 		}
-		k := Key{Block: bv.Block, View: bv.View, Version: chain[len(chain)-1]}
-		if o, ok := db.oids[k]; ok {
-			out = append(out, o.clone())
-		}
+		sh.mu.RUnlock()
 	}
 	sortOIDs(out)
 	return out
 }
 
+func (db *DB) countChains() int {
+	n := 0
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		n += len(sh.chains)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
 // SelectLinks returns deep copies of every link accepted by pred, in ID
 // order.
 func (db *DB) SelectLinks(pred func(*Link) bool) []*Link {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	var out []*Link
-	for _, l := range db.links {
-		if pred(l) {
-			out = append(out, l.clone())
+	for _, st := range db.stripes {
+		st.mu.RLock()
+		if out == nil && len(st.links) > 0 {
+			out = make([]*Link, 0, len(st.links))
 		}
+		for _, l := range st.links {
+			if pred(l) {
+				out = append(out, l.clone())
+			}
+		}
+		st.mu.RUnlock()
 	}
 	sortLinks(out)
 	return out
@@ -86,9 +116,9 @@ func (db *DB) Reachable(root Key, follow FollowFunc) []Key {
 	if follow == nil {
 		follow = FollowUseLinks
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if _, ok := db.oids[root]; !ok {
+	db.rlockAll()
+	defer db.runlockAll()
+	if _, ok := db.shardOf(root).oids[root]; !ok {
 		return nil
 	}
 	visited := map[Key]bool{root: true}
@@ -98,13 +128,12 @@ func (db *DB) Reachable(root Key, follow FollowFunc) []Key {
 		k := queue[0]
 		queue = queue[1:]
 		out = append(out, k)
-		for _, id := range db.outLinks[k] {
-			l := db.links[id]
-			if l == nil || !follow(l) || visited[l.To] {
+		for _, r := range db.shardOf(k).outLinks[k] {
+			if !follow(r.l) || visited[r.l.To] {
 				continue
 			}
-			visited[l.To] = true
-			queue = append(queue, l.To)
+			visited[r.l.To] = true
+			queue = append(queue, r.l.To)
 		}
 	}
 	sortKeys(out)
@@ -118,22 +147,21 @@ func (db *DB) Dependents(root Key, follow FollowFunc) []Key {
 	if follow == nil {
 		follow = FollowAllLinks
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.rlockAll()
+	defer db.runlockAll()
 	visited := map[Key]bool{root: true}
 	queue := []Key{root}
 	var out []Key
 	for len(queue) > 0 {
 		k := queue[0]
 		queue = queue[1:]
-		for _, id := range db.outLinks[k] {
-			l := db.links[id]
-			if l == nil || !follow(l) || visited[l.To] {
+		for _, r := range db.shardOf(k).outLinks[k] {
+			if !follow(r.l) || visited[r.l.To] {
 				continue
 			}
-			visited[l.To] = true
-			out = append(out, l.To)
-			queue = append(queue, l.To)
+			visited[r.l.To] = true
+			out = append(out, r.l.To)
+			queue = append(queue, r.l.To)
 		}
 	}
 	sortKeys(out)
@@ -145,9 +173,9 @@ func (db *DB) Dependents(root Key, follow FollowFunc) []Key {
 // version server, which the paper's link types reference.  Links are
 // followed in both directions; k itself is included.
 func (db *DB) Equivalents(k Key) []Key {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if _, ok := db.oids[k]; !ok {
+	db.rlockAll()
+	defer db.runlockAll()
+	if _, ok := db.shardOf(k).oids[k]; !ok {
 		return nil
 	}
 	visited := map[Key]bool{k: true}
@@ -163,14 +191,15 @@ func (db *DB) Equivalents(k Key) []Key {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, id := range db.outLinks[cur] {
-			if l := db.links[id]; l != nil && l.Class == DeriveLink && l.Type() == TypeEquivalence {
-				step(l.To)
+		sh := db.shardOf(cur)
+		for _, r := range sh.outLinks[cur] {
+			if r.l.Class == DeriveLink && r.l.Type() == TypeEquivalence {
+				step(r.l.To)
 			}
 		}
-		for _, id := range db.inLinks[cur] {
-			if l := db.links[id]; l != nil && l.Class == DeriveLink && l.Type() == TypeEquivalence {
-				step(l.From)
+		for _, r := range sh.inLinks[cur] {
+			if r.l.Class == DeriveLink && r.l.Type() == TypeEquivalence {
+				step(r.l.From)
 			}
 		}
 	}

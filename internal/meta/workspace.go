@@ -49,8 +49,8 @@ func (db *DB) AddWorkspace(name, root string) error {
 	if err := ValidateName(name); err != nil {
 		return fmt.Errorf("workspace: %w", err)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.ctl.Lock()
+	defer db.ctl.Unlock()
 	if _, ok := db.workspaces[name]; ok {
 		return fmt.Errorf("workspace %q: %w", name, ErrExists)
 	}
@@ -60,23 +60,33 @@ func (db *DB) AddWorkspace(name, root string) error {
 
 // BindPath records where an OID's design data lives inside a workspace.
 func (db *DB) BindPath(workspace string, k Key, path string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.ctl.Lock()
+	defer db.ctl.Unlock()
 	w, ok := db.workspaces[workspace]
 	if !ok {
 		return fmt.Errorf("workspace %q: %w", workspace, ErrNotFound)
 	}
-	if _, ok := db.oids[k]; !ok {
+	if !db.hasOIDShard(k) {
 		return fmt.Errorf("oid %v: %w", k, ErrNotFound)
 	}
 	w.paths[k] = path
 	return nil
 }
 
+// hasOIDShard checks OID existence under the owning shard's read lock; the
+// caller may hold the control-plane lock (ctl orders before shards).
+func (db *DB) hasOIDShard(k Key) bool {
+	sh := db.shardOf(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.oids[k]
+	return ok
+}
+
 // GetWorkspace returns a copy of the named workspace.
 func (db *DB) GetWorkspace(name string) (*Workspace, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.ctl.RLock()
+	defer db.ctl.RUnlock()
 	w, ok := db.workspaces[name]
 	if !ok {
 		return nil, fmt.Errorf("workspace %q: %w", name, ErrNotFound)
@@ -86,8 +96,8 @@ func (db *DB) GetWorkspace(name string) (*Workspace, error) {
 
 // WorkspaceNames lists registered workspaces in sorted order.
 func (db *DB) WorkspaceNames() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.ctl.RLock()
+	defer db.ctl.RUnlock()
 	names := make([]string, 0, len(db.workspaces))
 	for n := range db.workspaces {
 		names = append(names, n)

@@ -110,6 +110,42 @@ func (c *Client) PostEvent(event, dir string, target meta.Key, args ...string) e
 	return err
 }
 
+// PostBatch posts many events in one round-trip — the BATCH verb.  The
+// server posts every well-formed item, drains once, and reports per-item
+// status.  It returns the number of accepted events; err is non-nil when
+// the transport failed or any item was rejected (the per-item reasons are
+// folded into the error).
+func (c *Client) PostBatch(items []wire.BatchItem) (int, error) {
+	if len(items) == 0 {
+		return 0, nil
+	}
+	args := make([]string, len(items))
+	for i, it := range items {
+		args[i] = it.Encode()
+	}
+	resp, err := c.roundTrip(wire.Request{Verb: wire.VerbBatch, Args: args})
+	if err != nil {
+		return 0, err
+	}
+	posted := 0
+	var failures []string
+	for _, line := range resp.Body {
+		fields, err := wire.Tokenize(line)
+		if err != nil || len(fields) < 2 {
+			continue
+		}
+		if fields[1] == "ok" {
+			posted++
+		} else {
+			failures = append(failures, line)
+		}
+	}
+	if !resp.OK {
+		return posted, fmt.Errorf("client: BATCH: %s: %s", resp.Detail, strings.Join(failures, "; "))
+	}
+	return posted, nil
+}
+
 // Create makes a new version of (block, view) and returns its key.
 func (c *Client) Create(block, view string) (meta.Key, error) {
 	resp, err := c.do(wire.VerbCreate, block, view)

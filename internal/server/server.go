@@ -9,6 +9,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"sort"
 	"strings"
 	"sync"
 
@@ -258,6 +259,53 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 		}
 		return ok("posted %s", ev.Name)
 
+	case wire.VerbBatch:
+		// Many events, one round-trip, one drain — the batched form of
+		// POST a hierarchy check-in uses.  Items are validated and posted
+		// in order; a bad item is reported in the body without blocking
+		// the rest.  The drain kicks once after every accepted item is
+		// queued.
+		if len(req.Args) == 0 {
+			return fail("BATCH wants at least one <event dir oid [args...]> item")
+		}
+		body := make([]string, 0, len(req.Args))
+		posted := 0
+		for i, raw := range req.Args {
+			it, err := wire.ParseBatchItem(raw)
+			if err != nil {
+				body = append(body, fmt.Sprintf("%d err %s", i, err))
+				continue
+			}
+			dir, err := bpl.ParseDirection(it.Dir)
+			if err != nil {
+				body = append(body, fmt.Sprintf("%d err %s", i, err))
+				continue
+			}
+			target, err := meta.ParseKey(it.OID)
+			if err != nil {
+				body = append(body, fmt.Sprintf("%d err %s", i, err))
+				continue
+			}
+			ev := engine.Event{Name: it.Event, Dir: dir, Target: target, Args: it.Args, User: req.User}
+			if err := s.eng.Post(ev); err != nil {
+				body = append(body, fmt.Sprintf("%d err %s", i, err))
+				continue
+			}
+			body = append(body, fmt.Sprintf("%d ok %s", i, it.Event))
+			posted++
+		}
+		if posted > 0 {
+			if err := s.kick(); err != nil {
+				return fail("%v", err)
+			}
+		}
+		verb := "posted"
+		if s.async {
+			verb = "queued"
+		}
+		return wire.Response{OK: posted == len(req.Args),
+			Detail: fmt.Sprintf("%s %d/%d", verb, posted, len(req.Args)), Body: body}, false
+
 	case wire.VerbCreate:
 		if len(req.Args) != 2 {
 			return fail("CREATE wants <block> <view>")
@@ -316,17 +364,30 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 		return wire.Response{OK: true, Detail: k.String(), Body: body}, false
 
 	case wire.VerbReport, wire.VerbGap:
-		rep := state.Report(s.eng.DB(), s.eng.Blueprint())
-		var body []string
-		for _, st := range rep {
+		// Stream the report: each row is formatted from the live OID under
+		// the shard read lock, so no property map is ever materialized —
+		// only the output lines exist.  Rows arrive in shard order and are
+		// key-sorted afterwards to keep the wire format stable.
+		type row struct {
+			key  meta.Key
+			line string
+		}
+		var rows []row
+		state.Stream(s.eng.DB(), s.eng.Blueprint(), func(st *state.OIDState) bool {
 			if req.Verb == wire.VerbGap && st.Ready {
-				continue
+				return true
 			}
 			line := fmt.Sprintf("%s ready=%v", st.Key, st.Ready)
 			if len(st.Reasons) > 0 {
 				line += " " + wire.Quote(strings.Join(st.Reasons, "; "))
 			}
-			body = append(body, line)
+			rows = append(rows, row{key: st.Key, line: line})
+			return true
+		})
+		sort.Slice(rows, func(i, j int) bool { return rows[i].key.Less(rows[j].key) })
+		body := make([]string, len(rows))
+		for i, r := range rows {
+			body[i] = r.line
 		}
 		return wire.Response{OK: true, Detail: fmt.Sprintf("%d rows", len(body)), Body: body}, false
 

@@ -56,13 +56,22 @@ func lookupFor(o *meta.OID) bpl.LookupFunc {
 	}
 }
 
-// evaluate computes the state of one OID against a resolved let slice.
-// With a non-nil index, failing lets are explained through the compiled
-// explainers; otherwise through one-shot ExplainFailure.  The returned
-// state shares o.Props; callers iterating live database objects must
-// replace it with a copy.
-func evaluate(lets []*bpl.LetDecl, ix *bpl.Index, o *meta.OID) OIDState {
-	st := OIDState{Key: o.Key, Ready: true, Lets: map[string]bool{}, Props: o.Props}
+// evaluateInto computes the state of one OID against a resolved let slice,
+// reusing st's Lets map and Reasons backing array across calls — the
+// allocation-shy core behind evaluate and Stream.  With a non-nil index,
+// failing lets are explained through the compiled explainers; otherwise
+// through one-shot ExplainFailure.  The filled state shares o.Props;
+// callers that retain it must replace Props (and Reasons) with copies.
+func evaluateInto(st *OIDState, lets []*bpl.LetDecl, ix *bpl.Index, o *meta.OID) {
+	st.Key = o.Key
+	st.Ready = true
+	if st.Lets == nil {
+		st.Lets = make(map[string]bool, len(lets))
+	} else {
+		clear(st.Lets)
+	}
+	st.Reasons = st.Reasons[:0]
+	st.Props = o.Props
 	lookup := lookupFor(o)
 	for _, l := range lets {
 		ok := l.Expr.Eval(lookup)
@@ -80,6 +89,14 @@ func evaluate(lets []*bpl.LetDecl, ix *bpl.Index, o *meta.OID) OIDState {
 			}
 		}
 	}
+}
+
+// evaluate computes the state of one OID against a resolved let slice.
+// The returned state shares o.Props; callers iterating live database
+// objects must replace it with a copy.
+func evaluate(lets []*bpl.LetDecl, ix *bpl.Index, o *meta.OID) OIDState {
+	var st OIDState
+	evaluateInto(&st, lets, ix, o)
 	return st
 }
 
@@ -95,10 +112,31 @@ func EvaluateWith(ix *bpl.Index, o *meta.OID) OIDState {
 	return evaluate(ix.Lets(o.Key.View), ix, o)
 }
 
+// Stream evaluates the latest version of every version chain and hands
+// each report to fn, in unspecified order, without materializing property
+// maps: the OIDState is reused between calls, its Props field aliases the
+// live database map, and its Reasons share one backing array.  fn must
+// treat the state as read-only, must not retain it (or Props/Reasons)
+// past the call, and must not call DB methods — it runs under the
+// database's shard read locks.  Returning false stops the stream.
+//
+// This is the pull API behind the server's REPORT/GAP verbs: a report row
+// can be formatted and shipped per OID with zero per-row map copies,
+// where Report clones every property map up front.
+func Stream(db *meta.DB, bp *bpl.Blueprint, fn func(*OIDState) bool) {
+	ix := bp.Index()
+	var st OIDState
+	db.EachLatestOID(func(o *meta.OID) bool {
+		evaluateInto(&st, ix.Lets(o.Key.View), ix, o)
+		return fn(&st)
+	})
+}
+
 // Report evaluates the latest version of every version chain and returns
 // the reports sorted by key.  The blueprint is compiled once (and cached on
-// it), and the database is read in a single locked pass without
-// materializing intermediate OID clones.
+// it), and the database is read in a per-shard locked pass without
+// materializing intermediate OID clones.  Each returned state owns its
+// maps; for large databases the streaming form (Stream) avoids the copies.
 func Report(db *meta.DB, bp *bpl.Blueprint) []OIDState {
 	ix := bp.Index()
 	var out []OIDState

@@ -171,3 +171,54 @@ func TestBlocked(t *testing.T) {
 		t.Errorf("Blocked(lvs) = %v", lvsBlocked)
 	}
 }
+
+// TestStreamMatchesReport: the streaming pull API yields exactly the rows
+// of the materializing Report, minus the property-map copies.
+func TestStreamMatchesReport(t *testing.T) {
+	e := edtcEngine(t)
+	for _, blk := range []string{"alu", "reg", "shifter"} {
+		create(t, e, blk, "schematic")
+		create(t, e, blk, "HDL_model")
+	}
+	rep := Report(e.DB(), e.Blueprint())
+	want := map[string]string{}
+	for _, st := range rep {
+		want[st.Key.String()] = strings.Join(st.Reasons, ";")
+	}
+
+	seen := map[string]string{}
+	ready := 0
+	Stream(e.DB(), e.Blueprint(), func(st *OIDState) bool {
+		seen[st.Key.String()] = strings.Join(st.Reasons, ";")
+		if st.Ready {
+			ready++
+		}
+		return true
+	})
+	if len(seen) != len(want) {
+		t.Fatalf("stream yielded %d rows, report %d", len(seen), len(want))
+	}
+	for k, reasons := range want {
+		if seen[k] != reasons {
+			t.Errorf("%s: stream reasons %q != report %q", k, seen[k], reasons)
+		}
+	}
+	for _, st := range rep {
+		if st.Ready {
+			ready--
+		}
+	}
+	if ready != 0 {
+		t.Error("ready counts differ between Stream and Report")
+	}
+
+	// Early stop is honored.
+	calls := 0
+	Stream(e.DB(), e.Blueprint(), func(*OIDState) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("stream continued after false: %d calls", calls)
+	}
+}

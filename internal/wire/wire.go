@@ -38,10 +38,58 @@ const (
 	VerbDot       = "DOT"       // DOT <flow|state>
 	VerbLinks     = "LINKS"     // LINKS <oid>
 	VerbSync      = "SYNC"      // SYNC — wait until the event queue settles
+	VerbBatch     = "BATCH"     // BATCH <item> [<item>...]; see BatchItem
 )
 
 // ErrSyntax reports a malformed protocol line.
 var ErrSyntax = errors.New("wire: syntax error")
+
+// BatchItem is one event inside a BATCH request — the batched form of the
+// POST verb.  A wrapper checking in a whole hierarchy sends one BATCH with
+// an item per OID instead of one POST round-trip each; the server posts
+// every item, drains once, and returns one response.
+//
+// On the wire each item is a single quoted field whose content is itself a
+// postEvent-shaped sub-line, "<event> <dir> <oid> [args...]", tokenized
+// with the same quoting rules as a request line.  Nesting through Quote
+// keeps arbitrary argument bytes safe without a second framing scheme.
+type BatchItem struct {
+	Event string
+	Dir   string // "up" or "down"
+	OID   string // target key in block,view,version syntax
+	Args  []string
+}
+
+// Encode renders the item as the sub-line carried inside one BATCH field.
+func (it BatchItem) Encode() string {
+	var sb strings.Builder
+	sb.WriteString(Quote(it.Event))
+	sb.WriteByte(' ')
+	sb.WriteString(Quote(it.Dir))
+	sb.WriteByte(' ')
+	sb.WriteString(Quote(it.OID))
+	for _, a := range it.Args {
+		sb.WriteByte(' ')
+		sb.WriteString(Quote(a))
+	}
+	return sb.String()
+}
+
+// ParseBatchItem parses one BATCH field back into an item.
+func ParseBatchItem(s string) (BatchItem, error) {
+	fields, err := Tokenize(s)
+	if err != nil {
+		return BatchItem{}, err
+	}
+	if len(fields) < 3 {
+		return BatchItem{}, fmt.Errorf("%w: batch item wants <event> <dir> <oid> [args...], got %q", ErrSyntax, s)
+	}
+	it := BatchItem{Event: fields[0], Dir: fields[1], OID: fields[2]}
+	if len(fields) > 3 {
+		it.Args = fields[3:]
+	}
+	return it, nil
+}
 
 // Request is one client command.
 type Request struct {

@@ -164,3 +164,64 @@ func splitLines(s string) []string {
 	}
 	return append(out, s[start:])
 }
+
+func TestBatchItemRoundTrip(t *testing.T) {
+	cases := []BatchItem{
+		{Event: "ckin", Dir: "down", OID: "reg,verilog,4"},
+		{Event: "hdl_sim", Dir: "down", OID: "cpu,HDL_model,1", Args: []string{"good"}},
+		{Event: "nl_sim", Dir: "up", OID: "a,b,1", Args: []string{`4 errors: "stuck\at zero"`, "x\ty\nz", ""}},
+	}
+	for _, want := range cases {
+		enc := want.Encode()
+		got, err := ParseBatchItem(enc)
+		if err != nil {
+			t.Fatalf("ParseBatchItem(%q): %v", enc, err)
+		}
+		if got.Event != want.Event || got.Dir != want.Dir || got.OID != want.OID ||
+			len(got.Args) != len(want.Args) {
+			t.Fatalf("round trip %+v -> %+v", want, got)
+		}
+		for i := range want.Args {
+			if got.Args[i] != want.Args[i] {
+				t.Errorf("arg %d: %q != %q", i, got.Args[i], want.Args[i])
+			}
+		}
+	}
+}
+
+func TestBatchItemNestsInsideRequest(t *testing.T) {
+	// A BATCH request carries each item as one quoted field; the nested
+	// quoting must survive the outer request round trip.
+	items := []BatchItem{
+		{Event: "ckin", Dir: "down", OID: "a,v,1", Args: []string{"note with spaces"}},
+		{Event: "drc", Dir: "down", OID: "b,v,2", Args: []string{`"quoted"`}},
+	}
+	req := Request{Verb: VerbBatch, User: "tess"}
+	for _, it := range items {
+		req.Args = append(req.Args, it.Encode())
+	}
+	parsed, err := ParseRequest(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Verb != VerbBatch || len(parsed.Args) != len(items) {
+		t.Fatalf("parsed %+v", parsed)
+	}
+	for i, raw := range parsed.Args {
+		it, err := ParseBatchItem(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if it.Event != items[i].Event || it.Args[0] != items[i].Args[0] {
+			t.Errorf("item %d: %+v != %+v", i, it, items[i])
+		}
+	}
+}
+
+func TestParseBatchItemErrors(t *testing.T) {
+	for _, bad := range []string{"", "ckin", "ckin down", `ckin down "unterminated`} {
+		if _, err := ParseBatchItem(bad); err == nil {
+			t.Errorf("ParseBatchItem(%q) accepted", bad)
+		}
+	}
+}

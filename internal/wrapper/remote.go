@@ -6,6 +6,7 @@ import (
 	"repro/internal/meta"
 	"repro/internal/server"
 	"repro/internal/tools"
+	"repro/internal/wire"
 )
 
 // Remote is a wrapper session whose meta-database lives across the network
@@ -72,6 +73,29 @@ func (r *Remote) InstallLibrary(block string) (meta.Key, error) {
 		return meta.Key{}, err
 	}
 	return k, nil
+}
+
+// CheckinHierarchy posts the ckin events for a whole set of OIDs — a
+// designer promoting an assembled hierarchy — in a single BATCH
+// round-trip.  The server queues every event and drains once, so the
+// invalidation waves of sibling subtrees can be processed concurrently
+// instead of paying one network round-trip and one drain per OID.
+func (r *Remote) CheckinHierarchy(keys []meta.Key) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	items := make([]wire.BatchItem, len(keys))
+	for i, k := range keys {
+		items[i] = wire.BatchItem{Event: "ckin", Dir: "down", OID: k.String()}
+	}
+	posted, err := r.Client.PostBatch(items)
+	if err != nil {
+		return err
+	}
+	if posted != len(keys) {
+		return fmt.Errorf("wrapper: hierarchy check-in: %d/%d events accepted", posted, len(keys))
+	}
+	return nil
 }
 
 // RunHDLSim simulates locally and posts the interpreted result.

@@ -170,3 +170,34 @@ func TestRemotePropQuoting(t *testing.T) {
 		t.Errorf("unset prop = %v %v", ok, err)
 	}
 }
+
+// TestRemoteCheckinHierarchy batches a whole hierarchy's check-in events
+// into one BATCH round-trip and verifies every OID was promoted and its
+// invalidation wave processed.
+func TestRemoteCheckinHierarchy(t *testing.T) {
+	r := startRemote(t)
+	var keys []meta.Key
+	for _, blk := range []string{"alu", "reg", "shifter", "decoder"} {
+		k, err := r.Client.Create(blk, "HDL_model")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Suite.WriteHDL(k, 40, 0)
+		keys = append(keys, k)
+	}
+	if err := r.CheckinHierarchy(keys); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Client.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if err := r.RequireUpToDate(k); err != nil {
+			t.Errorf("%v not up to date after batched check-in: %v", k, err)
+		}
+	}
+	// Empty input is a no-op, not a protocol error.
+	if err := r.CheckinHierarchy(nil); err != nil {
+		t.Errorf("empty hierarchy: %v", err)
+	}
+}
