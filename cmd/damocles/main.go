@@ -4,11 +4,19 @@
 //
 // Usage:
 //
-//	damocles [-addr host:port] [-blueprint file] [-db file] [-trace]
+//	damocles [-addr host:port] [-blueprint file] [-db file | -journal dir [-fsync]] [-trace]
 //
 // With no -blueprint, the EDTC_example policy from section 3.4 of the
 // paper is loaded.  With -db, the meta-database is loaded at startup (if
-// the file exists) and saved back on SIGINT/SIGTERM shutdown.
+// the file exists) and saved back on SIGINT/SIGTERM shutdown — the
+// original stop-the-world persistence.  With -journal, the database lives
+// in an append-only record log with periodic snapshots under the given
+// directory: every acknowledged mutation is handed to the operating
+// system before its response, so a crashed process (even SIGKILL)
+// restarts into the exact acknowledged state by loading the newest
+// snapshot and replaying the record tail.  Surviving an OS crash or
+// power loss additionally needs -fsync, which forces every commit to
+// stable storage at a per-request latency cost.
 package main
 
 import (
@@ -22,7 +30,9 @@ import (
 	"syscall"
 
 	"repro/internal/bpl"
+	"repro/internal/cli"
 	"repro/internal/engine"
+	"repro/internal/journal"
 	"repro/internal/meta"
 	"repro/internal/server"
 )
@@ -33,33 +43,38 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7495", "listen address")
 	bpFile := flag.String("blueprint", "", "BluePrint policy file (default: built-in EDTC example)")
 	dbFile := flag.String("db", "", "meta-database file to load/save")
+	jdir := flag.String("journal", "", "journal directory (append-only log + snapshots; excludes -db)")
+	fsync := flag.Bool("fsync", false, "with -journal, fsync every commit (survive OS crashes, not just process crashes)")
 	trace := flag.Bool("trace", false, "log engine trace to stderr")
 	flag.Parse()
 
-	if err := run(*addr, *bpFile, *dbFile, *trace); err != nil {
+	if err := run(*addr, *bpFile, *dbFile, *jdir, *fsync, *trace); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, bpFile, dbFile string, trace bool) error {
-	src := bpl.EDTCExample
-	if bpFile != "" {
-		data, err := os.ReadFile(bpFile)
-		if err != nil {
-			return err
-		}
-		src = string(data)
+func run(addr, bpFile, dbFile, jdir string, fsync, trace bool) error {
+	if dbFile != "" && jdir != "" {
+		return fmt.Errorf("-db and -journal are mutually exclusive persistence modes")
 	}
-	bp, err := bpl.Parse(src)
+	bp, err := cli.LoadBlueprint(bpFile)
 	if err != nil {
-		return fmt.Errorf("blueprint: %w", err)
+		return err
 	}
 	for _, d := range bpl.Analyze(bp) {
 		log.Printf("blueprint %s: %s", bp.Name, d)
 	}
 
 	db := meta.NewDB()
-	if dbFile != "" {
+	var jw *journal.Writer
+	if jdir != "" {
+		var err error
+		jw, db, err = journal.Open(jdir, journal.Options{Fsync: fsync})
+		if err != nil {
+			return err
+		}
+		log.Printf("recovered journal %s at lsn %d: %+v", jdir, jw.LastLSN(), db.Stats())
+	} else if dbFile != "" {
 		f, err := os.Open(dbFile)
 		switch {
 		case err == nil:
@@ -80,11 +95,16 @@ func run(addr, bpFile, dbFile string, trace bool) error {
 	if trace {
 		opts = append(opts, engine.WithTracer(logTracer{}))
 	}
+	var srvOpts []server.Option
+	if jw != nil {
+		opts = append(opts, engine.WithJournal(jw))
+		srvOpts = append(srvOpts, server.WithJournal(jw))
+	}
 	eng, err := engine.New(db, bp, opts...)
 	if err != nil {
 		return err
 	}
-	srv := server.New(eng)
+	srv := server.New(eng, srvOpts...)
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		return err
@@ -97,6 +117,12 @@ func run(addr, bpFile, dbFile string, trace bool) error {
 	log.Printf("shutting down")
 	if err := srv.Close(); err != nil {
 		return err
+	}
+	if jw != nil {
+		if err := jw.Close(); err != nil {
+			return err
+		}
+		log.Printf("journal closed at lsn %d: %+v", jw.LastLSN(), db.Stats())
 	}
 	if dbFile != "" {
 		f, err := os.Create(dbFile)

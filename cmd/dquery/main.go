@@ -12,6 +12,13 @@
 //	dquery [-addr host:port] snapshot <name> <root-oid|*>
 //	dquery [-addr host:port] dot <flow|state>
 //	dquery [-addr host:port] links <block,view,version>
+//
+// With -journal, dquery needs no running server: it recovers the database
+// from the journal directory read-only (newest snapshot plus record tail,
+// without repairing the files, so it is safe against a live server's
+// directory) and answers the query from the recovered state.  Readiness
+// evaluation then uses the blueprint named by -blueprint, or the built-in
+// EDTC example.
 package main
 
 import (
@@ -21,6 +28,8 @@ import (
 	"os"
 
 	"repro/internal/cli"
+	"repro/internal/engine"
+	"repro/internal/journal"
 	"repro/internal/server"
 )
 
@@ -28,8 +37,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dquery: ")
 	addr := flag.String("addr", "127.0.0.1:7495", "project server address")
+	jdir := flag.String("journal", "", "answer offline from this journal directory instead of a server")
+	bpFile := flag.String("blueprint", "", "policy file for offline state evaluation (default: built-in EDTC example)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dquery [-addr host:port] <state|report|gap|stats|blueprint|snapshot|dot|links> [args]\n")
+		fmt.Fprintf(os.Stderr, "usage: dquery [-addr host:port | -journal dir] <state|report|gap|stats|blueprint|snapshot|dot|links> [args]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -37,12 +48,49 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	c, err := server.Dial(*addr)
+	c, cleanup, err := connect(*addr, *jdir, *bpFile)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer c.Close()
+	defer cleanup()
 	if err := cli.DQuery(os.Stdout, c, flag.Args()); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// connect yields a client against the requested backend: the addressed
+// server, or an in-process server over a read-only journal recovery — the
+// exact code path a networked query takes, on a loopback listener.
+func connect(addr, jdir, bpFile string) (*server.Client, func(), error) {
+	if jdir == "" {
+		c, err := server.Dial(addr)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, func() { c.Close() }, nil
+	}
+	bp, err := cli.LoadBlueprint(bpFile)
+	if err != nil {
+		return nil, nil, err
+	}
+	db, lsn, err := journal.Replay(jdir, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	log.Printf("replayed %s to lsn %d: %+v", jdir, lsn, db.Stats())
+	eng, err := engine.New(db, bp)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := server.New(eng)
+	bound, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := server.Dial(bound)
+	if err != nil {
+		srv.Close()
+		return nil, nil, err
+	}
+	return c, func() { c.Close(); srv.Close() }, nil
 }

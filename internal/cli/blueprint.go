@@ -1,0 +1,27 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bpl"
+)
+
+// LoadBlueprint parses the BluePrint policy in path, or the built-in EDTC
+// example (section 3.4 of the paper) when path is empty — the policy
+// resolution every DAMOCLES command shares.
+func LoadBlueprint(path string) (*bpl.Blueprint, error) {
+	src := bpl.EDTCExample
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		src = string(data)
+	}
+	bp, err := bpl.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("blueprint: %w", err)
+	}
+	return bp, nil
+}

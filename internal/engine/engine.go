@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/bpl"
 	"repro/internal/exec"
+	"repro/internal/journal"
 	"repro/internal/meta"
 )
 
@@ -59,7 +60,8 @@ type Engine struct {
 
 	pending  []func() // deferred exec-rule invocations (external tools)
 	draining bool
-	active   int // waves currently claimed by drain workers
+	drainGen int64 // bumps when a drain retires; journaled Drain waits on it
+	active   int   // waves currently claimed by drain workers
 	nextWave int64
 	compGen  int64 // component generation the cached roots reflect
 
@@ -80,6 +82,7 @@ type Engine struct {
 	drain drainState
 
 	executor exec.Executor
+	journal  *journal.Writer
 	tracer   Tracer
 	tracing  bool // false iff tracer is a NopTracer; gates all entry construction
 	clock    func() time.Time
@@ -99,6 +102,16 @@ func WithExecutor(x exec.Executor) Option { return func(e *Engine) { e.executor 
 
 // WithTracer sets the audit tracer.  The default discards trace entries.
 func WithTracer(t Tracer) Option { return func(e *Engine) { e.tracer = t } }
+
+// WithJournal attaches an append-only journal.  The journal's database
+// recorder captures the mutations themselves (the engine's deliveries
+// reach it through the meta.DB methods they call); the engine adds the
+// posted-event audit stream — every event entering the queue, the same
+// stream a Tracer sees as TraceEnqueue — and, crucially, the durability
+// point: Drain commits the journal after the queue settles, so every
+// mutation a drain performed is on disk before PostAndDrain returns.
+// The journal must be the one whose Open recovered e's database.
+func WithJournal(j *journal.Writer) Option { return func(e *Engine) { e.journal = j } }
 
 // WithClock sets the time source used for $date; tests inject a fixed
 // clock for determinism.
@@ -307,6 +320,10 @@ func (e *Engine) enqueueLocked(ev Event, skipRules bool) {
 	if e.tracing {
 		e.tracer.Trace(TraceEntry{Kind: TraceEnqueue, OID: ev.Target.String(), Event: ev.Name})
 	}
+	if e.journal != nil {
+		e.journal.Record(meta.Record{Seq: e.db.Seq(), Op: meta.OpEvent,
+			Args: append([]string{ev.Name, ev.Dir.String(), ev.Target.String(), ev.User}, ev.Args...)})
+	}
 	e.wakeLocked()
 }
 
@@ -343,17 +360,58 @@ type drainState struct {
 // the outcome is independent of the worker bound.  Rule-posted events start
 // new waves at the queue tail.  Only one Drain runs at a time; concurrent
 // calls return immediately so posters can call PostAndDrain freely.
+//
+// With a journal attached, Drain commits it after the queue settles — the
+// durability point for everything the drain changed.  A call that yields
+// to an already-running drain waits for that drain to retire and then
+// retries, so it returns only once a drain pass of its own has covered
+// the caller's events (closing the handoff window in which an event posted
+// just as a drain exits would otherwise be acknowledged unprocessed); the
+// commit then makes the effects durable before any "posted" response.
+// The wait is for one drain generation at a time, not global idleness, so
+// sustained traffic on other connections cannot starve the caller beyond
+// what running the drain itself would cost.  Exec handlers must not call
+// Drain from inside a delivery — post follow-up events instead, as the
+// deferred-invocation design intends.
 func (e *Engine) Drain() error {
+	for {
+		ran, err := e.drainQueue()
+		if e.journal == nil {
+			return err
+		}
+		if ran || err != nil {
+			if jerr := e.journal.Commit(); err == nil {
+				err = jerr
+			}
+			return err
+		}
+		// Yielded to an in-flight drain: wait for that drain to retire,
+		// then retry.  If the queue is empty by then, the retry is a
+		// trivial pass; if another goroutine grabs the baton first, we
+		// wait out its generation too.
+		e.mu.Lock()
+		gen := e.drainGen
+		for e.draining && e.drainGen == gen {
+			e.waitLocked()
+		}
+		e.mu.Unlock()
+	}
+}
+
+// drainQueue runs the drain loop; ran reports whether this call owned the
+// drain (false when it yielded to one already in flight).
+func (e *Engine) drainQueue() (ran bool, _ error) {
 	e.mu.Lock()
 	if e.draining {
 		e.mu.Unlock()
-		return nil
+		return false, nil
 	}
 	e.draining = true
 	e.mu.Unlock()
 	defer func() {
 		e.mu.Lock()
 		e.draining = false
+		e.drainGen++
 		e.wakeLocked()
 		e.mu.Unlock()
 	}()
@@ -388,7 +446,7 @@ func (e *Engine) Drain() error {
 				e.waitLocked()
 			}
 			e.mu.Unlock()
-			return fmt.Errorf("%w: after %d deliveries", ErrStepLimit, d.steps.Load()-1)
+			return true, fmt.Errorf("%w: after %d deliveries", ErrStepLimit, d.steps.Load()-1)
 		}
 		if w := e.scheduleLocked(workers, d); w != nil {
 			// The dispatcher doubles as worker zero: the first runnable
@@ -402,7 +460,7 @@ func (e *Engine) Drain() error {
 		if e.nwaves == 0 && e.active == 0 {
 			if len(e.pending) == 0 {
 				e.mu.Unlock()
-				return nil
+				return true, nil
 			}
 			// Dispatch deferred exec-rule invocations.  In the paper these
 			// are external wrapper processes: the events they post arrive
@@ -412,7 +470,7 @@ func (e *Engine) Drain() error {
 			e.pending = e.pending[1:]
 			e.mu.Unlock()
 			if d.steps.Add(1) > e.maxSteps {
-				return fmt.Errorf("%w: after %d deliveries", ErrStepLimit, d.steps.Load()-1)
+				return true, fmt.Errorf("%w: after %d deliveries", ErrStepLimit, d.steps.Load()-1)
 			}
 			run()
 			continue

@@ -1,0 +1,168 @@
+// Package journal persists the meta-database as an append-only record log
+// plus periodic snapshots — the production persistence layer that replaces
+// whole-database Save/Load as the only durability mechanism.
+//
+// # On-disk layout
+//
+// A journal directory holds two kinds of files:
+//
+//   - journal-<lsn16>.log — log segments.  Each starts with a 5-byte magic
+//     ("DJL1\n", the format version) followed by framed records.  The
+//     16-hex-digit name is the LSN of the first record the segment may
+//     contain; segments are strictly ordered and records within and across
+//     segments carry consecutive LSNs.
+//   - snapshot-<lsn16>.json — a whole-database document in the exact
+//     meta.Save JSON format, consistent as of LSN <lsn16>: it contains the
+//     effect of every record with LSN ≤ <lsn16> and nothing newer.
+//
+// Each record is framed as
+//
+//	uint32 LE payload length | uint32 LE CRC-32C of payload | payload
+//
+// and the payload is a wire-protocol text line (the same quoting the
+// DAMOCLES servers speak): "<lsn> <seq> <op> <args...>", decodable with
+// wire.Tokenize.  The log is therefore greppable with standard tools, and
+// a record stream can be shipped over the wire protocol unmodified.
+//
+// # Writing
+//
+// The Writer implements meta.Recorder: the database hands it one record
+// per committed mutation, under the locks that serialize that mutation, so
+// the log order is a valid replay order.  Record only appends to an
+// in-memory buffer (no I/O under database locks); the buffer reaches the
+// operating system at explicit Commit points — the run-time engine commits
+// after every drain, the project server after every non-drain mutation —
+// or when it outgrows an internal bound.  Segments rotate at a size
+// threshold.
+//
+// Snapshots run concurrently with writers: meta.SnapshotTo collects the
+// document under read locks only (checkins on other shards proceed, and no
+// writer is ever blocked for the JSON encode or the file write), and the
+// capture hook pins the exact LSN the document reflects.  A snapshot is
+// written to a temporary file and renamed into place, so a crash never
+// leaves a half-written snapshot under a valid name.  After a successful
+// snapshot, compaction deletes every segment whose records the snapshot
+// fully covers, and every older snapshot.
+//
+// # Recovery
+//
+// Open (or the read-only Replay) restores the database by loading the
+// newest snapshot and replaying every record with a larger LSN from the
+// remaining segments, in LSN order, via meta.ApplyRecord.  A torn final
+// record — short frame, impossible length, CRC mismatch, or an
+// unparseable payload at the tail of the last segment — is truncated away
+// (the crash interrupted its write; it was never acknowledged); the same
+// damage anywhere else fails recovery loudly.
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+	"strings"
+
+	"repro/internal/meta"
+	"repro/internal/wire"
+)
+
+// segMagic opens every segment file; the digit is the format version.
+const segMagic = "DJL1\n"
+
+// frameHeader is the per-record framing overhead: payload length + CRC.
+const frameHeader = 8
+
+// maxRecordLen bounds one record's payload.  A length field beyond it is
+// treated as corruption, not an allocation request.
+const maxRecordLen = 16 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends one framed payload to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// encodePayload renders a record as its wire-line payload.
+func encodePayload(r meta.Record) []byte {
+	var sb strings.Builder
+	sb.WriteString(strconv.FormatInt(r.LSN, 10))
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.FormatInt(r.Seq, 10))
+	sb.WriteByte(' ')
+	sb.WriteString(wire.Quote(r.Op))
+	for _, a := range r.Args {
+		sb.WriteByte(' ')
+		sb.WriteString(wire.Quote(a))
+	}
+	return []byte(sb.String())
+}
+
+// validFrameAt reports whether a complete, checksummed, decodable record
+// frame starts at offset off in data.  CRC-32C makes a false positive on
+// corrupt bytes astronomically unlikely, so recovery uses it to tell a
+// torn tail (nothing valid follows the damage) from mid-stream corruption
+// (a real record does).
+func validFrameAt(data []byte, off int) bool {
+	if off+frameHeader > len(data) {
+		return false
+	}
+	n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+	if n > maxRecordLen || off+frameHeader+n > len(data) {
+		return false
+	}
+	payload := data[off+frameHeader : off+frameHeader+n]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[off+4:off+8]) {
+		return false
+	}
+	_, err := decodePayload(payload)
+	return err == nil
+}
+
+// decodePayload parses a record payload.
+func decodePayload(b []byte) (meta.Record, error) {
+	fields, err := wire.Tokenize(string(b))
+	if err != nil {
+		return meta.Record{}, fmt.Errorf("journal: record payload: %w", err)
+	}
+	if len(fields) < 3 {
+		return meta.Record{}, fmt.Errorf("journal: record payload wants ≥3 fields, got %d", len(fields))
+	}
+	lsn, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return meta.Record{}, fmt.Errorf("journal: record lsn %q: %v", fields[0], err)
+	}
+	seq, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return meta.Record{}, fmt.Errorf("journal: record seq %q: %v", fields[1], err)
+	}
+	r := meta.Record{LSN: lsn, Seq: seq, Op: fields[2]}
+	if len(fields) > 3 {
+		r.Args = fields[3:]
+	}
+	return r, nil
+}
+
+// segmentName / snapshotName render the canonical file names.
+func segmentName(firstLSN int64) string { return fmt.Sprintf("journal-%016x.log", firstLSN) }
+func snapshotName(lsn int64) string     { return fmt.Sprintf("snapshot-%016x.json", lsn) }
+
+// parseSeqName extracts the LSN from a "<prefix><lsn16><suffix>" file name.
+func parseSeqName(name, prefix, suffix string) (int64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hex := name[len(prefix) : len(name)-len(suffix)]
+	if len(hex) != 16 {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(hex, 16, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}

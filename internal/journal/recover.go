@@ -1,0 +1,248 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/meta"
+)
+
+// replayState is the result of reading a journal directory.
+type replayState struct {
+	db      *meta.DB
+	lastLSN int64 // newest record applied or covered by the snapshot
+	snapLSN int64 // LSN the loaded snapshot covers (0 when none)
+}
+
+// Replay restores a database from a journal directory without modifying
+// it: the newest snapshot is loaded and the record tail applied, but a
+// torn final record is merely ignored, never truncated away on disk, and
+// no writer state is created.  It is the read-only inspection path (dquery
+// -journal) and is safe to run against the directory of a live server —
+// the result is simply the state as of the last committed record.
+func Replay(dir string, shards int) (*meta.DB, int64, error) {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		st, err := replay(dir, shards, false)
+		if err == nil {
+			return st.db, st.lastLSN, nil
+		}
+		if !errors.Is(err, fs.ErrNotExist) {
+			return nil, 0, err
+		}
+		// A live writer's compaction deleted a file between our directory
+		// listing and the read; the fresh listing is consistent again.
+		lastErr = err
+	}
+	return nil, 0, lastErr
+}
+
+// replay reads dir.  With repair set, a torn final record is truncated off
+// the last segment and leftover temporary snapshot files are removed, so a
+// Writer can resume appending at a clean tail.
+func replay(dir string, shards int, repair bool) (replayState, error) {
+	if shards <= 0 {
+		shards = meta.DefaultShards
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return replayState{}, fmt.Errorf("journal: %w", err)
+	}
+
+	var snapLSNs []int64
+	type segment struct {
+		start int64
+		path  string
+	}
+	var segs []segment
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if lsn, ok := parseSeqName(e.Name(), "snapshot-", ".json"); ok {
+			snapLSNs = append(snapLSNs, lsn)
+			continue
+		}
+		if lsn, ok := parseSeqName(e.Name(), "journal-", ".log"); ok {
+			segs = append(segs, segment{start: lsn, path: filepath.Join(dir, e.Name())})
+			continue
+		}
+		if repair && filepath.Ext(e.Name()) == ".tmp" {
+			// A crash mid-snapshot leaves its temporary file behind; it was
+			// never renamed into place, so it holds nothing recovery wants.
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Slice(snapLSNs, func(i, j int) bool { return snapLSNs[i] > snapLSNs[j] })
+	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+
+	// Load the newest snapshot.  Snapshots are written to a temporary file
+	// and renamed, so a crash cannot leave a torn one under a valid name;
+	// if the newest still fails to load, that is disk corruption — fail
+	// loudly rather than silently fall back to an older snapshot whose
+	// covering segments compaction may already have deleted.
+	st := replayState{db: meta.NewDBWithShards(shards)}
+	if len(snapLSNs) > 0 {
+		st.snapLSN = snapLSNs[0]
+		path := filepath.Join(dir, snapshotName(st.snapLSN))
+		f, err := os.Open(path)
+		if err != nil {
+			return replayState{}, fmt.Errorf("journal: %w", err)
+		}
+		db, err := meta.LoadShards(f, shards)
+		f.Close()
+		if err != nil {
+			return replayState{}, fmt.Errorf("journal: snapshot %s: %w", filepath.Base(path), err)
+		}
+		st.db = db
+		st.lastLSN = st.snapLSN
+	}
+
+	// next tracks the LSN the record stream must continue at, across
+	// segment boundaries: a gap means a lost or deleted segment, and the
+	// surviving records must not be replayed onto a state that is missing
+	// the middle of its history.
+	next := int64(-1)
+	for i, sg := range segs {
+		last := i == len(segs)-1
+		if !last && segs[i+1].start <= st.snapLSN+1 {
+			// Every record this segment can hold is older than the next
+			// segment's first, hence covered by the snapshot.
+			continue
+		}
+		switch {
+		case next == -1:
+			if sg.start > st.snapLSN+1 {
+				return replayState{}, fmt.Errorf(
+					"journal: gap between snapshot lsn %d and first segment %s",
+					st.snapLSN, filepath.Base(sg.path))
+			}
+		case sg.start != next:
+			return replayState{}, fmt.Errorf(
+				"journal: gap in record stream: segment %s starts at lsn %d, want %d",
+				filepath.Base(sg.path), sg.start, next)
+		}
+		n, err := replaySegment(&st, sg.path, sg.start, last, repair)
+		if err != nil {
+			return replayState{}, err
+		}
+		next = n
+	}
+	return st, nil
+}
+
+// replaySegment applies one segment's records with LSN beyond the loaded
+// snapshot and returns the LSN the stream continues at in the next
+// segment.  On the last segment a torn tail stops the replay (and, with
+// repair, is truncated off the file); anywhere else it is corruption.
+func replaySegment(st *replayState, path string, start int64, last, repair bool) (int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("journal: %w", err)
+	}
+	name := filepath.Base(path)
+
+	// torn classifies a damaged frame at offset off.  A genuine torn write
+	// can only be the suffix of the last segment — a single appender never
+	// writes anything after an unfinished record — so damage is tolerated
+	// (and with repair truncated away) only on the last segment AND only
+	// when no decodable frame exists beyond it; a valid frame after the
+	// damage proves mid-stream corruption of acknowledged history, which
+	// must fail loudly, never be silently cut off.
+	torn := func(off int, what string) (bool, error) {
+		if !last {
+			return false, fmt.Errorf("journal: segment %s: %s at offset %d (not the journal tail)", name, what, off)
+		}
+		for cand := off + 1; cand+frameHeader <= len(data); cand++ {
+			if validFrameAt(data, cand) {
+				return false, fmt.Errorf("journal: segment %s: %s at offset %d (valid records follow — corruption, not a torn tail)", name, what, off)
+			}
+		}
+		if repair {
+			if err := os.Truncate(path, int64(off)); err != nil {
+				return false, fmt.Errorf("journal: truncate torn tail of %s: %w", name, err)
+			}
+		}
+		return true, nil
+	}
+
+	if len(data) < len(segMagic) {
+		if string(data) == segMagic[:len(data)] {
+			// A strict prefix of the magic: the segment was torn at
+			// creation, before any record could have been acknowledged.
+			_, err := torn(0, "torn segment header")
+			return start, err
+		}
+		return 0, fmt.Errorf("journal: segment %s: bad magic", name)
+	}
+	if string(data[:len(segMagic)]) != segMagic {
+		return 0, fmt.Errorf("journal: segment %s: bad magic", name)
+	}
+
+	off := len(segMagic)
+	next := start
+	for off < len(data) {
+		rest := len(data) - off
+		if rest < frameHeader {
+			stop, err := torn(off, "short frame header")
+			if err != nil {
+				return 0, err
+			}
+			if stop {
+				return next, nil
+			}
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > maxRecordLen || rest-frameHeader < n {
+			stop, err := torn(off, "torn or oversized record")
+			if err != nil {
+				return 0, err
+			}
+			if stop {
+				return next, nil
+			}
+		}
+		payload := data[off+frameHeader : off+frameHeader+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			stop, err := torn(off, "record checksum mismatch")
+			if err != nil {
+				return 0, err
+			}
+			if stop {
+				return next, nil
+			}
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			stop, terr := torn(off, fmt.Sprintf("undecodable record (%v)", err))
+			if terr != nil {
+				return 0, terr
+			}
+			if stop {
+				return next, nil
+			}
+		}
+		// A record that passed its checksum must carry the expected LSN:
+		// a mismatch means shuffled or doctored files, which truncation
+		// must not paper over.
+		if rec.LSN != next {
+			return 0, fmt.Errorf("journal: segment %s: record lsn %d at offset %d, want %d", name, rec.LSN, off, next)
+		}
+		if rec.LSN > st.snapLSN {
+			if err := st.db.ApplyRecord(rec); err != nil {
+				return 0, fmt.Errorf("journal: segment %s: %w", name, err)
+			}
+			st.lastLSN = rec.LSN
+		}
+		next++
+		off += frameHeader + n
+	}
+	return next, nil
+}

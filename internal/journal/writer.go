@@ -1,0 +1,411 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/meta"
+)
+
+// Options tunes a journal Writer.  The zero value picks sensible defaults.
+type Options struct {
+	// Shards is the shard count of the recovered database; 0 means
+	// meta.DefaultShards.
+	Shards int
+
+	// SegmentBytes rotates the log to a fresh segment once the current one
+	// reaches this size; 0 means 4 MiB.
+	SegmentBytes int64
+
+	// SnapshotEvery takes a snapshot after this many records have been
+	// committed since the last one; 0 means 4096, negative disables the
+	// record-count trigger.
+	SnapshotEvery int64
+
+	// SnapshotInterval additionally snapshots on a timer when records have
+	// been committed since the last snapshot; 0 disables the timer.
+	SnapshotInterval time.Duration
+
+	// Fsync forces the segment file to stable storage on every Commit.
+	// Off by default: a process crash (the failure the journal defends
+	// against first) loses nothing without it, only an OS crash can, and
+	// per-commit fsync is the dominant latency cost.  Snapshots are always
+	// fsynced before they are renamed into place.
+	Fsync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = meta.DefaultShards
+	}
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 4096
+	}
+	return o
+}
+
+// bufFlushBytes bounds the in-memory record buffer: past it, Record writes
+// the buffer through even before the next Commit, so a long drain cannot
+// hold an unbounded journal in memory.
+const bufFlushBytes = 1 << 20
+
+// Writer is an open journal: the meta.Recorder end that appends records,
+// and the snapshot/compaction machinery behind it.  One Writer owns its
+// directory; running two against the same directory corrupts the log.
+//
+// Record is safe to call from any goroutine (the database calls it under
+// its own locks) and never performs blocking I/O beyond an occasional
+// buffer spill; Commit, Snapshot and Close may block on the filesystem.
+type Writer struct {
+	dir string
+	opt Options
+	db  *meta.DB
+
+	mu      sync.Mutex
+	seg     *os.File
+	segSize int64
+	buf     []byte
+	pending int64 // records buffered since the last flush
+	ioErr   error // first write failure; sticky, surfaced by Commit
+	closed  bool
+
+	lastLSN   atomic.Int64 // newest assigned record number
+	snapLSN   atomic.Int64 // LSN covered by the newest snapshot
+	sinceSnap atomic.Int64 // records flushed since the newest snapshot
+
+	snapMu sync.Mutex // serializes Snapshot
+	snapCh chan struct{}
+	quit   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// Open recovers the database persisted in dir (creating the directory if
+// needed: an empty directory is an empty project) and returns a Writer
+// already attached to it as its mutation recorder.  A torn final record
+// left by a crash is truncated away before appending resumes.
+func Open(dir string, opt Options) (*Writer, *meta.DB, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	st, err := replay(dir, opt.Shards, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &Writer{
+		dir:    dir,
+		opt:    opt,
+		db:     st.db,
+		snapCh: make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+	}
+	w.lastLSN.Store(st.lastLSN)
+	w.snapLSN.Store(st.snapLSN)
+	if err := w.openTail(); err != nil {
+		return nil, nil, err
+	}
+	st.db.SetRecorder(w)
+	w.wg.Add(1)
+	go w.snapshotLoop()
+	return w, st.db, nil
+}
+
+// openTail opens the newest segment for appending, creating the first one
+// in an empty journal.  A tail torn down to less than the magic is reset.
+func (w *Writer) openTail() error {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	var tail string
+	var best int64 = -1
+	for _, e := range entries {
+		if lsn, ok := parseSeqName(e.Name(), "journal-", ".log"); ok && lsn > best {
+			best, tail = lsn, e.Name()
+		}
+	}
+	if tail == "" {
+		return w.newSegmentLocked()
+	}
+	path := filepath.Join(w.dir, tail)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	w.seg, w.segSize = f, fi.Size()
+	if w.segSize < int64(len(segMagic)) {
+		// Torn at creation (replay truncated it to zero): restart the
+		// segment header before any record lands in it.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return fmt.Errorf("journal: %w", err)
+		}
+		if _, err := f.WriteString(segMagic); err != nil {
+			f.Close()
+			return fmt.Errorf("journal: %w", err)
+		}
+		w.segSize = int64(len(segMagic))
+	}
+	return nil
+}
+
+// newSegmentLocked starts the next segment, named after the first LSN it
+// can contain.  Callers hold w.mu (or are single-threaded in Open).
+func (w *Writer) newSegmentLocked() error {
+	if w.seg != nil {
+		if err := w.seg.Close(); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		w.seg = nil
+	}
+	path := filepath.Join(w.dir, segmentName(w.lastLSN.Load()+1))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := f.WriteString(segMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	w.seg, w.segSize = f, int64(len(segMagic))
+	return nil
+}
+
+// DB returns the recovered database the Writer records for.
+func (w *Writer) DB() *meta.DB { return w.db }
+
+// LastLSN returns the newest assigned record number.
+func (w *Writer) LastLSN() int64 { return w.lastLSN.Load() }
+
+// SnapshotLSN returns the position the newest snapshot covers.
+func (w *Writer) SnapshotLSN() int64 { return w.snapLSN.Load() }
+
+// Record implements meta.Recorder: it stamps the record with the next LSN
+// and buffers its encoding.  It is called with database locks held, so it
+// must not block on the journal's own Commit I/O — it only appends to the
+// buffer, spilling to the segment file when the buffer outgrows its bound.
+// I/O errors are sticky and surface at the next Commit.
+func (w *Writer) Record(r meta.Record) {
+	w.mu.Lock()
+	r.LSN = w.lastLSN.Add(1)
+	w.buf = appendFrame(w.buf, encodePayload(r))
+	w.pending++
+	if len(w.buf) >= bufFlushBytes {
+		w.flushLocked()
+	}
+	w.mu.Unlock()
+}
+
+// flushLocked writes the buffered records through to the segment file and
+// rotates it past the size threshold.  Callers hold w.mu.  The first I/O
+// failure is recorded and the journal stops accepting writes — a half
+// written frame at the tail is exactly the torn-record case recovery
+// already truncates, so the log stays valid up to the failure point.
+func (w *Writer) flushLocked() {
+	if w.ioErr != nil || len(w.buf) == 0 {
+		w.buf = w.buf[:0]
+		w.pending = 0
+		return
+	}
+	if w.seg == nil {
+		w.ioErr = fmt.Errorf("journal: writer is closed")
+		return
+	}
+	n, err := w.seg.Write(w.buf)
+	w.segSize += int64(n)
+	w.sinceSnap.Add(w.pending)
+	w.buf = w.buf[:0]
+	w.pending = 0
+	if err != nil {
+		w.ioErr = fmt.Errorf("journal: append: %w", err)
+		return
+	}
+	if w.opt.Fsync {
+		if err := w.seg.Sync(); err != nil {
+			w.ioErr = fmt.Errorf("journal: fsync: %w", err)
+			return
+		}
+	}
+	if w.segSize >= w.opt.SegmentBytes {
+		if err := w.newSegmentLocked(); err != nil {
+			w.ioErr = err
+		}
+	}
+}
+
+// Commit writes every buffered record through to the operating system.
+// It is the durability point: the engine commits after each drain and the
+// server after each non-drain mutation, so a state change is on disk
+// before the request that caused it is acknowledged.  Commit also arms
+// the snapshot trigger when enough records have accumulated.
+func (w *Writer) Commit() error {
+	w.mu.Lock()
+	w.flushLocked()
+	err := w.ioErr
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if w.opt.SnapshotEvery > 0 && w.sinceSnap.Load() >= w.opt.SnapshotEvery {
+		select {
+		case w.snapCh <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// Snapshot writes a consistent whole-database snapshot and compacts the
+// log behind it.  The document is collected under the database's read
+// locks only — concurrent checkins proceed on other shards and are never
+// blocked for the encode or the file write — and the LSN captured under
+// those locks names the file, so recovery knows exactly which records the
+// snapshot covers.  The write goes to a temporary file that is fsynced
+// and renamed, making snapshot installation atomic under crashes.
+func (w *Writer) Snapshot() error {
+	w.snapMu.Lock()
+	defer w.snapMu.Unlock()
+
+	f, err := os.CreateTemp(w.dir, "snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	tmp := f.Name()
+	var lsn int64
+	err = w.db.SnapshotTo(f, func() { lsn = w.lastLSN.Load() })
+	if err == nil {
+		// Flush the log through the pinned LSN before the snapshot becomes
+		// visible.  The pinned records may still sit in the in-memory
+		// buffer; installing a snapshot that covers them while the tail
+		// segment ends short of them would let a crash leave a log whose
+		// next append is discontinuous with its last record — which a
+		// later recovery must (and does) refuse.
+		err = w.Commit()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if lsn <= w.snapLSN.Load() {
+		// Nothing newer than the snapshot already on disk.
+		os.Remove(tmp)
+		return nil
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, snapshotName(lsn))); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	w.snapLSN.Store(lsn)
+	w.sinceSnap.Store(0)
+	w.compact(lsn)
+	return nil
+}
+
+// compact deletes log segments fully covered by the snapshot at lsn — a
+// segment is disposable once a successor segment exists whose records all
+// fit under the snapshot horizon — and every older snapshot.  Compaction
+// races harmlessly with rotation: a segment created concurrently starts
+// past lsn and is never considered.
+func (w *Writer) compact(lsn int64) {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return // compaction is best-effort; recovery tolerates extra files
+	}
+	var starts []int64
+	for _, e := range entries {
+		if s, ok := parseSeqName(e.Name(), "journal-", ".log"); ok {
+			starts = append(starts, s)
+		}
+		if s, ok := parseSeqName(e.Name(), "snapshot-", ".json"); ok && s < lsn {
+			os.Remove(filepath.Join(w.dir, e.Name()))
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	for i := 0; i+1 < len(starts); i++ {
+		if starts[i+1] <= lsn+1 {
+			os.Remove(filepath.Join(w.dir, segmentName(starts[i])))
+		}
+	}
+}
+
+// snapshotLoop services the record-count trigger and the optional timer.
+func (w *Writer) snapshotLoop() {
+	defer w.wg.Done()
+	var tick <-chan time.Time
+	if w.opt.SnapshotInterval > 0 {
+		t := time.NewTicker(w.opt.SnapshotInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-w.quit:
+			return
+		case <-w.snapCh:
+		case <-tick:
+			if w.sinceSnap.Load() == 0 {
+				continue
+			}
+		}
+		if err := w.Snapshot(); err != nil {
+			w.mu.Lock()
+			if w.ioErr == nil {
+				w.ioErr = err
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Close flushes the journal, writes a final snapshot (so the next Open
+// replays nothing), detaches from the database and closes the segment.
+// The caller must have quiesced writers first.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		err := w.ioErr
+		w.mu.Unlock()
+		return err
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.quit)
+	w.wg.Wait()
+
+	err := w.Commit()
+	if err == nil && w.lastLSN.Load() > w.snapLSN.Load() {
+		// Anything beyond the newest snapshot — fresh records or a tail
+		// this process merely replayed at Open — gets folded in, so the
+		// next Open loads one document and replays nothing.
+		err = w.Snapshot()
+	}
+	w.db.SetRecorder(nil)
+	w.mu.Lock()
+	if w.seg != nil {
+		if cerr := w.seg.Close(); err == nil {
+			err = cerr
+		}
+		w.seg = nil
+	}
+	w.mu.Unlock()
+	return err
+}

@@ -112,6 +112,9 @@ func (db *DB) SnapshotHierarchy(name string, root Key, follow FollowFunc) (*Conf
 	sort.Slice(c.OIDs, func(i, j int) bool { return keyLess(c.OIDs[i], c.OIDs[j]) })
 	sort.Slice(c.Links, func(i, j int) bool { return c.Links[i] < c.Links[j] })
 	db.configs[name] = c
+	if db.rec != nil {
+		db.emit(OpConfig, configArgs(c))
+	}
 	return c.clone(), nil
 }
 
@@ -149,6 +152,9 @@ func (db *DB) SnapshotQuery(name string, pred func(*OID) bool) (*Configuration, 
 	sort.Slice(c.OIDs, func(i, j int) bool { return keyLess(c.OIDs[i], c.OIDs[j]) })
 	sort.Slice(c.Links, func(i, j int) bool { return c.Links[i] < c.Links[j] })
 	db.configs[name] = c
+	if db.rec != nil {
+		db.emit(OpConfig, configArgs(c))
+	}
 	return c.clone(), nil
 }
 
@@ -201,6 +207,9 @@ func (db *DB) SnapshotAsOf(name string, seq int64) (*Configuration, error) {
 	sort.Slice(c.OIDs, func(i, j int) bool { return keyLess(c.OIDs[i], c.OIDs[j]) })
 	sort.Slice(c.Links, func(i, j int) bool { return c.Links[i] < c.Links[j] })
 	db.configs[name] = c
+	if db.rec != nil {
+		db.emit(OpConfig, configArgs(c))
+	}
 	return c.clone(), nil
 }
 
@@ -223,6 +232,9 @@ func (db *DB) DeleteConfiguration(name string) error {
 		return fmt.Errorf("configuration %q: %w", name, ErrNotFound)
 	}
 	delete(db.configs, name)
+	if db.rec != nil {
+		db.emit(OpDelConfig, []string{name})
+	}
 	return nil
 }
 

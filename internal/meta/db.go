@@ -3,6 +3,7 @@ package meta
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -65,6 +66,11 @@ type DB struct {
 	compMu  sync.Mutex
 	comp    map[string]string
 	compGen atomic.Int64
+
+	// rec, when non-nil, receives one Record per committed mutation — the
+	// change-capture stream behind the append-only journal.  Emission
+	// happens under the locks that serialize the mutation; see record.go.
+	rec Recorder
 }
 
 // dbShard holds one stripe of the OID/chain/adjacency maps.  Every key in
@@ -261,8 +267,12 @@ func (db *DB) NewVersion(block, view string) (Key, error) {
 		next = chain[len(chain)-1] + 1
 	}
 	k := Key{Block: block, View: view, Version: next}
-	sh.oids[k] = &OID{Key: k, Props: make(map[string]string), Seq: db.tick()}
+	o := &OID{Key: k, Props: make(map[string]string), Seq: db.tick()}
+	sh.oids[k] = o
 	sh.chains[bv] = append(chain, next)
+	if db.rec != nil {
+		db.emit(OpOID, []string{k.String(), strconv.FormatInt(o.Seq, 10)})
+	}
 	return k, nil
 }
 
@@ -286,8 +296,12 @@ func (db *DB) InsertOID(k Key) error {
 		return fmt.Errorf("oid %v: chain is already at version %d: %w",
 			k, chain[len(chain)-1], ErrBadVersion)
 	}
-	sh.oids[k] = &OID{Key: k, Props: make(map[string]string), Seq: db.tick()}
+	o := &OID{Key: k, Props: make(map[string]string), Seq: db.tick()}
+	sh.oids[k] = o
 	sh.chains[bv] = append(chain, k.Version)
+	if db.rec != nil {
+		db.emit(OpOID, []string{k.String(), strconv.FormatInt(o.Seq, 10)})
+	}
 	return nil
 }
 
@@ -335,6 +349,9 @@ func (db *DB) PruneVersions(block, view string, keep int) (int, error) {
 		delete(sh.oids, k)
 	}
 	sh.chains[bv] = append([]int(nil), chain[len(chain)-keep:]...)
+	if db.rec != nil {
+		db.emit(OpPrune, []string{block, view, strconv.Itoa(keep)})
+	}
 	return len(drop), nil
 }
 
@@ -410,6 +427,9 @@ func (db *DB) SetProp(k Key, name, value string) error {
 		return fmt.Errorf("oid %v: %w", k, ErrNotFound)
 	}
 	o.Props[name] = value
+	if db.rec != nil {
+		db.emit(OpUpdate, []string{k.String(), "1", name, value})
+	}
 	return nil
 }
 
@@ -439,6 +459,10 @@ func (db *DB) WithOID(k Key, fn func(o *OID)) error {
 // not retain o or the map and must not call other DB methods (which would
 // deadlock).  Property names written by fn must satisfy ValidateName; the
 // caller validates because fn has no error channel.
+//
+// With a Recorder attached, the property map is diffed around fn and the
+// net change journaled as one update record; an fn that changes nothing
+// emits nothing.
 func (db *DB) UpdateOID(k Key, fn func(o *OID)) error {
 	sh := db.shardOf(k)
 	sh.mu.Lock()
@@ -447,7 +471,30 @@ func (db *DB) UpdateOID(k Key, fn func(o *OID)) error {
 	if !ok {
 		return fmt.Errorf("oid %v: %w", k, ErrNotFound)
 	}
+	if db.rec == nil {
+		fn(o)
+		return nil
+	}
+	before := make(map[string]string, len(o.Props))
+	for n, v := range o.Props {
+		before[n] = v
+	}
 	fn(o)
+	sets := make(map[string]string)
+	for n, v := range o.Props {
+		if ov, had := before[n]; !had || ov != v {
+			sets[n] = v
+		}
+	}
+	var dels []string
+	for n := range before {
+		if _, still := o.Props[n]; !still {
+			dels = append(dels, n)
+		}
+	}
+	if len(sets) > 0 || len(dels) > 0 {
+		db.emit(OpUpdate, propArgs([]string{k.String()}, sets, dels))
+	}
 	return nil
 }
 
@@ -475,7 +522,12 @@ func (db *DB) DelProp(k Key, name string) error {
 	if !ok {
 		return fmt.Errorf("oid %v: %w", k, ErrNotFound)
 	}
-	delete(o.Props, name)
+	if _, had := o.Props[name]; had {
+		delete(o.Props, name)
+		if db.rec != nil {
+			db.emit(OpUpdate, []string{k.String(), "0", name})
+		}
+	}
 	return nil
 }
 
@@ -528,6 +580,9 @@ func (db *DB) AddLink(class LinkClass, from, to Key, template string, propagates
 	stripe.mu.Unlock()
 	sf.outLinks[from] = append(sf.outLinks[from], linkRef{id: l.ID, l: l})
 	st.inLinks[to] = append(st.inLinks[to], linkRef{id: l.ID, l: l})
+	if db.rec != nil {
+		db.emit(OpLink, linkArgs(l))
+	}
 	return l.ID, nil
 }
 
@@ -574,6 +629,9 @@ func (db *DB) DeleteLink(id LinkID) error {
 		delete(stripe.links, id)
 		sf.outLinks[l.From] = removeRef(sf.outLinks[l.From], id)
 		st.inLinks[l.To] = removeRef(st.inLinks[l.To], id)
+		if db.rec != nil {
+			db.emit(OpDelLink, []string{strconv.FormatInt(int64(id), 10)})
+		}
 		stripe.mu.Unlock()
 		unlockPair(sf, st)
 		return nil
@@ -646,6 +704,10 @@ func (db *DB) RetargetLink(id LinkID, oldEnd, newEnd Key) error {
 			ns.inLinks[newEnd] = append(ns.inLinks[newEnd], linkRef{id: id, l: moved})
 			replaceRef(db.shardOf(from).outLinks[from], id, moved)
 		}
+		if db.rec != nil {
+			db.emit(OpRetarget, []string{
+				strconv.FormatInt(int64(id), 10), oldEnd.String(), newEnd.String()})
+		}
 		stripe.mu.Unlock()
 		db.unlockShardSet(locked)
 		return nil
@@ -679,6 +741,8 @@ func (db *DB) unlockShardSet(idx []uint32) {
 func (db *DB) SetLinkProp(id LinkID, name, value string) error {
 	return db.replaceLink(id, func(nl *Link) {
 		nl.Props[name] = value
+	}, func(*Link) (string, []string) {
+		return OpLinkUpdate, []string{strconv.FormatInt(int64(id), 10), "1", name, value}
 	})
 }
 
@@ -692,6 +756,8 @@ func (db *DB) SetLinkPropagates(id LinkID, events []string) error {
 		if len(events) > 0 {
 			db.unionBlocks(nl.From.Block, nl.To.Block)
 		}
+	}, func(nl *Link) (string, []string) {
+		return OpPropagates, append([]string{strconv.FormatInt(int64(id), 10)}, nl.PropagateList()...)
 	})
 }
 
@@ -699,7 +765,9 @@ func (db *DB) SetLinkPropagates(id LinkID, events []string) error {
 // published, so in-place annotation edits clone the object, apply mutate,
 // and swap the clone into the stripe map and both adjacency refs under the
 // endpoint shard locks.  Retries if the link is replaced concurrently.
-func (db *DB) replaceLink(id LinkID, mutate func(nl *Link)) error {
+// record, if non-nil and a Recorder is attached, builds the journal record
+// describing the installed object; it runs inside the critical section.
+func (db *DB) replaceLink(id LinkID, mutate func(nl *Link), record func(nl *Link) (string, []string)) error {
 	for {
 		l := db.snapshotLink(id)
 		if l == nil {
@@ -718,6 +786,9 @@ func (db *DB) replaceLink(id LinkID, mutate func(nl *Link)) error {
 		stripe.links[id] = nl
 		replaceRef(sf.outLinks[l.From], id, nl)
 		replaceRef(st.inLinks[l.To], id, nl)
+		if db.rec != nil && record != nil {
+			db.emit(record(nl))
+		}
 		stripe.mu.Unlock()
 		unlockPair(sf, st)
 		return nil

@@ -53,10 +53,20 @@ type workspaceJSON struct {
 	Paths map[string]string `json:"paths,omitempty"`
 }
 
-// Save writes the whole meta-database as indented JSON.  The whole
-// database is read-locked (control plane, every shard, every stripe) for
-// the duration, so the document is a consistent snapshot.
-func (db *DB) Save(w io.Writer) error {
+// Save writes the whole meta-database as indented JSON.  The document is a
+// consistent snapshot: collection happens under every read lock (control
+// plane, shards, stripes), while the JSON encoding — the expensive part —
+// runs after the locks are released.
+func (db *DB) Save(w io.Writer) error { return db.SnapshotTo(w, nil) }
+
+// SnapshotTo is Save with a coordination hook: capture, if non-nil, runs
+// while every lock is still held, after the document has been collected.
+// The append-only journal uses it to read its last assigned record number
+// — mutators emit journal records under the same locks, so the captured
+// position exactly matches the collected state, and recovery can replay
+// precisely the records the snapshot does not cover.  capture must not
+// call back into the DB.
+func (db *DB) SnapshotTo(w io.Writer, capture func()) error {
 	db.ctl.RLock()
 	db.rlockAll()
 	doc := dbJSON{Seq: db.seq.Load(), NextLink: db.nextLink.Load()}
@@ -112,6 +122,9 @@ func (db *DB) Save(w io.Writer) error {
 		}
 		doc.Workspaces = append(doc.Workspaces, wj)
 	}
+	if capture != nil {
+		capture()
+	}
 	db.runlockAll()
 	db.ctl.RUnlock()
 
@@ -136,13 +149,18 @@ func (db *DB) Save(w io.Writer) error {
 
 // Load reads a database previously written by Save and returns a fresh DB
 // with all indexes rebuilt.
-func Load(r io.Reader) (*DB, error) {
+func Load(r io.Reader) (*DB, error) { return LoadShards(r, DefaultShards) }
+
+// LoadShards is Load with an explicit shard count for the rebuilt DB —
+// shard count is a performance knob the document deliberately does not
+// record, so recovery paths that tune it pick it here.
+func LoadShards(r io.Reader, shards int) (*DB, error) {
 	var doc dbJSON
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&doc); err != nil {
 		return nil, fmt.Errorf("meta: decode: %w", err)
 	}
-	db := NewDB()
+	db := NewDBWithShards(shards)
 
 	// OIDs must be inserted in version order per chain.
 	sort.Slice(doc.OIDs, func(i, j int) bool {
@@ -155,8 +173,18 @@ func Load(r io.Reader) (*DB, error) {
 		}
 		return a.Version < b.Version
 	})
-	for _, oj := range doc.OIDs {
+	for i, oj := range doc.OIDs {
 		k := Key{Block: oj.Block, View: oj.View, Version: oj.Version}
+		if i > 0 {
+			// The sort puts duplicates side by side.  Reject them here with
+			// a clear message: InsertOID would refuse too, but with a
+			// confusing chain-version error, and the duplicate's properties
+			// must never silently overwrite the first occurrence's.
+			p := doc.OIDs[i-1]
+			if p.Block == oj.Block && p.View == oj.View && p.Version == oj.Version {
+				return nil, fmt.Errorf("meta: load: duplicate oid %v in document: %w", k, ErrExists)
+			}
+		}
 		if err := db.InsertOID(k); err != nil {
 			return nil, fmt.Errorf("meta: load oid: %w", err)
 		}
@@ -220,6 +248,9 @@ func Load(r io.Reader) (*DB, error) {
 	}
 
 	for _, cj := range doc.Configs {
+		if _, ok := db.configs[cj.Name]; ok {
+			return nil, fmt.Errorf("meta: load: duplicate configuration %q in document: %w", cj.Name, ErrExists)
+		}
 		c := &Configuration{Name: cj.Name, Seq: cj.Seq}
 		for _, ks := range cj.OIDs {
 			k, err := ParseKey(ks)
@@ -235,6 +266,9 @@ func Load(r io.Reader) (*DB, error) {
 	}
 
 	for _, wj := range doc.Workspaces {
+		if _, ok := db.workspaces[wj.Name]; ok {
+			return nil, fmt.Errorf("meta: load: duplicate workspace %q in document: %w", wj.Name, ErrExists)
+		}
 		ws := &Workspace{Name: wj.Name, Root: wj.Root, paths: make(map[Key]string, len(wj.Paths))}
 		for ks, p := range wj.Paths {
 			k, err := ParseKey(ks)

@@ -2,6 +2,7 @@ package meta
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -112,6 +113,40 @@ func TestLoadRejectsCorrupt(t *testing.T) {
 	for name, doc := range cases {
 		if _, err := Load(strings.NewReader(doc)); err == nil {
 			t.Errorf("%s: Load accepted corrupt input", name)
+		}
+	}
+}
+
+func TestLoadRejectsDuplicates(t *testing.T) {
+	cases := map[string]struct{ doc, wantSub string }{
+		"oid": {
+			doc: `{"oids":[
+				{"block":"a","view":"v","version":1,"props":{"p":"first"}},
+				{"block":"b","view":"v","version":1},
+				{"block":"a","view":"v","version":1,"props":{"p":"second"}}
+			]}`,
+			wantSub: "duplicate oid a,v,1",
+		},
+		"configuration": {
+			doc:     `{"configurations":[{"name":"c","oids":[]},{"name":"c","oids":[]}]}`,
+			wantSub: `duplicate configuration "c"`,
+		},
+		"workspace": {
+			doc:     `{"workspaces":[{"name":"w","root":"/a"},{"name":"w","root":"/b"}]}`,
+			wantSub: `duplicate workspace "w"`,
+		},
+	}
+	for name, tc := range cases {
+		_, err := Load(strings.NewReader(tc.doc))
+		if err == nil {
+			t.Errorf("%s: Load accepted a duplicate (last-wins would silently drop data)", name)
+			continue
+		}
+		if !errors.Is(err, ErrExists) {
+			t.Errorf("%s: err = %v, want ErrExists", name, err)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: err %q does not describe the duplicate (want %q)", name, err, tc.wantSub)
 		}
 	}
 }

@@ -1,0 +1,549 @@
+package meta
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Change capture and replay.  Every committed mutation of the meta-database
+// can be described by a Record — a small, order-sensitive description of
+// what changed, with absolute values (never increments), so that replaying
+// a record stream against a consistent base state reconstructs the exact
+// database.  The append-only journal (internal/journal) persists these
+// records; ApplyRecord is the replay side.
+//
+// # Emission ordering
+//
+// A database with a Recorder attached (SetRecorder) emits each record
+// while still holding the locks that serialize the mutation it describes.
+// Two mutations of the same object are therefore journaled in the order
+// they were applied, and a mutation that observes another (a link creation
+// that found its endpoint OID) is journaled after the record it depends
+// on.  Mutations of unrelated objects may interleave in any order in the
+// journal — they commute under replay.
+//
+// The Recorder is called with the emitting shard/stripe/control locks
+// held: implementations must not call back into the DB and should only
+// buffer (the journal writer appends to an in-memory buffer and performs
+// file I/O later, at an explicit commit point).
+
+// Record ops.  The argument layout of each op is documented on
+// ApplyRecord, which is the authoritative decoder.
+const (
+	OpOID        = "oid"        // insert an OID with explicit seq
+	OpUpdate     = "update"     // set/delete properties of an OID
+	OpLink       = "link"       // insert a link with explicit id and seq
+	OpDelLink    = "dellink"    // delete a link
+	OpRetarget   = "retarget"   // move one link endpoint
+	OpLinkUpdate = "linkupdate" // set/delete annotation properties of a link
+	OpPropagates = "propagates" // replace a link's PROPAGATE set
+	OpPrune      = "prune"      // prune old versions of a chain
+	OpConfig     = "config"     // install a configuration snapshot
+	OpDelConfig  = "delconfig"  // delete a configuration
+	OpWorkspace  = "workspace"  // register a workspace
+	OpBind       = "bind"       // bind an OID path inside a workspace
+	OpEvent      = "event"      // audit: a design event entered the engine
+)
+
+// Record is one replayable mutation (or, for OpEvent, one audit entry).
+// Args carry the op-specific fields as strings in wire-friendly form; keys
+// use the block,view,version syntax of ParseKey.
+type Record struct {
+	// LSN is the journal sequence number, assigned by the log appender at
+	// emission time; zero until then.  Recovery uses it to decide which
+	// records a snapshot already covers.
+	LSN int64
+
+	// Seq is the database logical clock observed at emission.  Replay
+	// raises the clock to at least this value, so a recovered database
+	// never re-issues logical timestamps that existed before the crash.
+	Seq int64
+
+	Op   string
+	Args []string
+}
+
+// Recorder receives one Record per committed mutation.  See the package
+// comment on emission ordering and the locking constraints.
+type Recorder interface {
+	Record(Record)
+}
+
+// SetRecorder attaches (or, with nil, detaches) the mutation recorder.
+// It must be called before the database is shared between goroutines —
+// typically right after NewDB or after recovery replay, before serving.
+func (db *DB) SetRecorder(r Recorder) { db.rec = r }
+
+// emit hands a record to the recorder, stamping the current logical clock.
+// Callers hold the locks that serialize the mutation and have already
+// checked db.rec != nil (so the hot paths build no argument slices when no
+// recorder is attached).
+func (db *DB) emit(op string, args []string) {
+	db.rec.Record(Record{Seq: db.seq.Load(), Op: op, Args: args})
+}
+
+// propArgs encodes a property diff as the argument tail shared by OpUpdate
+// and OpLinkUpdate: the set count, then name/value pairs, then deleted
+// names.  Pairs and deletions are sorted by name so identical diffs encode
+// identically regardless of map iteration order.
+func propArgs(prefix []string, sets map[string]string, dels []string) []string {
+	names := make([]string, 0, len(sets))
+	for n := range sets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	sort.Strings(dels)
+	args := append(prefix, strconv.Itoa(len(names)))
+	for _, n := range names {
+		args = append(args, n, sets[n])
+	}
+	return append(args, dels...)
+}
+
+// parsePropArgs decodes the tail produced by propArgs.
+func parsePropArgs(args []string) (sets [][2]string, dels []string, err error) {
+	if len(args) == 0 {
+		return nil, nil, fmt.Errorf("missing set count")
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil || n < 0 || len(args) < 1+2*n {
+		return nil, nil, fmt.Errorf("bad set count %q", args[0])
+	}
+	args = args[1:]
+	for i := 0; i < n; i++ {
+		sets = append(sets, [2]string{args[2*i], args[2*i+1]})
+	}
+	return sets, args[2*n:], nil
+}
+
+// linkArgs encodes a complete link object: id, class, endpoints, template,
+// seq, the PROPAGATE set (count-prefixed) and the annotation properties as
+// name/value pairs.
+func linkArgs(l *Link) []string {
+	evs := l.PropagateList()
+	args := make([]string, 0, 7+len(evs)+2*len(l.Props))
+	args = append(args,
+		strconv.FormatInt(int64(l.ID), 10),
+		l.Class.String(),
+		l.From.String(),
+		l.To.String(),
+		l.Template,
+		strconv.FormatInt(l.Seq, 10),
+		strconv.Itoa(len(evs)))
+	args = append(args, evs...)
+	names := make([]string, 0, len(l.Props))
+	for n := range l.Props {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		args = append(args, n, l.Props[n])
+	}
+	return args
+}
+
+// parseLinkArgs decodes the layout produced by linkArgs.
+func parseLinkArgs(args []string) (*Link, error) {
+	if len(args) < 7 {
+		return nil, fmt.Errorf("link record wants at least 7 args, got %d", len(args))
+	}
+	id, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("link id %q: %v", args[0], err)
+	}
+	class, err := ParseLinkClass(args[1])
+	if err != nil {
+		return nil, err
+	}
+	from, err := ParseKey(args[2])
+	if err != nil {
+		return nil, fmt.Errorf("from: %w", err)
+	}
+	to, err := ParseKey(args[3])
+	if err != nil {
+		return nil, fmt.Errorf("to: %w", err)
+	}
+	seq, err := strconv.ParseInt(args[5], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("link seq %q: %v", args[5], err)
+	}
+	np, err := strconv.Atoi(args[6])
+	if err != nil || np < 0 || len(args) < 7+np {
+		return nil, fmt.Errorf("bad propagate count %q", args[6])
+	}
+	rest := args[7:]
+	l := &Link{
+		ID:         LinkID(id),
+		Class:      class,
+		From:       from,
+		To:         to,
+		Template:   args[4],
+		Seq:        seq,
+		Props:      make(map[string]string),
+		Propagates: make(map[string]bool, np),
+	}
+	for _, e := range rest[:np] {
+		l.Propagates[e] = true
+	}
+	rest = rest[np:]
+	if len(rest)%2 != 0 {
+		return nil, fmt.Errorf("odd property tail on link %d", id)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		l.Props[rest[i]] = rest[i+1]
+	}
+	return l, nil
+}
+
+// seqFloor raises the logical clock to at least s.
+func (db *DB) seqFloor(s int64) {
+	for {
+		cur := db.seq.Load()
+		if s <= cur || db.seq.CompareAndSwap(cur, s) {
+			return
+		}
+	}
+}
+
+// nextLinkFloor raises the link-ID counter to at least s.
+func (db *DB) nextLinkFloor(s int64) {
+	for {
+		cur := db.nextLink.Load()
+		if s <= cur || db.nextLink.CompareAndSwap(cur, s) {
+			return
+		}
+	}
+}
+
+// ApplyRecord replays one captured mutation.  Replay expects the records
+// of a journal tail in emission order against the consistent base state
+// the matching snapshot restored; a record that contradicts the database
+// (an OID that already exists, a link endpoint that does not) is reported
+// as an error rather than papered over — journal corruption should fail
+// recovery loudly, not produce a silently wrong project.
+//
+// A database being replayed into normally has no Recorder attached (the
+// journal attaches it after recovery); with one attached, applied records
+// are re-emitted like any other mutation, which is the desired behavior
+// for a follower mirroring a leader's stream.
+func (db *DB) ApplyRecord(r Record) error {
+	fail := func(err error) error {
+		return fmt.Errorf("meta: apply %s record (lsn %d): %w", r.Op, r.LSN, err)
+	}
+	switch r.Op {
+	case OpOID:
+		// Args: key, seq.
+		if len(r.Args) != 2 {
+			return fail(fmt.Errorf("want 2 args, got %d", len(r.Args)))
+		}
+		k, err := ParseKey(r.Args[0])
+		if err != nil {
+			return fail(err)
+		}
+		seq, err := strconv.ParseInt(r.Args[1], 10, 64)
+		if err != nil {
+			return fail(err)
+		}
+		if err := db.insertOIDSeq(k, seq); err != nil {
+			return fail(err)
+		}
+
+	case OpUpdate:
+		// Args: key, then the propArgs tail (set count, name/value pairs,
+		// deleted names).
+		if len(r.Args) < 1 {
+			return fail(fmt.Errorf("missing key"))
+		}
+		k, err := ParseKey(r.Args[0])
+		if err != nil {
+			return fail(err)
+		}
+		sets, dels, err := parsePropArgs(r.Args[1:])
+		if err != nil {
+			return fail(err)
+		}
+		err = db.UpdateOID(k, func(o *OID) {
+			for _, s := range sets {
+				o.Props[s[0]] = s[1]
+			}
+			for _, n := range dels {
+				delete(o.Props, n)
+			}
+		})
+		if err != nil {
+			return fail(err)
+		}
+
+	case OpLink:
+		l, err := parseLinkArgs(r.Args)
+		if err != nil {
+			return fail(err)
+		}
+		if err := db.insertLinkObject(l); err != nil {
+			return fail(err)
+		}
+
+	case OpDelLink:
+		id, err := parseLinkID(r.Args)
+		if err != nil {
+			return fail(err)
+		}
+		if err := db.DeleteLink(id); err != nil {
+			return fail(err)
+		}
+
+	case OpRetarget:
+		// Args: id, old endpoint, new endpoint.
+		if len(r.Args) != 3 {
+			return fail(fmt.Errorf("want 3 args, got %d", len(r.Args)))
+		}
+		id, err := parseLinkID(r.Args[:1])
+		if err != nil {
+			return fail(err)
+		}
+		oldEnd, err := ParseKey(r.Args[1])
+		if err != nil {
+			return fail(err)
+		}
+		newEnd, err := ParseKey(r.Args[2])
+		if err != nil {
+			return fail(err)
+		}
+		if err := db.RetargetLink(id, oldEnd, newEnd); err != nil {
+			return fail(err)
+		}
+
+	case OpLinkUpdate:
+		// Args: id, then the propArgs tail.
+		if len(r.Args) < 1 {
+			return fail(fmt.Errorf("missing link id"))
+		}
+		id, err := parseLinkID(r.Args[:1])
+		if err != nil {
+			return fail(err)
+		}
+		sets, dels, err := parsePropArgs(r.Args[1:])
+		if err != nil {
+			return fail(err)
+		}
+		err = db.replaceLink(id, func(nl *Link) {
+			for _, s := range sets {
+				nl.Props[s[0]] = s[1]
+			}
+			for _, n := range dels {
+				delete(nl.Props, n)
+			}
+		}, func(*Link) (string, []string) { return OpLinkUpdate, r.Args })
+		if err != nil {
+			return fail(err)
+		}
+
+	case OpPropagates:
+		// Args: id, event names.
+		if len(r.Args) < 1 {
+			return fail(fmt.Errorf("missing link id"))
+		}
+		id, err := parseLinkID(r.Args[:1])
+		if err != nil {
+			return fail(err)
+		}
+		if err := db.SetLinkPropagates(id, r.Args[1:]); err != nil {
+			return fail(err)
+		}
+
+	case OpPrune:
+		// Args: block, view, keep.
+		if len(r.Args) != 3 {
+			return fail(fmt.Errorf("want 3 args, got %d", len(r.Args)))
+		}
+		keep, err := strconv.Atoi(r.Args[2])
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := db.PruneVersions(r.Args[0], r.Args[1], keep); err != nil {
+			return fail(err)
+		}
+
+	case OpConfig:
+		// Args: name, seq, oid count, keys, link ids.
+		c, err := parseConfigArgs(r.Args)
+		if err != nil {
+			return fail(err)
+		}
+		if err := db.installConfig(c); err != nil {
+			return fail(err)
+		}
+
+	case OpDelConfig:
+		if len(r.Args) != 1 {
+			return fail(fmt.Errorf("want 1 arg, got %d", len(r.Args)))
+		}
+		if err := db.DeleteConfiguration(r.Args[0]); err != nil {
+			return fail(err)
+		}
+
+	case OpWorkspace:
+		// Args: name, root.
+		if len(r.Args) != 2 {
+			return fail(fmt.Errorf("want 2 args, got %d", len(r.Args)))
+		}
+		if err := db.AddWorkspace(r.Args[0], r.Args[1]); err != nil {
+			return fail(err)
+		}
+
+	case OpBind:
+		// Args: workspace, key, path.
+		if len(r.Args) != 3 {
+			return fail(fmt.Errorf("want 3 args, got %d", len(r.Args)))
+		}
+		k, err := ParseKey(r.Args[1])
+		if err != nil {
+			return fail(err)
+		}
+		if err := db.BindPath(r.Args[0], k, r.Args[2]); err != nil {
+			return fail(err)
+		}
+
+	case OpEvent:
+		// Audit only: the engine's event stream, not a database mutation.
+
+	default:
+		return fail(fmt.Errorf("unknown op"))
+	}
+	db.seqFloor(r.Seq)
+	return nil
+}
+
+func parseLinkID(args []string) (LinkID, error) {
+	if len(args) < 1 {
+		return 0, fmt.Errorf("missing link id")
+	}
+	id, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("link id %q: %v", args[0], err)
+	}
+	return LinkID(id), nil
+}
+
+// configArgs encodes a configuration: name, seq, OID count, keys, link ids.
+func configArgs(c *Configuration) []string {
+	args := make([]string, 0, 3+len(c.OIDs)+len(c.Links))
+	args = append(args, c.Name, strconv.FormatInt(c.Seq, 10), strconv.Itoa(len(c.OIDs)))
+	for _, k := range c.OIDs {
+		args = append(args, k.String())
+	}
+	for _, id := range c.Links {
+		args = append(args, strconv.FormatInt(int64(id), 10))
+	}
+	return args
+}
+
+func parseConfigArgs(args []string) (*Configuration, error) {
+	if len(args) < 3 {
+		return nil, fmt.Errorf("config record wants at least 3 args, got %d", len(args))
+	}
+	seq, err := strconv.ParseInt(args[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("config seq %q: %v", args[1], err)
+	}
+	n, err := strconv.Atoi(args[2])
+	if err != nil || n < 0 || len(args) < 3+n {
+		return nil, fmt.Errorf("bad oid count %q", args[2])
+	}
+	c := &Configuration{Name: args[0], Seq: seq}
+	rest := args[3:]
+	for _, ks := range rest[:n] {
+		k, err := ParseKey(ks)
+		if err != nil {
+			return nil, err
+		}
+		c.OIDs = append(c.OIDs, k)
+	}
+	for _, ids := range rest[n:] {
+		id, err := strconv.ParseInt(ids, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("config link id %q: %v", ids, err)
+		}
+		c.Links = append(c.Links, LinkID(id))
+	}
+	return c, nil
+}
+
+// insertOIDSeq inserts an OID with an explicit logical timestamp — the
+// replay form of InsertOID, which must not advance the clock.
+func (db *DB) insertOIDSeq(k Key, seq int64) error {
+	if err := k.Validate(); err != nil {
+		return err
+	}
+	sh := db.shardOf(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.oids[k]; ok {
+		return fmt.Errorf("oid %v: %w", k, ErrExists)
+	}
+	bv := k.BV()
+	chain := sh.chains[bv]
+	if len(chain) > 0 && k.Version <= chain[len(chain)-1] {
+		return fmt.Errorf("oid %v: chain is already at version %d: %w",
+			k, chain[len(chain)-1], ErrBadVersion)
+	}
+	sh.oids[k] = &OID{Key: k, Props: make(map[string]string), Seq: seq}
+	sh.chains[bv] = append(chain, k.Version)
+	if db.rec != nil {
+		db.emit(OpOID, []string{k.String(), strconv.FormatInt(seq, 10)})
+	}
+	return nil
+}
+
+// insertLinkObject installs a fully described link — the replay form of
+// AddLink, which must keep the recorded id and seq instead of allocating.
+func (db *DB) insertLinkObject(l *Link) error {
+	if err := l.validate(); err != nil {
+		return err
+	}
+	sf, st := db.lockPair(l.From, l.To)
+	defer unlockPair(sf, st)
+	if _, ok := sf.oids[l.From]; !ok {
+		return fmt.Errorf("link from %v: %w", l.From, ErrNotFound)
+	}
+	if _, ok := st.oids[l.To]; !ok {
+		return fmt.Errorf("link to %v: %w", l.To, ErrNotFound)
+	}
+	stripe := db.stripeOf(l.ID)
+	stripe.mu.Lock()
+	if _, ok := stripe.links[l.ID]; ok {
+		stripe.mu.Unlock()
+		return fmt.Errorf("link %d: %w", l.ID, ErrExists)
+	}
+	if len(l.Propagates) > 0 {
+		db.unionBlocks(l.From.Block, l.To.Block)
+	}
+	stripe.links[l.ID] = l
+	stripe.mu.Unlock()
+	sf.outLinks[l.From] = append(sf.outLinks[l.From], linkRef{id: l.ID, l: l})
+	st.inLinks[l.To] = append(st.inLinks[l.To], linkRef{id: l.ID, l: l})
+	db.nextLinkFloor(int64(l.ID))
+	if db.rec != nil {
+		db.emit(OpLink, linkArgs(l))
+	}
+	return nil
+}
+
+// installConfig installs a configuration under its recorded name and seq —
+// the replay form of the Snapshot* constructors.
+func (db *DB) installConfig(c *Configuration) error {
+	if err := ValidateName(c.Name); err != nil {
+		return fmt.Errorf("configuration: %w", err)
+	}
+	db.ctl.Lock()
+	defer db.ctl.Unlock()
+	if _, ok := db.configs[c.Name]; ok {
+		return fmt.Errorf("configuration %q: %w", c.Name, ErrExists)
+	}
+	db.configs[c.Name] = c
+	if db.rec != nil {
+		db.emit(OpConfig, configArgs(c))
+	}
+	return nil
+}

@@ -55,6 +55,9 @@ func (db *DB) AddWorkspace(name, root string) error {
 		return fmt.Errorf("workspace %q: %w", name, ErrExists)
 	}
 	db.workspaces[name] = &Workspace{Name: name, Root: root, paths: make(map[Key]string)}
+	if db.rec != nil {
+		db.emit(OpWorkspace, []string{name, root})
+	}
 	return nil
 }
 
@@ -70,6 +73,9 @@ func (db *DB) BindPath(workspace string, k Key, path string) error {
 		return fmt.Errorf("oid %v: %w", k, ErrNotFound)
 	}
 	w.paths[k] = path
+	if db.rec != nil {
+		db.emit(OpBind, []string{workspace, k.String(), path})
+	}
 	return nil
 }
 

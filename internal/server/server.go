@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/bpl"
 	"repro/internal/engine"
+	"repro/internal/journal"
 	"repro/internal/meta"
 	"repro/internal/state"
 	"repro/internal/viz"
@@ -23,7 +24,8 @@ import (
 
 // Server is a running project server.
 type Server struct {
-	eng *engine.Engine
+	eng     *engine.Engine
+	journal *journal.Writer
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -46,6 +48,15 @@ type Option func(*Server)
 // quiescence with the SYNC verb.  Without this option every mutating
 // request drains synchronously before responding.
 func WithAsyncDrain() Option { return func(s *Server) { s.async = true } }
+
+// WithJournal tells the server which journal persists its database, so
+// mutations that do not ride a synchronous drain commit it before their
+// response is written — LINK, SNAPSHOT, CREATE (whose OID is created
+// outside the drain), and SYNC (the async mode's settlement point) — the
+// same on-disk-before-ack guarantee the engine provides for event
+// processing.  The engine should carry the same journal via
+// engine.WithJournal.
+func WithJournal(j *journal.Writer) Option { return func(s *Server) { s.journal = j } }
 
 // New creates a server around an engine.
 func New(eng *engine.Engine, opts ...Option) *Server {
@@ -98,6 +109,15 @@ func (s *Server) kick() error {
 // Engine exposes the underlying engine, e.g. for in-process inspection in
 // tests and tools.
 func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// commitJournal flushes the journal, if one is attached — called by
+// mutating verbs whose changes do not pass through a drain.
+func (s *Server) commitJournal() error {
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.Commit()
+}
 
 // Listen starts accepting connections on addr ("host:port"; port 0 picks a
 // free port) and returns the bound address.  Serving happens on background
@@ -162,7 +182,9 @@ func (s *Server) Close() error {
 		ln.Close()
 	}
 	s.wg.Wait()
-	return nil
+	// Handlers have retired; park any straggling records on disk.  The
+	// journal itself stays open — its owner (the daemon) closes it.
+	return s.commitJournal()
 }
 
 func (s *Server) dropConn(c net.Conn) {
@@ -228,6 +250,13 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 		s.drainErr = nil
 		s.mu.Unlock()
 		if err != nil {
+			return fail("%v", err)
+		}
+		// SYNC is the async mode's settlement point: quiescence may be
+		// observed a moment before the drainer's own commit runs, so
+		// commit here too — "idle" then always means "settled and on
+		// disk".
+		if err := s.commitJournal(); err != nil {
 			return fail("%v", err)
 		}
 		return ok("idle")
@@ -317,6 +346,12 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 		if err := s.kick(); err != nil {
 			return fail("%v", err)
 		}
+		// The OID itself was created synchronously above; in async mode
+		// the kick has not committed anything yet, so make the creation
+		// durable before acknowledging it.
+		if err := s.commitJournal(); err != nil {
+			return fail("%v", err)
+		}
 		return ok("%s", k)
 
 	case wire.VerbLink:
@@ -337,6 +372,9 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 		}
 		id, err := s.eng.CreateLink(class, from, to)
 		if err != nil {
+			return fail("%v", err)
+		}
+		if err := s.commitJournal(); err != nil {
 			return fail("%v", err)
 		}
 		return ok("%d", id)
@@ -408,6 +446,9 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 			}
 		}
 		if err != nil {
+			return fail("%v", err)
+		}
+		if err := s.commitJournal(); err != nil {
 			return fail("%v", err)
 		}
 		return ok("%d oids %d links", len(cfg.OIDs), len(cfg.Links))

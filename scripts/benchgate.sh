@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# benchgate.sh — fail when the PR's smoke benches regress past a limit.
+#
+# Usage: benchgate.sh BASE.txt PR.txt [LIMIT_PERCENT]
+#
+# BASE.txt and PR.txt are `go test -bench` outputs (same benches, same
+# -count) from the base branch and the PR.  The gate runs benchstat and
+# reads the geomean delta of the sec/op table: a positive delta above
+# LIMIT_PERCENT (default 15) fails.  Deltas benchstat reports as
+# statistically indistinguishable ("~"), improvements, and a missing
+# geomean row (too few benches) all pass.
+set -euo pipefail
+
+base=${1:?usage: benchgate.sh BASE.txt PR.txt [LIMIT_PERCENT]}
+pr=${2:?usage: benchgate.sh BASE.txt PR.txt [LIMIT_PERCENT]}
+limit=${3:-15}
+
+if ! command -v benchstat >/dev/null; then
+    echo "benchgate: benchstat not found (go install golang.org/x/perf/cmd/benchstat@latest)" >&2
+    exit 2
+fi
+
+out=$(benchstat "$base" "$pr")
+printf '%s\n' "$out"
+
+# The sec/op table comes first; take its geomean row's delta column
+# (benchstat prints e.g. "+3.45%", "-1.20%" or "~").
+delta=$(printf '%s\n' "$out" | awk '
+    /sec\/op/ { intable = 1 }
+    intable && $1 == "geomean" {
+        for (i = NF; i > 0; i--) if ($i ~ /%$/ || $i == "~") { print $i; exit }
+    }')
+
+if [ -z "$delta" ] || [ "$delta" = "~" ]; then
+    echo "benchgate: no significant sec/op geomean change"
+    exit 0
+fi
+case $delta in
+-*) echo "benchgate: geomean improved ($delta)"; exit 0 ;;
+esac
+
+value=${delta#+}
+value=${value%\%}
+if awk -v v="$value" -v l="$limit" 'BEGIN { exit !(v > l) }'; then
+    echo "benchgate: FAIL — sec/op geomean regressed $delta (limit ${limit}%)" >&2
+    exit 1
+fi
+echo "benchgate: geomean regression $delta within the ${limit}% limit"
