@@ -5,6 +5,7 @@
 // Usage:
 //
 //	damocles [-addr host:port] [-blueprint file] [-db file | -journal dir [-fsync]] [-trace]
+//	damocles -follow primary:port -journal dir [-addr host:port] [-blueprint file]
 //
 // With no -blueprint, the EDTC_example policy from section 3.4 of the
 // paper is loaded.  With -db, the meta-database is loaded at startup (if
@@ -16,7 +17,15 @@
 // restarts into the exact acknowledged state by loading the newest
 // snapshot and replaying the record tail.  Surviving an OS crash or
 // power loss additionally needs -fsync, which forces every commit to
-// stable storage at a per-request latency cost.
+// stable storage at a per-request latency cost.  A journaled server is
+// also a replication primary: followers attach with the FOLLOW verb.
+//
+// With -follow, the process runs as a replication follower instead: it
+// mirrors the primary's record stream into its own -journal directory
+// (resuming from the persisted applied position across restarts, even
+// after SIGKILL) and serves the read verbs — REPORT, GAP, STATE, LSN —
+// from the replicated database while refusing writes.  See
+// docs/REPLICATION.md.
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/journal"
 	"repro/internal/meta"
+	"repro/internal/replica"
 	"repro/internal/server"
 )
 
@@ -45,12 +55,82 @@ func main() {
 	dbFile := flag.String("db", "", "meta-database file to load/save")
 	jdir := flag.String("journal", "", "journal directory (append-only log + snapshots; excludes -db)")
 	fsync := flag.Bool("fsync", false, "with -journal, fsync every commit (survive OS crashes, not just process crashes)")
+	follow := flag.String("follow", "", "run as a read-only replication follower of this primary address (requires -journal)")
 	trace := flag.Bool("trace", false, "log engine trace to stderr")
 	flag.Parse()
 
+	if *follow != "" {
+		if *dbFile != "" {
+			log.Fatal("-follow replicates into -journal; -db does not apply")
+		}
+		if err := runFollower(*addr, *bpFile, *jdir, *follow, *fsync, *trace); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := run(*addr, *bpFile, *dbFile, *jdir, *fsync, *trace); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runFollower mirrors a primary's journal stream into jdir and serves the
+// read verbs from the replicated database.
+func runFollower(addr, bpFile, jdir, primary string, fsync, trace bool) error {
+	if jdir == "" {
+		return fmt.Errorf("-follow requires -journal DIR for the replica's local log")
+	}
+	bp, err := cli.LoadBlueprint(bpFile)
+	if err != nil {
+		return err
+	}
+	fol, err := replica.Start(jdir, primary, journal.Options{Fsync: fsync})
+	if err != nil {
+		return err
+	}
+	log.Printf("following %s from applied lsn %d: %+v", primary, fol.AppliedLSN(), fol.DB().Stats())
+	var engOpts []engine.Option
+	if trace {
+		engOpts = append(engOpts, engine.WithTracer(logTracer{}))
+	}
+	eng, err := engine.New(fol.DB(), bp, engOpts...)
+	if err != nil {
+		fol.Close()
+		return err
+	}
+	srv := server.New(eng, server.WithReadOnly(fol))
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		fol.Close()
+		return err
+	}
+	log.Printf("replica of %s serving on %s", primary, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		log.Printf("shutting down")
+	case <-fol.Done():
+		// The loop only stops on its own for a terminal error (gap,
+		// refusal, divergent history); dying loudly beats serving
+		// ever-staler reads that look healthy.
+		err := fol.Err()
+		srv.Close()
+		fol.Close()
+		if err == nil {
+			err = fmt.Errorf("replication loop stopped")
+		}
+		return fmt.Errorf("replication failed at applied lsn %d: %w", fol.AppliedLSN(), err)
+	}
+	if err := srv.Close(); err != nil {
+		fol.Close()
+		return err
+	}
+	if err := fol.Close(); err != nil {
+		return err
+	}
+	log.Printf("follower closed at applied lsn %d: %+v", fol.AppliedLSN(), fol.DB().Stats())
+	return nil
 }
 
 func run(addr, bpFile, dbFile, jdir string, fsync, trace bool) error {
@@ -98,7 +178,11 @@ func run(addr, bpFile, dbFile, jdir string, fsync, trace bool) error {
 	var srvOpts []server.Option
 	if jw != nil {
 		opts = append(opts, engine.WithJournal(jw))
-		srvOpts = append(srvOpts, server.WithJournal(jw))
+		srvOpts = append(srvOpts,
+			server.WithJournal(jw),
+			// A journaled server is a replication primary for free: the
+			// FOLLOW verb tails the same log that makes it durable.
+			server.WithFollowSource(replica.NewSource(jw)))
 	}
 	eng, err := engine.New(db, bp, opts...)
 	if err != nil {

@@ -19,6 +19,12 @@
 // directory) and answers the query from the recovered state.  Readiness
 // evaluation then uses the blueprint named by -blueprint, or the built-in
 // EDTC example.
+//
+// With -follow, dquery attaches to a journaled server's replication
+// stream and prints every record as it commits — "tail -f" for the
+// project's mutation history:
+//
+//	dquery -addr host:port -follow [from-lsn]
 package main
 
 import (
@@ -26,11 +32,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 
 	"repro/internal/cli"
 	"repro/internal/engine"
 	"repro/internal/journal"
 	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -39,11 +47,22 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7495", "project server address")
 	jdir := flag.String("journal", "", "answer offline from this journal directory instead of a server")
 	bpFile := flag.String("blueprint", "", "policy file for offline state evaluation (default: built-in EDTC example)")
+	follow := flag.Bool("follow", false, "stream the server's journal records to stdout (optional arg: start after this lsn)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dquery [-addr host:port | -journal dir] <state|report|gap|stats|blueprint|snapshot|dot|links> [args]\n")
+		fmt.Fprintf(os.Stderr, "       dquery [-addr host:port] -follow [from-lsn]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *follow {
+		if *jdir != "" {
+			log.Fatal("-follow streams from a server (-addr); it cannot tail an offline -journal directory")
+		}
+		if err := followStream(*addr, flag.Args()); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
@@ -56,6 +75,38 @@ func main() {
 	if err := cli.DQuery(os.Stdout, c, flag.Args()); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// followStream prints a server's replication stream until the connection
+// or the process ends.
+func followStream(addr string, args []string) error {
+	after := int64(0)
+	if len(args) > 1 {
+		return fmt.Errorf("-follow takes at most one <from-lsn> argument")
+	}
+	if len(args) == 1 {
+		n, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil || n < 0 {
+			return fmt.Errorf("-follow: bad from-lsn %q", args[0])
+		}
+		after = n
+	}
+	c, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Hangup()
+	return c.Follow(after, func(fr server.FollowFrame) error {
+		switch {
+		case fr.Rec != nil:
+			fmt.Println(wire.EncodeFollowRecord(fr.Rec.LSN, fr.Rec.Seq, fr.Rec.Op, fr.Rec.Args))
+		case fr.Snapshot != nil:
+			fmt.Printf("snapshot lsn=%d (%d bytes)\n", fr.SnapLSN, len(fr.Snapshot))
+		case fr.Mark:
+			fmt.Printf("watermark %d\n", fr.Watermark)
+		}
+		return nil
+	})
 }
 
 // connect yields a client against the requested backend: the addressed

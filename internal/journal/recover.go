@@ -134,6 +134,10 @@ func replay(dir string, shards int, repair bool) (replayState, error) {
 		}
 		next = n
 	}
+	// The snapshot may have advanced the state without individual record
+	// applies; keep the applied-LSN marker in step with what the database
+	// actually reflects.
+	st.db.FloorAppliedLSN(st.lastLSN)
 	return st, nil
 }
 

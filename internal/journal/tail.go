@@ -1,0 +1,250 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/meta"
+)
+
+// ErrTailStopped reports that a Tailer's stop channel (or its Writer)
+// closed while waiting for the next committed record.
+var ErrTailStopped = errors.New("journal: tail stopped")
+
+// FollowEventKind discriminates the three things a tail can produce.
+type FollowEventKind int
+
+const (
+	// FollowRecord delivers one committed record, in strict LSN order.
+	FollowRecord FollowEventKind = iota
+	// FollowSnapshot delivers a whole-database bootstrap document: the
+	// requested position is older than the oldest retained segment, so the
+	// follower must re-base on the snapshot before records resume.
+	FollowSnapshot
+	// FollowMark reports the commit watermark when the tail catches up —
+	// the follower's "you have seen everything committed so far" signal.
+	FollowMark
+)
+
+// FollowEvent is one step of a journal tail.
+type FollowEvent struct {
+	Kind FollowEventKind
+
+	// Rec is set for FollowRecord.
+	Rec meta.Record
+
+	// SnapLSN/Snapshot are set for FollowSnapshot: the document reflects
+	// every record with LSN ≤ SnapLSN, and records resume at SnapLSN+1.
+	SnapLSN  int64
+	Snapshot []byte
+
+	// Watermark is set for FollowMark.
+	Watermark int64
+}
+
+// Tailer reads a live journal from a given position: retained history from
+// the segment files, then new records as the Writer commits them.  It is
+// the primary-side half of replication — one Tailer per follower, each at
+// its own position, none blocking the Writer.  A Tailer never delivers a
+// record above the commit watermark: what it ships is exactly what a
+// primary crash would preserve, so a follower can never run ahead of its
+// primary's recovery.
+//
+// A Tailer is not safe for concurrent use.  Close releases the open
+// segment handle; it does not unblock a concurrent Next (close the stop
+// channel for that).
+type Tailer struct {
+	w        *Writer
+	next     int64 // LSN of the next record to deliver
+	f        *os.File
+	buf      []byte
+	scratch  []byte
+	sentMark bool
+}
+
+// NewTailer starts a tail that delivers every committed record with LSN
+// greater than after (0 tails from the beginning of history).
+func (w *Writer) NewTailer(after int64) *Tailer {
+	if after < 0 {
+		after = 0
+	}
+	return &Tailer{w: w, next: after + 1, scratch: make([]byte, 64<<10)}
+}
+
+// Close releases the tailer's segment handle.
+func (t *Tailer) Close() {
+	if t.f != nil {
+		t.f.Close()
+		t.f = nil
+	}
+}
+
+// Next blocks until the tail can make progress and returns one event: a
+// record, a snapshot bootstrap, or a caught-up watermark.  Closing stop
+// makes it return ErrTailStopped.
+func (t *Tailer) Next(stop <-chan struct{}) (FollowEvent, error) {
+	for {
+		wm := t.w.CommittedLSN()
+		if wm < t.next {
+			// Caught up: everything committed so far has been delivered.
+			// Report the watermark once, then block for the next commit.
+			if !t.sentMark {
+				t.sentMark = true
+				return FollowEvent{Kind: FollowMark, Watermark: wm}, nil
+			}
+			if _, ok := t.w.waitCommitted(t.next-1, stop); !ok {
+				return FollowEvent{}, ErrTailStopped
+			}
+			continue
+		}
+		t.sentMark = false
+		if t.f == nil {
+			ev, opened, err := t.locate()
+			if err != nil {
+				return FollowEvent{}, err
+			}
+			if !opened {
+				return ev, nil // snapshot bootstrap
+			}
+			continue
+		}
+		ev, delivered, err := t.scanFrame()
+		if err != nil {
+			return FollowEvent{}, err
+		}
+		if delivered {
+			return ev, nil
+		}
+	}
+}
+
+// locate opens the segment holding record t.next, or — when that record
+// is older than the oldest retained segment — returns the newest snapshot
+// as a bootstrap event and re-bases the tail behind it.  Compaction may
+// delete files between the directory listing and the open; the listing is
+// retried until it is consistent.
+func (t *Tailer) locate() (FollowEvent, bool, error) {
+	for attempt := 0; attempt < 20; attempt++ {
+		entries, err := os.ReadDir(t.w.dir)
+		if err != nil {
+			return FollowEvent{}, false, fmt.Errorf("journal: tail: %w", err)
+		}
+		var starts []int64
+		var snaps []int64
+		for _, e := range entries {
+			if s, ok := parseSeqName(e.Name(), "journal-", ".log"); ok {
+				starts = append(starts, s)
+			}
+			if s, ok := parseSeqName(e.Name(), "snapshot-", ".json"); ok {
+				snaps = append(snaps, s)
+			}
+		}
+		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+		sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
+
+		var seg int64 = -1
+		for _, s := range starts {
+			if s <= t.next {
+				seg = s
+			}
+		}
+		if seg < 0 {
+			// The requested position predates every retained segment: the
+			// follower is stale (or cold) and must re-base on a snapshot.
+			if len(snaps) == 0 || snaps[0] < t.next {
+				return FollowEvent{}, false, fmt.Errorf(
+					"journal: tail: no segment or snapshot covers lsn %d", t.next)
+			}
+			doc, err := os.ReadFile(filepath.Join(t.w.dir, snapshotName(snaps[0])))
+			if err != nil {
+				if errors.Is(err, fs.ErrNotExist) {
+					continue // compaction replaced it; re-list
+				}
+				return FollowEvent{}, false, fmt.Errorf("journal: tail: %w", err)
+			}
+			lsn := snaps[0]
+			t.next = lsn + 1
+			t.buf = t.buf[:0]
+			return FollowEvent{Kind: FollowSnapshot, SnapLSN: lsn, Snapshot: doc}, false, nil
+		}
+		f, err := os.Open(filepath.Join(t.w.dir, segmentName(seg)))
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue // compacted away underneath us; re-list
+			}
+			return FollowEvent{}, false, fmt.Errorf("journal: tail: %w", err)
+		}
+		var magic [len(segMagic)]byte
+		if _, err := io.ReadFull(f, magic[:]); err != nil || string(magic[:]) != segMagic {
+			f.Close()
+			return FollowEvent{}, false, fmt.Errorf("journal: tail: segment %s: bad magic", segmentName(seg))
+		}
+		t.f = f
+		t.buf = t.buf[:0]
+		return FollowEvent{}, true, nil
+	}
+	return FollowEvent{}, false, fmt.Errorf("journal: tail: directory kept changing underneath the listing")
+}
+
+// scanFrame reads the current segment forward: it returns the next record
+// at or beyond the tail position, rotates to the next segment at a clean
+// end-of-file, and reports corruption otherwise.  The caller has already
+// established that record t.next is committed (watermark ≥ t.next), so the
+// frame bytes are fully visible wherever they live — a partial frame here
+// is disk corruption, not a write in progress.
+func (t *Tailer) scanFrame() (FollowEvent, bool, error) {
+	for {
+		if len(t.buf) >= frameHeader {
+			n := int(binary.LittleEndian.Uint32(t.buf[0:4]))
+			if n > maxRecordLen {
+				return FollowEvent{}, false, fmt.Errorf("journal: tail: oversized frame (%d bytes)", n)
+			}
+			if len(t.buf) >= frameHeader+n {
+				payload := t.buf[frameHeader : frameHeader+n]
+				if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(t.buf[4:8]) {
+					return FollowEvent{}, false, fmt.Errorf("journal: tail: frame checksum mismatch at lsn %d", t.next)
+				}
+				rec, err := decodePayload(payload)
+				if err != nil {
+					return FollowEvent{}, false, fmt.Errorf("journal: tail: %w", err)
+				}
+				t.buf = t.buf[frameHeader+n:]
+				if rec.LSN < t.next {
+					continue // entered the segment mid-way; below our position
+				}
+				if rec.LSN != t.next {
+					return FollowEvent{}, false, fmt.Errorf(
+						"journal: tail: record lsn %d where %d was expected", rec.LSN, t.next)
+				}
+				t.next++
+				return FollowEvent{Kind: FollowRecord, Rec: rec}, true, nil
+			}
+		}
+		n, err := t.f.Read(t.scratch)
+		if n > 0 {
+			t.buf = append(t.buf, t.scratch[:n]...)
+			continue
+		}
+		if err == io.EOF {
+			if len(t.buf) > 0 {
+				return FollowEvent{}, false, fmt.Errorf(
+					"journal: tail: torn frame before committed lsn %d", t.next)
+			}
+			// Clean end of segment with a committed record still owed: it
+			// lives in a later segment.  Rotate via a fresh locate.
+			t.f.Close()
+			t.f = nil
+			return FollowEvent{}, false, nil
+		}
+		if err != nil {
+			return FollowEvent{}, false, fmt.Errorf("journal: tail: %w", err)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package journal_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/meta"
+)
+
+// collectTail drains a tailer until it reports a caught-up watermark,
+// returning the records delivered before it.
+func collectTail(t *testing.T, tl *journal.Tailer) ([]meta.Record, int64) {
+	t.Helper()
+	var recs []meta.Record
+	stop := make(chan struct{})
+	timer := time.AfterFunc(10*time.Second, func() { close(stop) })
+	defer timer.Stop()
+	for {
+		ev, err := tl.Next(stop)
+		if err != nil {
+			t.Fatalf("tail: %v (after %d records)", err, len(recs))
+		}
+		switch ev.Kind {
+		case journal.FollowRecord:
+			recs = append(recs, ev.Rec)
+		case journal.FollowSnapshot:
+			t.Fatalf("unexpected snapshot bootstrap at lsn %d", ev.SnapLSN)
+		case journal.FollowMark:
+			return recs, ev.Watermark
+		}
+	}
+}
+
+// TestTailerStreamsCommittedRecords: a tail from zero delivers exactly
+// the committed records in contiguous LSN order, keeps delivering as the
+// writer commits more, and never delivers anything still sitting in the
+// writer's uncommitted buffer.
+func TestTailerStreamsCommittedRecords(t *testing.T) {
+	dir := t.TempDir()
+	w, db, err := journal.Open(dir, journal.Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	for i := 0; i < 5; i++ {
+		if _, err := db.NewVersion(fmt.Sprintf("blk%d", i), "HDL_model"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tl := w.NewTailer(0)
+	defer tl.Close()
+	recs, wm := collectTail(t, tl)
+	if len(recs) != 5 || wm != 5 {
+		t.Fatalf("got %d records, watermark %d, want 5 and 5", len(recs), wm)
+	}
+	for i, r := range recs {
+		if r.LSN != int64(i+1) {
+			t.Fatalf("record %d has lsn %d, want %d", i, r.LSN, i+1)
+		}
+		if r.Op != meta.OpOID {
+			t.Fatalf("record %d op %q, want %q", i, r.Op, meta.OpOID)
+		}
+	}
+
+	// Mutations that are buffered but not committed must stay invisible.
+	if err := db.SetProp(meta.Key{Block: "blk0", View: "HDL_model", Version: 1}, "state", "good"); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan journal.FollowEvent, 1)
+	stop := make(chan struct{})
+	go func() {
+		ev, err := tl.Next(stop)
+		if err == nil {
+			got <- ev
+		}
+	}()
+	select {
+	case ev := <-got:
+		t.Fatalf("tailer delivered uncommitted data: %+v", ev)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-got:
+		if ev.Kind != journal.FollowRecord || ev.Rec.LSN != 6 || ev.Rec.Op != meta.OpUpdate {
+			t.Fatalf("after commit, got %+v, want the lsn-6 update record", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("tailer never woke up after the commit")
+	}
+	close(stop)
+}
+
+// TestTailerCrossesSegmentRotation: tiny segments force rotations; the
+// tail must follow the record stream across segment boundaries without a
+// gap.
+func TestTailerCrossesSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	w, db, err := journal.Open(dir, journal.Options{SegmentBytes: 256, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	const n = 60
+	for i := 0; i < n; i++ {
+		if _, err := db.NewVersion(fmt.Sprintf("b%02d", i), "HDL_model"); err != nil {
+			t.Fatal(err)
+		}
+		if i%7 == 0 {
+			if err := w.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tl := w.NewTailer(0)
+	defer tl.Close()
+	recs, _ := collectTail(t, tl)
+	if len(recs) != n {
+		t.Fatalf("got %d records across rotations, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if r.LSN != int64(i+1) {
+			t.Fatalf("record %d has lsn %d, want %d", i, r.LSN, i+1)
+		}
+	}
+}
+
+// TestTailerStaleLSNBootstrapsFromSnapshot: when compaction has deleted
+// the segments behind a tail position, the tail must hand over the newest
+// snapshot (which loads cleanly and reflects exactly its LSN) and resume
+// records immediately after it — the stale-follower re-bootstrap path.
+func TestTailerStaleLSNBootstrapsFromSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	w, db, err := journal.Open(dir, journal.Options{SegmentBytes: 256, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	for i := 0; i < 30; i++ {
+		if _, err := db.NewVersion(fmt.Sprintf("b%02d", i), "HDL_model"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Snapshot(); err != nil { // compacts covered segments away
+		t.Fatal(err)
+	}
+	snapLSN := w.SnapshotLSN()
+	if snapLSN != 30 {
+		t.Fatalf("snapshot lsn %d, want 30", snapLSN)
+	}
+	for i := 30; i < 35; i++ {
+		if _, err := db.NewVersion(fmt.Sprintf("b%02d", i), "HDL_model"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tl := w.NewTailer(1) // position 1 predates every retained segment
+	defer tl.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	ev, err := tl.Next(stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != journal.FollowSnapshot || ev.SnapLSN != snapLSN {
+		t.Fatalf("first event %+v, want a snapshot bootstrap at lsn %d", ev, snapLSN)
+	}
+	restored, err := meta.Load(bytes.NewReader(ev.Snapshot))
+	if err != nil {
+		t.Fatalf("bootstrap document does not load: %v", err)
+	}
+	if got := restored.Stats().OIDs; got != 30 {
+		t.Fatalf("bootstrap document has %d oids, want 30", got)
+	}
+	recs, wm := collectTail(t, tl)
+	if len(recs) != 5 || wm != 35 {
+		t.Fatalf("got %d post-snapshot records, watermark %d, want 5 and 35", len(recs), wm)
+	}
+	if recs[0].LSN != snapLSN+1 {
+		t.Fatalf("records resume at lsn %d, want %d", recs[0].LSN, snapLSN+1)
+	}
+}
+
+// TestFollowerLogResumeAndDuplicates: the follower-side journal preserves
+// primary LSNs across Abort (crash) restarts, skips duplicate records,
+// and refuses gaps.
+func TestFollowerLogResumeAndDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := journal.OpenFollower(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := func(lsn int64, block string) meta.Record {
+		return meta.Record{LSN: lsn, Seq: lsn, Op: meta.OpOID,
+			Args: []string{block + ",HDL_model,1", fmt.Sprint(lsn)}}
+	}
+	for i := 1; i <= 3; i++ {
+		if err := w.ApplyAppend(rec(int64(i), fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// A duplicate is skipped silently (reconnect overlap)...
+	if err := w.ApplyAppend(rec(2, "a2")); err != nil {
+		t.Fatalf("duplicate record should be skipped, got %v", err)
+	}
+	if w.LastLSN() != 3 {
+		t.Fatalf("lastLSN %d after duplicate, want 3", w.LastLSN())
+	}
+	// ...a gap is terminal.
+	if err := w.ApplyAppend(rec(5, "a5")); err == nil {
+		t.Fatal("gap record (lsn 5 after 3) must be refused")
+	}
+
+	// Crash: the buffer beyond the last commit is lost, the persisted
+	// position survives, and a reopened follower resumes exactly there.
+	if err := w.ApplyAppend(rec(4, "a4")); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort() // record 4 was never committed
+
+	w2, db2, err := journal.OpenFollower(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.LastLSN() != 3 {
+		t.Fatalf("reopened follower at lsn %d, want 3 (uncommitted tail lost)", w2.LastLSN())
+	}
+	if got := db2.Stats().OIDs; got != 3 {
+		t.Fatalf("reopened follower has %d oids, want 3", got)
+	}
+	// Re-fetching the lost record resumes without duplicate application.
+	if err := w2.ApplyAppend(rec(4, "a4")); err != nil {
+		t.Fatal(err)
+	}
+	if w2.LastLSN() != 4 || db2.Stats().OIDs != 4 {
+		t.Fatalf("resume: lsn %d oids %d, want 4 and 4", w2.LastLSN(), db2.Stats().OIDs)
+	}
+}

@@ -1,6 +1,7 @@
 package journal
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -65,9 +66,10 @@ const bufFlushBytes = 1 << 20
 // its own locks) and never performs blocking I/O beyond an occasional
 // buffer spill; Commit, Snapshot and Close may block on the filesystem.
 type Writer struct {
-	dir string
-	opt Options
-	db  *meta.DB
+	dir      string
+	opt      Options
+	db       *meta.DB
+	follower bool // opened by OpenFollower: records arrive pre-numbered via ApplyAppend
 
 	mu      sync.Mutex
 	seg     *os.File
@@ -81,6 +83,20 @@ type Writer struct {
 	snapLSN   atomic.Int64 // LSN covered by the newest snapshot
 	sinceSnap atomic.Int64 // records flushed since the newest snapshot
 
+	// watermark is the commit watermark: the newest LSN whose frame has
+	// been written through to the operating system.  Everything at or below
+	// it is exactly as durable as a committed record and safe to ship to a
+	// follower; wmCh is closed and replaced each time it advances, so
+	// tailers can block on the next advance without polling.
+	watermark atomic.Int64
+	wmMu      sync.Mutex
+	wmCh      chan struct{}
+
+	// applyMu serializes a follower's apply+append pairs against snapshot
+	// collection, standing in for the emission-under-database-locks
+	// atomicity the primary gets for free (see ApplyAppend).
+	applyMu sync.Mutex
+
 	snapMu sync.Mutex // serializes Snapshot
 	snapCh chan struct{}
 	quit   chan struct{}
@@ -92,6 +108,26 @@ type Writer struct {
 // already attached to it as its mutation recorder.  A torn final record
 // left by a crash is truncated away before appending resumes.
 func Open(dir string, opt Options) (*Writer, *meta.DB, error) {
+	w, db, err := open(dir, opt, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	db.SetRecorder(w)
+	return w, db, nil
+}
+
+// OpenFollower recovers dir like Open but leaves the database without a
+// recorder and the Writer in follower mode: records arrive from a primary
+// with their LSNs already assigned and are persisted through ApplyAppend,
+// which preserves the primary's numbering so the follower's log is
+// record-for-record identical to the primary's.  The recovered database's
+// LastLSN is the follower's persisted applied position — the resume point
+// a restarted follower hands the primary's FOLLOW verb.
+func OpenFollower(dir string, opt Options) (*Writer, *meta.DB, error) {
+	return open(dir, opt, true)
+}
+
+func open(dir string, opt Options, follower bool) (*Writer, *meta.DB, error) {
 	opt = opt.withDefaults()
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, nil, fmt.Errorf("journal: %w", err)
@@ -101,18 +137,20 @@ func Open(dir string, opt Options) (*Writer, *meta.DB, error) {
 		return nil, nil, err
 	}
 	w := &Writer{
-		dir:    dir,
-		opt:    opt,
-		db:     st.db,
-		snapCh: make(chan struct{}, 1),
-		quit:   make(chan struct{}),
+		dir:      dir,
+		opt:      opt,
+		db:       st.db,
+		follower: follower,
+		wmCh:     make(chan struct{}),
+		snapCh:   make(chan struct{}, 1),
+		quit:     make(chan struct{}),
 	}
 	w.lastLSN.Store(st.lastLSN)
 	w.snapLSN.Store(st.snapLSN)
+	w.watermark.Store(st.lastLSN)
 	if err := w.openTail(); err != nil {
 		return nil, nil, err
 	}
-	st.db.SetRecorder(w)
 	w.wg.Add(1)
 	go w.snapshotLoop()
 	return w, st.db, nil
@@ -193,6 +231,46 @@ func (w *Writer) LastLSN() int64 { return w.lastLSN.Load() }
 // SnapshotLSN returns the position the newest snapshot covers.
 func (w *Writer) SnapshotLSN() int64 { return w.snapLSN.Load() }
 
+// CommittedLSN returns the commit watermark: the newest record number
+// written through to the operating system.  Replication ships records up
+// to and including it — nothing above the watermark is offered to a
+// follower, because a primary crash could still lose it.
+func (w *Writer) CommittedLSN() int64 { return w.watermark.Load() }
+
+// advanceWatermark publishes a new commit watermark and wakes every tailer
+// blocked in waitCommitted.  Callers hold w.mu.
+func (w *Writer) advanceWatermark(lsn int64) {
+	if lsn <= w.watermark.Load() {
+		return
+	}
+	w.watermark.Store(lsn)
+	w.wmMu.Lock()
+	close(w.wmCh)
+	w.wmCh = make(chan struct{})
+	w.wmMu.Unlock()
+}
+
+// waitCommitted blocks until the commit watermark exceeds after, the stop
+// channel closes, or the writer closes.  It returns the watermark and
+// whether waiting may continue (false on stop/close).
+func (w *Writer) waitCommitted(after int64, stop <-chan struct{}) (int64, bool) {
+	for {
+		w.wmMu.Lock()
+		ch := w.wmCh
+		w.wmMu.Unlock()
+		if wm := w.watermark.Load(); wm > after {
+			return wm, true
+		}
+		select {
+		case <-ch:
+		case <-stop:
+			return w.watermark.Load(), false
+		case <-w.quit:
+			return w.watermark.Load(), false
+		}
+	}
+}
+
 // Record implements meta.Recorder: it stamps the record with the next LSN
 // and buffers its encoding.  It is called with database locks held, so it
 // must not block on the journal's own Commit I/O — it only appends to the
@@ -239,6 +317,12 @@ func (w *Writer) flushLocked() {
 			return
 		}
 	}
+	// Only now is the batch as durable as the mode promises, so only now
+	// may replication ship it: advancing the watermark before the fsync
+	// would let a follower hold records an OS crash erases from the
+	// primary — permanent silent divergence, because the reconnect
+	// protocol skips LSNs the follower already applied.
+	w.advanceWatermark(w.lastLSN.Load())
 	if w.segSize >= w.opt.SegmentBytes {
 		if err := w.newSegmentLocked(); err != nil {
 			w.ioErr = err
@@ -268,6 +352,142 @@ func (w *Writer) Commit() error {
 	return nil
 }
 
+// ApplyAppend is the follower-side ingestion point: it applies one
+// primary-shipped record to the database and appends it to the local log
+// with the primary's LSN preserved, so the follower's journal is
+// record-for-record identical to the primary's and a restart resumes from
+// exactly the persisted position.  A record at or below the current
+// position is a duplicate from a reconnect overlap and is skipped; a
+// record that skips ahead is a gap and fails loudly — silently applying
+// it would hide lost history.
+//
+// The apply+append pair runs under applyMu, which Snapshot also holds
+// across its collection: on the primary, record emission happens under
+// the database locks the snapshot collector takes, which is what makes
+// the pinned LSN match the collected state; applyMu restores that
+// atomicity here, where records are applied from outside the database.
+func (w *Writer) ApplyAppend(r meta.Record) error {
+	if !w.follower {
+		return fmt.Errorf("journal: ApplyAppend on a primary-mode writer")
+	}
+	w.applyMu.Lock()
+	defer w.applyMu.Unlock()
+	last := w.lastLSN.Load()
+	if r.LSN <= last {
+		return nil // duplicate: already applied and persisted
+	}
+	if r.LSN != last+1 {
+		return fmt.Errorf("journal: follower gap: record lsn %d arrived at applied lsn %d", r.LSN, last)
+	}
+	if err := w.db.ApplyRecord(r); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	w.lastLSN.Store(r.LSN)
+	w.buf = appendFrame(w.buf, encodePayload(r))
+	w.pending++
+	if len(w.buf) >= bufFlushBytes {
+		w.flushLocked()
+	}
+	err := w.ioErr
+	w.mu.Unlock()
+	return err
+}
+
+// BootstrapSnapshot installs a primary-shipped snapshot as the follower's
+// new base state: the document becomes snapshot-<lsn>.json, a fresh
+// segment starting at lsn+1 replaces the tail, every older segment and
+// snapshot is deleted, and the in-memory database is reset to the
+// document.  This is the cold or stale-follower path — the primary has
+// compacted away the records between the follower's applied position and
+// its retained history, so tailing cannot continue and the follower must
+// re-base.  The file order (snapshot renamed into place, new segment
+// created, then old files deleted) keeps every crash window recoverable.
+func (w *Writer) BootstrapSnapshot(lsn int64, doc []byte) error {
+	if !w.follower {
+		return fmt.Errorf("journal: BootstrapSnapshot on a primary-mode writer")
+	}
+	w.snapMu.Lock()
+	defer w.snapMu.Unlock()
+	w.applyMu.Lock()
+	defer w.applyMu.Unlock()
+	if lsn <= w.lastLSN.Load() {
+		return fmt.Errorf("journal: bootstrap snapshot lsn %d is not ahead of applied lsn %d", lsn, w.lastLSN.Load())
+	}
+
+	// Validate the document before touching any file: a torn or corrupt
+	// snapshot must leave the follower's current state untouched.
+	restored, err := meta.LoadShards(bytes.NewReader(doc), w.opt.Shards)
+	if err != nil {
+		return fmt.Errorf("journal: bootstrap snapshot: %w", err)
+	}
+
+	f, err := os.CreateTemp(w.dir, "snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("journal: bootstrap snapshot: %w", err)
+	}
+	_, werr := f.Write(doc)
+	if err := w.sealSnapshot(f, werr, lsn); err != nil {
+		return err
+	}
+
+	w.mu.Lock()
+	w.buf = w.buf[:0]
+	w.pending = 0
+	w.lastLSN.Store(lsn)
+	if err := w.newSegmentLocked(); err != nil {
+		w.ioErr = err
+		w.mu.Unlock()
+		return err
+	}
+	w.advanceWatermark(lsn)
+	w.mu.Unlock()
+	w.snapLSN.Store(lsn)
+	w.sinceSnap.Store(0)
+
+	// Old segments hold LSNs below the new base and would read as a gap;
+	// they are dead history now that the snapshot is in place.
+	if entries, err := os.ReadDir(w.dir); err == nil {
+		for _, e := range entries {
+			if s, ok := parseSeqName(e.Name(), "journal-", ".log"); ok && s != lsn+1 {
+				os.Remove(filepath.Join(w.dir, e.Name()))
+			}
+			if s, ok := parseSeqName(e.Name(), "snapshot-", ".json"); ok && s != lsn {
+				os.Remove(filepath.Join(w.dir, e.Name()))
+			}
+		}
+	}
+	if err := w.db.RestoreFrom(restored); err != nil {
+		return err
+	}
+	w.db.FloorAppliedLSN(lsn)
+	return nil
+}
+
+// Abort closes the writer without flushing the in-memory buffer — the
+// crash-simulation exit: records not yet flushed are lost exactly as a
+// SIGKILL would lose them, while the on-disk log stays valid through the
+// commit watermark.  Tests use it to exercise restart-from-persisted-LSN
+// paths without a child process.
+func (w *Writer) Abort() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.buf = nil
+	w.pending = 0
+	if w.seg != nil {
+		w.seg.Close()
+		w.seg = nil
+	}
+	w.mu.Unlock()
+	close(w.quit)
+	w.wg.Wait()
+	w.db.SetRecorder(nil)
+}
+
 // Snapshot writes a consistent whole-database snapshot and compacts the
 // log behind it.  The document is collected under the database's read
 // locks only — concurrent checkins proceed on other shards and are never
@@ -284,8 +504,28 @@ func (w *Writer) Snapshot() error {
 		return fmt.Errorf("journal: snapshot: %w", err)
 	}
 	tmp := f.Name()
+	// On a follower, applied records reach the database outside its own
+	// lock-held emission path; excluding ApplyAppend while the collector
+	// holds the database locks keeps the pinned LSN and the collected
+	// state in step.  The capture hook releases it the moment the LSN is
+	// pinned, so the encode, the file I/O and the compaction below all
+	// run with replication apply flowing — a snapshot of a large replica
+	// must not stall the stream (and read-your-LSN waiters) for its full
+	// write duration.  On a primary the lock is uncontended.
+	w.applyMu.Lock()
+	applyHeld := true
+	releaseApply := func() {
+		if applyHeld {
+			applyHeld = false
+			w.applyMu.Unlock()
+		}
+	}
+	defer releaseApply()
 	var lsn int64
-	err = w.db.SnapshotTo(f, func() { lsn = w.lastLSN.Load() })
+	err = w.db.SnapshotTo(f, func() {
+		lsn = w.lastLSN.Load()
+		releaseApply()
+	})
 	if err == nil {
 		// Flush the log through the pinned LSN before the snapshot becomes
 		// visible.  The pinned records may still sit in the in-memory
@@ -295,28 +535,43 @@ func (w *Writer) Snapshot() error {
 		// later recovery must (and does) refuse.
 		err = w.Commit()
 	}
+	if err == nil && lsn <= w.snapLSN.Load() {
+		// Nothing newer than the snapshot already on disk.
+		f.Close()
+		os.Remove(tmp)
+		return nil
+	}
+	if err := w.sealSnapshot(f, err, lsn); err != nil {
+		return err
+	}
+	w.snapLSN.Store(lsn)
+	w.sinceSnap.Store(0)
+	w.compact(lsn)
+	return nil
+}
+
+// sealSnapshot finishes a snapshot temporary file: fsync, close, and
+// atomic rename into place under the canonical name for lsn.  werr is the
+// error state of the writes so far; on any failure the temporary file is
+// removed and nothing is installed.  Both snapshot producers (Snapshot
+// and BootstrapSnapshot) install through here, so crash-safety fixes to
+// the sequence apply to both.
+func (w *Writer) sealSnapshot(f *os.File, werr error, lsn int64) error {
+	tmp := f.Name()
+	err := werr
 	if err == nil {
 		err = f.Sync()
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(w.dir, snapshotName(lsn)))
+	}
 	if err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("journal: snapshot: %w", err)
 	}
-	if lsn <= w.snapLSN.Load() {
-		// Nothing newer than the snapshot already on disk.
-		os.Remove(tmp)
-		return nil
-	}
-	if err := os.Rename(tmp, filepath.Join(w.dir, snapshotName(lsn))); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("journal: snapshot: %w", err)
-	}
-	w.snapLSN.Store(lsn)
-	w.sinceSnap.Store(0)
-	w.compact(lsn)
 	return nil
 }
 

@@ -56,6 +56,12 @@ type DB struct {
 	seq      atomic.Int64
 	nextLink atomic.Int64
 
+	// appliedLSN is the journal position of the newest record applied via
+	// ApplyRecord — on a replication follower, the read-your-LSN horizon a
+	// client can wait on before querying.  Zero on a database that has
+	// never replayed records.
+	appliedLSN atomic.Int64
+
 	// ctl guards the control plane: configurations and workspaces.
 	ctl        sync.RWMutex
 	configs    map[string]*Configuration

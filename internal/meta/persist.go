@@ -284,3 +284,39 @@ func LoadShards(r io.Reader, shards int) (*DB, error) {
 	db.nextLink.Store(doc.NextLink)
 	return db, nil
 }
+
+// RestoreFrom atomically replaces the database's entire contents with
+// src's, in place — the follower-side snapshot re-bootstrap path: engines
+// and servers hold the *DB pointer, so re-basing on a primary snapshot
+// must swap the guts rather than the pointer.  src must have the same
+// shard count (both sides of a bootstrap build it from the same Options)
+// and must not be used afterwards: db adopts its maps.
+func (db *DB) RestoreFrom(src *DB) error {
+	if len(db.shards) != len(src.shards) || len(db.stripes) != len(src.stripes) {
+		return fmt.Errorf("meta: restore: shard count mismatch (%d vs %d)",
+			len(db.shards), len(src.shards))
+	}
+	db.ctl.Lock()
+	db.lockAll()
+	for i, sh := range db.shards {
+		s := src.shards[i]
+		sh.oids, sh.chains, sh.outLinks, sh.inLinks = s.oids, s.chains, s.outLinks, s.inLinks
+	}
+	for i, st := range db.stripes {
+		st.links = src.stripes[i].links
+	}
+	db.configs = src.configs
+	db.workspaces = src.workspaces
+	db.seq.Store(src.seq.Load())
+	db.nextLink.Store(src.nextLink.Load())
+	db.unlockAll()
+	db.ctl.Unlock()
+	db.compMu.Lock()
+	db.comp = src.comp
+	db.compMu.Unlock()
+	// Cached component roots are stale regardless of content overlap; the
+	// bump is ordered after the swap so a racing reader that cached a new
+	// root under the old generation revalidates on its next check.
+	db.compGen.Add(1)
+	return nil
+}

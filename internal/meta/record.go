@@ -412,7 +412,29 @@ func (db *DB) ApplyRecord(r Record) error {
 		return fail(fmt.Errorf("unknown op"))
 	}
 	db.seqFloor(r.Seq)
+	db.lsnFloor(r.LSN)
 	return nil
+}
+
+// AppliedLSN returns the journal position of the newest record applied via
+// ApplyRecord — the follower-side read horizon.  Databases that never
+// replayed a record report 0.
+func (db *DB) AppliedLSN() int64 { return db.appliedLSN.Load() }
+
+// FloorAppliedLSN raises the applied-LSN marker to at least l.  Recovery
+// and snapshot bootstrap use it when a whole document — rather than
+// individual records — advances the database to a journal position, so
+// AppliedLSN never under-reports the state it describes.
+func (db *DB) FloorAppliedLSN(l int64) { db.lsnFloor(l) }
+
+// lsnFloor raises the applied-LSN marker to at least l.
+func (db *DB) lsnFloor(l int64) {
+	for {
+		cur := db.appliedLSN.Load()
+		if l <= cur || db.appliedLSN.CompareAndSwap(cur, l) {
+			return
+		}
+	}
 }
 
 func parseLinkID(args []string) (LinkID, error) {

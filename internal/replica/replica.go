@@ -1,0 +1,395 @@
+// Package replica ships the append-only journal's record stream from a
+// primary DAMOCLES server to live followers — warm standbys that serve
+// REPORT/GAP/STATE queries from a mirrored meta-database while refusing
+// writes, the read scale-out half of the paper's single project server
+// grown to production shape.
+//
+// The primary side (Source) tails the journal: a follower connects with
+// FOLLOW <last-applied-lsn>, gets a snapshot bootstrap if its position
+// predates the oldest retained segment, then committed records in strict
+// LSN order as the primary flushes them — never a record above the commit
+// watermark, so a follower can never hold state a primary crash would
+// lose.
+//
+// The follower side (Follower) applies each record to its own database
+// and appends it, with the primary's LSN preserved, to its own local
+// journal: the follower's log is record-for-record identical to the
+// primary's, a restart resumes from exactly the persisted applied
+// position, and the caught-up follower's canonical Save output is
+// byte-identical to the primary's.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/meta"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// Source serves the primary-side replication stream.  It implements
+// server.FollowSource; attach it with server.WithFollowSource.  Each
+// follower connection gets its own journal tail at its own position;
+// none of them ever blocks the journal writer.
+type Source struct {
+	w *journal.Writer
+}
+
+// NewSource wraps the primary's journal writer.
+func NewSource(w *journal.Writer) *Source { return &Source{w: w} }
+
+// ServeFollow streams frames for one follower: an optional snapshot
+// bootstrap, then records and caught-up watermarks, encoded as wire
+// follow-frame lines, until stop closes (clean shutdown, nil return) or
+// send fails (the follower hung up; its error is returned).
+func (s *Source) ServeFollow(from int64, stop <-chan struct{}, send func(line string) error) error {
+	// A follower claiming a position beyond everything this primary has
+	// committed can only mean divergent histories — the primary's journal
+	// was reset or the follower is pointed at the wrong primary.  Waiting
+	// for the counter to catch up would eventually ship records from the
+	// NEW history under LSNs the follower already holds from the OLD one,
+	// which its duplicate-skip would paper over into silent divergence.
+	// Refuse loudly instead.  The watermark only ever grows, so a race
+	// with concurrent commits can only make a legitimate position look
+	// more legitimate, never a divergent one look acceptable.
+	if wm := s.w.CommittedLSN(); from > wm {
+		return fmt.Errorf("replica: follower position %d is ahead of the primary's committed lsn %d — journal reset or wrong primary", from, wm)
+	}
+	t := s.w.NewTailer(from)
+	defer t.Close()
+	for {
+		ev, err := t.Next(stop)
+		if err != nil {
+			if errors.Is(err, journal.ErrTailStopped) {
+				return nil
+			}
+			return err
+		}
+		switch ev.Kind {
+		case journal.FollowRecord:
+			err = send(wire.EncodeFollowRecord(ev.Rec.LSN, ev.Rec.Seq, ev.Rec.Op, ev.Rec.Args))
+		case journal.FollowSnapshot:
+			lines := strings.Split(strings.TrimRight(string(ev.Snapshot), "\n"), "\n")
+			err = send(fmt.Sprintf("%s %d %d", wire.FollowFrameSnapshot, ev.SnapLSN, len(lines)))
+			for _, l := range lines {
+				if err != nil {
+					break
+				}
+				err = send(l)
+			}
+		case journal.FollowMark:
+			err = send(fmt.Sprintf("%s %d", wire.FollowFrameWatermark, ev.Watermark))
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// commitEvery bounds how many applied records may sit in the follower
+// journal's in-memory buffer before a commit pushes them to the operating
+// system.  A crash loses at most this much re-fetchable progress; the
+// stream's caught-up watermark additionally commits on every idle point.
+const commitEvery = 256
+
+// Follower is a live replication follower: a local journal directory, the
+// mirrored database recovered from it, and a background loop that keeps
+// both in step with the primary, reconnecting (and re-bootstrapping when
+// left too far behind) as needed.  It implements server.ReadFollower, so
+// a read-only server over DB() answers read-your-LSN queries.
+type Follower struct {
+	dir  string
+	addr string
+	w    *journal.Writer
+	db   *meta.DB
+
+	mu          sync.Mutex
+	applied     int64
+	watermark   int64 // newest caught-up watermark seen from the primary
+	progress    bool  // frames applied since the last reconnect
+	sinceCommit int64
+	conn        *server.Client
+	err         error // terminal replication error; nil while healthy
+	advCh       chan struct{}
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	aborting atomic.Bool
+	done     chan struct{}
+}
+
+// Start opens (or resumes) the follower's local journal in dir and begins
+// replicating from the primary at addr.  The returned follower's database
+// is live immediately — recovered to the persisted applied position, then
+// mutated in place as records stream in.  opt.Shards should match across
+// restarts, like any journal recovery.
+func Start(dir, addr string, opt journal.Options) (*Follower, error) {
+	w, db, err := journal.OpenFollower(dir, opt)
+	if err != nil {
+		return nil, err
+	}
+	f := &Follower{
+		dir:     dir,
+		addr:    addr,
+		w:       w,
+		db:      db,
+		applied: w.LastLSN(),
+		advCh:   make(chan struct{}),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go f.run()
+	return f, nil
+}
+
+// DB returns the mirrored database.  It is read-only by contract: local
+// writes would fork the replica from its primary.
+func (f *Follower) DB() *meta.DB { return f.db }
+
+// AppliedLSN returns the newest primary record applied and persisted.
+func (f *Follower) AppliedLSN() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.applied
+}
+
+// Watermark returns the newest caught-up commit watermark the primary has
+// reported — AppliedLSN == Watermark means the follower has seen
+// everything the primary had committed at that moment.
+func (f *Follower) Watermark() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.watermark
+}
+
+// Done is closed when the replication loop has stopped — after Close or
+// Abort, or on a terminal error (see Err).  Daemons select on it so a
+// dead loop is surfaced instead of silently serving ever-staler state.
+func (f *Follower) Done() <-chan struct{} { return f.done }
+
+// Err returns the terminal replication error, if the loop has given up
+// (an LSN gap or apply failure — never a mere disconnect, which retries).
+func (f *Follower) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// WaitApplied blocks until the follower has applied at least lsn, the
+// timeout expires, or replication fails terminally.  It returns the
+// applied position at return time.
+func (f *Follower) WaitApplied(lsn int64, timeout time.Duration) (int64, error) {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		f.mu.Lock()
+		applied, err, ch := f.applied, f.err, f.advCh
+		f.mu.Unlock()
+		if applied >= lsn {
+			return applied, nil
+		}
+		if err != nil {
+			return applied, err
+		}
+		select {
+		case <-ch:
+		case <-f.done:
+			return f.AppliedLSN(), fmt.Errorf("replica: follower stopped at lsn %d, wanted %d", f.AppliedLSN(), lsn)
+		case <-timer.C:
+			return applied, fmt.Errorf("replica: timeout at lsn %d, wanted %d", applied, lsn)
+		}
+	}
+}
+
+// Close stops replicating and closes the local journal cleanly (final
+// commit and snapshot), so the next Start replays nothing.
+func (f *Follower) Close() error {
+	f.halt()
+	return f.w.Close()
+}
+
+// Abort stops replicating and drops the journal without flushing its
+// buffer — the crash-simulation exit.  At most commitEvery records of
+// re-fetchable progress are lost; the on-disk log stays valid and a
+// restarted follower resumes from its persisted position, re-fetching
+// (and duplicate-skipping across) the lost tail.  The aborting flag
+// suppresses the loop's park-commit: without it, every Abort would flush
+// the buffer on the way out and the "crash" would never lose anything.
+func (f *Follower) Abort() {
+	f.aborting.Store(true)
+	f.halt()
+	f.w.Abort()
+}
+
+func (f *Follower) halt() {
+	f.stopOnce.Do(func() {
+		close(f.stop)
+		f.mu.Lock()
+		if f.conn != nil {
+			f.conn.Hangup() // unblock a read parked on the stream
+		}
+		f.mu.Unlock()
+	})
+	<-f.done
+}
+
+// terminalError marks an apply-side failure that must stop the loop:
+// reconnecting cannot fix a gap or a record the database refuses.
+type terminalError struct{ err error }
+
+func (t terminalError) Error() string { return t.err.Error() }
+
+func (f *Follower) run() {
+	defer close(f.done)
+	delay := 50 * time.Millisecond
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		c, err := server.Dial(f.addr)
+		if err != nil {
+			if !f.pause(&delay) {
+				return
+			}
+			continue
+		}
+		f.mu.Lock()
+		f.conn = c
+		f.progress = false
+		select {
+		case <-f.stop:
+			// halt() may have swept before the connection was registered;
+			// it would then never see it to hang it up.
+			f.conn = nil
+			f.mu.Unlock()
+			c.Hangup()
+			return
+		default:
+		}
+		f.mu.Unlock()
+		err = c.Follow(f.AppliedLSN(), f.apply)
+		c.Hangup()
+		f.mu.Lock()
+		f.conn = nil
+		madeProgress := f.progress
+		f.mu.Unlock()
+		// Park whatever the stream delivered before the break — unless
+		// this is a crash-simulating Abort, whose whole point is losing
+		// the uncommitted tail.
+		if !f.aborting.Load() {
+			if cerr := f.w.Commit(); cerr != nil {
+				err = terminalError{cerr}
+			}
+		}
+		// A rejection or a primary-reported stream failure cannot be
+		// fixed by reconnecting with the same position: wrong primary,
+		// reset primary history, or tail corruption.  Retrying forever
+		// would make dead replication look like a healthy idle follower.
+		if errors.Is(err, server.ErrFollowRefused) || errors.Is(err, server.ErrFollowStream) {
+			err = terminalError{err}
+		}
+		var te terminalError
+		if errors.As(err, &te) {
+			f.mu.Lock()
+			f.err = te.err
+			f.wakeLocked()
+			f.mu.Unlock()
+			return
+		}
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		if madeProgress {
+			delay = 50 * time.Millisecond
+		}
+		if !f.pause(&delay) {
+			return
+		}
+	}
+}
+
+// wakeLocked broadcasts a state change to every WaitApplied waiter by
+// closing and replacing the watch channel.  Callers hold f.mu; every
+// path that changes applied/err must come through here or a waiter on
+// the skipped path sleeps until its timeout.
+func (f *Follower) wakeLocked() {
+	close(f.advCh)
+	f.advCh = make(chan struct{})
+}
+
+// pause sleeps the current backoff (doubling it, capped at a second) and
+// reports whether the loop should continue.
+func (f *Follower) pause(delay *time.Duration) bool {
+	t := time.NewTimer(*delay)
+	defer t.Stop()
+	if *delay < time.Second {
+		*delay *= 2
+	}
+	select {
+	case <-f.stop:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// apply consumes one stream frame.  Errors it returns deliberately are
+// terminal; transport-level failures surface from Follow itself and lead
+// to a reconnect.
+func (f *Follower) apply(fr server.FollowFrame) error {
+	switch {
+	case fr.Rec != nil:
+		if err := f.w.ApplyAppend(*fr.Rec); err != nil {
+			return terminalError{err}
+		}
+		f.mu.Lock()
+		f.applied = fr.Rec.LSN
+		f.progress = true
+		f.sinceCommit++
+		flush := f.sinceCommit >= commitEvery
+		if flush {
+			f.sinceCommit = 0
+		}
+		f.wakeLocked()
+		f.mu.Unlock()
+		if flush {
+			if err := f.w.Commit(); err != nil {
+				return terminalError{err}
+			}
+		}
+
+	case fr.Snapshot != nil:
+		if err := f.w.BootstrapSnapshot(fr.SnapLSN, fr.Snapshot); err != nil {
+			return terminalError{err}
+		}
+		f.mu.Lock()
+		f.applied = fr.SnapLSN
+		f.progress = true
+		f.sinceCommit = 0
+		f.wakeLocked()
+		f.mu.Unlock()
+
+	case fr.Mark:
+		// Idle point: the primary has nothing more committed.  Make the
+		// applied tail durable so a crash resumes from here.
+		if err := f.w.Commit(); err != nil {
+			return terminalError{err}
+		}
+		f.mu.Lock()
+		f.watermark = fr.Watermark
+		f.sinceCommit = 0
+		f.wakeLocked()
+		f.mu.Unlock()
+	}
+	return nil
+}

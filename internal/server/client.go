@@ -2,8 +2,11 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"io"
 	"net"
+	"strconv"
 	"strings"
 	"time"
 
@@ -15,7 +18,7 @@ import (
 // library behind the postEvent command of section 3.1.
 type Client struct {
 	conn net.Conn
-	r    *bufio.Scanner
+	r    *bufio.Reader
 	w    *bufio.Writer
 
 	// User attributes subsequent requests to a designer.
@@ -28,15 +31,69 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	return &Client{conn: conn, r: sc, w: bufio.NewWriter(conn)}, nil
+	return &Client{conn: conn, r: bufio.NewReaderSize(conn, 64*1024), w: bufio.NewWriter(conn)}, nil
 }
 
 // Close terminates the connection politely.
 func (c *Client) Close() error {
 	_, _ = c.roundTrip(wire.Request{Verb: wire.VerbQuit})
 	return c.conn.Close()
+}
+
+// Hangup closes the transport without the QUIT exchange — the only way to
+// leave a Follow stream, whose connection no longer answers requests.
+func (c *Client) Hangup() error { return c.conn.Close() }
+
+// errTornLine reports a line the transport cut off before its newline —
+// the write that produced it never completed, so its content must not be
+// trusted (a truncated line could parse as a different, valid one).
+var errTornLine = errors.New("torn line at stream boundary")
+
+// errLineTooLong reports a protocol line past maxLineBytes.
+var errLineTooLong = fmt.Errorf("protocol line exceeds %d bytes", maxLineBytes)
+
+// maxLineBytes bounds one protocol line on both sides of the connection:
+// a peer streaming bytes without a newline must fail fast, not accumulate
+// without bound in a long-lived server or follower.
+const maxLineBytes = 1 << 20
+
+// readProtocolLine reads one newline-terminated protocol line from r.  A
+// final fragment without its newline is reported as errTornLine, never
+// returned as data — both the server's request loop and the client's
+// response/stream readers refuse to act on fragments, because a torn
+// prefix of a longer line can itself be a valid, different line.
+func readProtocolLine(r *bufio.Reader) (string, error) {
+	var line []byte
+	for {
+		frag, err := r.ReadSlice('\n')
+		line = append(line, frag...)
+		if err == nil {
+			break
+		}
+		if err == bufio.ErrBufferFull {
+			if len(line) > maxLineBytes {
+				return "", errLineTooLong
+			}
+			continue
+		}
+		if (err == io.EOF || errors.Is(err, net.ErrClosed)) && len(line) > 0 {
+			return "", errTornLine
+		}
+		return "", err
+	}
+	if len(line) > maxLineBytes {
+		return "", errLineTooLong
+	}
+	return strings.TrimRight(string(line), "\r\n"), nil
+}
+
+// readLine reads one response line from the server.
+func (c *Client) readLine() (string, error) {
+	line, err := readProtocolLine(c.r)
+	if err != nil && err != io.EOF {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	return line, err
 }
 
 // roundTrip sends one request and reads the complete response.
@@ -50,21 +107,23 @@ func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
 	if err := c.w.Flush(); err != nil {
 		return wire.Response{}, fmt.Errorf("client: send: %w", err)
 	}
-	if !c.r.Scan() {
-		if err := c.r.Err(); err != nil {
-			return wire.Response{}, fmt.Errorf("client: recv: %w", err)
+	line, err := c.readLine()
+	if err != nil {
+		if err == io.EOF {
+			return wire.Response{}, fmt.Errorf("client: connection closed")
 		}
-		return wire.Response{}, fmt.Errorf("client: connection closed")
+		return wire.Response{}, fmt.Errorf("client: recv: %w", err)
 	}
-	resp, multi, err := wire.ParseResponseHeader(c.r.Text())
+	resp, multi, err := wire.ParseResponseHeader(line)
 	if err != nil {
 		return wire.Response{}, err
 	}
 	for multi {
-		if !c.r.Scan() {
-			return wire.Response{}, fmt.Errorf("client: truncated response")
+		line, err := c.readLine()
+		if err != nil {
+			return wire.Response{}, fmt.Errorf("client: truncated response: %w", err)
 		}
-		content, done, err := wire.ParseBodyLine(c.r.Text())
+		content, done, err := wire.ParseBodyLine(line)
 		if err != nil {
 			return wire.Response{}, err
 		}
@@ -211,6 +270,174 @@ func (c *Client) Gap() ([]string, error) {
 		return nil, err
 	}
 	return resp.Body, nil
+}
+
+// ReportAt retrieves the project state report as of at least the given
+// journal LSN: on a follower the server first waits until the replica has
+// applied that position, so a client that just wrote through the primary
+// (and learned its LSN) reads its own write from any replica.
+func (c *Client) ReportAt(lsn int64) ([]string, error) {
+	resp, err := c.do(wire.VerbReport, strconv.FormatInt(lsn, 10))
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// GapAt is Gap with the same minimum-LSN horizon as ReportAt.
+func (c *Client) GapAt(lsn int64) ([]string, error) {
+	resp, err := c.do(wire.VerbGap, strconv.FormatInt(lsn, 10))
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// LSN reports the server's journal position: the last journaled LSN on a
+// primary, the applied LSN on a follower.
+func (c *Client) LSN() (int64, error) {
+	resp, err := c.do(wire.VerbLSN)
+	if err != nil {
+		return 0, err
+	}
+	fields, err := wire.Tokenize(resp.Detail)
+	if err != nil || len(fields) != 2 || fields[0] != "lsn" {
+		return 0, fmt.Errorf("client: LSN: bad response %q", resp.Detail)
+	}
+	return strconv.ParseInt(fields[1], 10, 64)
+}
+
+// FollowFrame is one decoded frame of a replication stream.
+type FollowFrame struct {
+	// Rec is set on a record frame.
+	Rec *meta.Record
+
+	// Snapshot/SnapLSN are set on a snapshot-bootstrap frame: the follower
+	// must re-base on the document; records resume at SnapLSN+1.
+	Snapshot []byte
+	SnapLSN  int64
+
+	// Mark is true on a watermark frame: the stream has delivered every
+	// record the primary has committed up to Watermark.
+	Mark      bool
+	Watermark int64
+}
+
+// ErrFollowRefused marks a FOLLOW the server rejected outright (not a
+// replication primary, malformed position): retrying the same request
+// cannot succeed.
+var ErrFollowRefused = errors.New("follow refused")
+
+// ErrFollowStream marks a terminal primary-side stream failure reported
+// in-band (tail corruption, a position ahead of the primary's history):
+// reconnecting with the same position cannot succeed.
+var ErrFollowStream = errors.New("follow stream failed")
+
+// Follow switches the connection into replication-stream mode: it sends
+// FOLLOW <after> and invokes fn for every frame until the stream ends (nil
+// return: the server shut down politely), the transport fails, or fn
+// returns an error (returned verbatim).  A rejection wraps
+// ErrFollowRefused; a primary-reported terminal failure wraps
+// ErrFollowStream — both are pointless to retry, unlike transport errors.
+// A line cut off mid-write at the stream boundary is reported as an
+// error, never delivered as data — a truncated record could otherwise
+// parse as a different, valid record.  The connection cannot be reused
+// for request/response traffic afterwards.
+func (c *Client) Follow(after int64, fn func(FollowFrame) error) error {
+	if _, err := c.w.WriteString(wire.Request{Verb: wire.VerbFollow, Args: []string{strconv.FormatInt(after, 10)}}.Encode() + "\n"); err != nil {
+		return fmt.Errorf("client: send: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("client: send: %w", err)
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return fmt.Errorf("client: recv: %w", err)
+	}
+	resp, multi, err := wire.ParseResponseHeader(line)
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("client: FOLLOW: %s: %w", resp.Detail, ErrFollowRefused)
+	}
+	if !multi {
+		return fmt.Errorf("client: FOLLOW: expected a streaming response, got %q", line)
+	}
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return fmt.Errorf("client: follow stream: %w", err)
+		}
+		content, done, err := wire.ParseBodyLine(line)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		fields, err := wire.Tokenize(content)
+		if err != nil || len(fields) == 0 {
+			return fmt.Errorf("client: follow stream: bad frame %q", content)
+		}
+		var frame FollowFrame
+		switch fields[0] {
+		case wire.FollowFrameRecord:
+			lsn, seq, op, args, err := wire.ParseFollowRecord(fields)
+			if err != nil {
+				return err
+			}
+			frame.Rec = &meta.Record{LSN: lsn, Seq: seq, Op: op, Args: args}
+
+		case wire.FollowFrameSnapshot:
+			if len(fields) != 3 {
+				return fmt.Errorf("client: follow stream: bad snapshot frame %q", content)
+			}
+			lsn, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return fmt.Errorf("client: follow stream: snapshot lsn %q", fields[1])
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return fmt.Errorf("client: follow stream: snapshot line count %q", fields[2])
+			}
+			var doc strings.Builder
+			for i := 0; i < n; i++ {
+				line, err := c.readLine()
+				if err != nil {
+					return fmt.Errorf("client: follow stream: snapshot body: %w", err)
+				}
+				raw, done, err := wire.ParseBodyLine(line)
+				if err != nil || done {
+					return fmt.Errorf("client: follow stream: snapshot body cut short at line %d", i)
+				}
+				doc.WriteString(raw)
+				doc.WriteByte('\n')
+			}
+			frame.SnapLSN = lsn
+			frame.Snapshot = []byte(doc.String())
+
+		case wire.FollowFrameWatermark:
+			if len(fields) != 2 {
+				return fmt.Errorf("client: follow stream: bad watermark frame %q", content)
+			}
+			lsn, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return fmt.Errorf("client: follow stream: watermark lsn %q", fields[1])
+			}
+			frame.Mark = true
+			frame.Watermark = lsn
+
+		case wire.FollowFrameError:
+			return fmt.Errorf("client: %s: %w", strings.Join(fields[1:], " "), ErrFollowStream)
+
+		default:
+			return fmt.Errorf("client: follow stream: unknown frame kind %q", fields[0])
+		}
+		if err := fn(frame); err != nil {
+			return err
+		}
+	}
 }
 
 // Snapshot stores a configuration server-side; root "*" captures the whole

@@ -7,11 +7,14 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"io"
 	"net"
-	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/bpl"
 	"repro/internal/engine"
@@ -24,8 +27,10 @@ import (
 
 // Server is a running project server.
 type Server struct {
-	eng     *engine.Engine
-	journal *journal.Writer
+	eng      *engine.Engine
+	journal  *journal.Writer
+	follow   FollowSource
+	readOnly ReadFollower
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -37,6 +42,23 @@ type Server struct {
 	wake     chan struct{}
 	quit     chan struct{}
 	drainErr error
+}
+
+// FollowSource produces the primary-side replication stream for one
+// follower: ServeFollow emits follow-stream body lines (the wire package's
+// snapshot/record/watermark framing, without the "|" prefix) through send,
+// in order, until stop closes or send fails.  Implemented by
+// replica.Source over a journal tail.
+type FollowSource interface {
+	ServeFollow(from int64, stop <-chan struct{}, send func(line string) error) error
+}
+
+// ReadFollower is the follower-side applier a read-only server consults
+// for its applied position and for read-your-LSN queries (implemented by
+// replica.Follower).
+type ReadFollower interface {
+	AppliedLSN() int64
+	WaitApplied(lsn int64, timeout time.Duration) (int64, error)
 }
 
 // Option configures a Server.
@@ -57,6 +79,21 @@ func WithAsyncDrain() Option { return func(s *Server) { s.async = true } }
 // processing.  The engine should carry the same journal via
 // engine.WithJournal.
 func WithJournal(j *journal.Writer) Option { return func(s *Server) { s.journal = j } }
+
+// WithFollowSource makes the server a replication primary: the FOLLOW
+// verb is served from src, turning a connection into a live record stream
+// (snapshot bootstrap for cold followers, then committed records as they
+// land).
+func WithFollowSource(src FollowSource) Option { return func(s *Server) { s.follow = src } }
+
+// WithReadOnly puts the server in follower read mode: every mutating verb
+// (POST, BATCH, CREATE, LINK, SNAPSHOT) is refused — the database is
+// mirrored from a primary and local writes would fork it — while the read
+// verbs (REPORT, GAP, STATE, QUERY-style lookups) serve from the
+// replicated state.  REPORT/GAP accept an optional minimum LSN that waits
+// on f until the replica has applied at least that position, giving
+// clients read-your-writes across the primary/follower boundary.
+func WithReadOnly(f ReadFollower) Option { return func(s *Server) { s.readOnly = f } }
 
 // New creates a server around an engine.
 func New(eng *engine.Engine, opts ...Option) *Server {
@@ -196,11 +233,17 @@ func (s *Server) dropConn(c net.Conn) {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.dropConn(conn)
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	r := bufio.NewReaderSize(conn, 64*1024)
 	w := bufio.NewWriter(conn)
-	for sc.Scan() {
-		line := strings.TrimRight(sc.Text(), "\r")
+	for {
+		line, err := readProtocolLine(r)
+		if err != nil {
+			// Transport end, oversized line, or a final fragment torn off
+			// mid-send.  A fragment is never executed: a truncated request
+			// can parse as a valid, different request, and on a journaled
+			// primary the wrong mutation would be committed and replicated.
+			return
+		}
 		if strings.TrimSpace(line) == "" {
 			continue
 		}
@@ -210,7 +253,22 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			resp = wire.Response{OK: false, Detail: err.Error()}
 		} else {
-			resp, quit = s.handle(req)
+			switch req.Verb {
+			case wire.VerbFollow:
+				// FOLLOW dedicates the connection to the record stream;
+				// when it returns, the conversation is over either way.
+				s.serveFollow(r, w, req)
+				return
+			case wire.VerbReport, wire.VerbGap:
+				// Streamed: rows are flushed to the socket as they are
+				// evaluated instead of buffering the whole body.
+				if !s.streamReport(w, req) {
+					return
+				}
+				continue
+			default:
+				resp, quit = s.handle(req)
+			}
 		}
 		if _, err := w.WriteString(resp.Encode() + "\n"); err != nil {
 			return
@@ -221,6 +279,151 @@ func (s *Server) serveConn(conn net.Conn) {
 		if quit {
 			return
 		}
+	}
+}
+
+// writeFlush writes one already-terminated chunk and pushes it to the
+// socket; false means the connection is gone.
+func writeFlush(w *bufio.Writer, chunk string) bool {
+	if _, err := w.WriteString(chunk); err != nil {
+		return false
+	}
+	return w.Flush() == nil
+}
+
+// reportGate validates the optional minimum-LSN argument of REPORT/GAP
+// and, on a follower, blocks until the replica has applied that position.
+// It returns nil to proceed or an error response to send instead.
+func (s *Server) reportGate(req wire.Request) *wire.Response {
+	if len(req.Args) == 0 {
+		return nil
+	}
+	errResp := func(format string, a ...any) *wire.Response {
+		return &wire.Response{OK: false, Detail: fmt.Sprintf(format, a...)}
+	}
+	if len(req.Args) > 1 {
+		return errResp("%s wants at most one <min-lsn> argument", req.Verb)
+	}
+	lsn, err := strconv.ParseInt(req.Args[0], 10, 64)
+	if err != nil || lsn < 0 {
+		return errResp("%s: bad min-lsn %q", req.Verb, req.Args[0])
+	}
+	switch {
+	case s.readOnly != nil:
+		if at, err := s.readOnly.WaitApplied(lsn, 10*time.Second); err != nil {
+			return errResp("replica at lsn %d has not reached %d: %v", at, lsn, err)
+		}
+	case s.journal != nil:
+		if at := s.journal.LastLSN(); at < lsn {
+			return errResp("journal at lsn %d has not reached %d", at, lsn)
+		}
+	default:
+		return errResp("%s <min-lsn> needs a journal or replica", req.Verb)
+	}
+	return nil
+}
+
+// streamReport serves REPORT/GAP over a live connection, writing and
+// flushing each "|" body row as it is evaluated — a report over a large
+// database starts arriving immediately and never materializes as one
+// buffer.  Rows keep the stable key-sorted order of the buffered form.
+// false means the connection died mid-stream.
+func (s *Server) streamReport(w *bufio.Writer, req wire.Request) bool {
+	if resp := s.reportGate(req); resp != nil {
+		return writeFlush(w, resp.Encode()+"\n")
+	}
+	if !writeFlush(w, "OK+ streaming\n") {
+		return false
+	}
+	alive := true
+	state.StreamSorted(s.eng.DB(), s.eng.Blueprint(), func(st *state.OIDState) bool {
+		if req.Verb == wire.VerbGap && st.Ready {
+			return true
+		}
+		alive = writeFlush(w, "|"+reportRow(st)+"\n")
+		return alive
+	})
+	if !alive {
+		return false
+	}
+	return writeFlush(w, ".\n")
+}
+
+// reportRow formats one REPORT/GAP body line.
+func reportRow(st *state.OIDState) string {
+	line := fmt.Sprintf("%s ready=%v", st.Key, st.Ready)
+	if len(st.Reasons) > 0 {
+		line += " " + wire.Quote(strings.Join(st.Reasons, "; "))
+	}
+	return line
+}
+
+// serveFollow turns the connection into a replication stream: an OK+
+// header, then one flushed body line per snapshot/record/watermark frame
+// until the follower hangs up or the server shuts down.  The request
+// reader keeps draining in the background purely as a hangup detector —
+// a parked stream on a write-idle primary would otherwise hold its
+// goroutine, connection and tail open until the next commit happened to
+// wake it into a failing send.
+func (s *Server) serveFollow(r *bufio.Reader, w *bufio.Writer, req wire.Request) {
+	fail := func(format string, a ...any) {
+		writeFlush(w, wire.Response{OK: false, Detail: fmt.Sprintf(format, a...)}.Encode()+"\n")
+	}
+	if s.follow == nil {
+		fail("FOLLOW: this server is not a replication primary")
+		return
+	}
+	if len(req.Args) != 1 {
+		fail("FOLLOW wants <last-applied-lsn>")
+		return
+	}
+	from, err := strconv.ParseInt(req.Args[0], 10, 64)
+	if err != nil || from < 0 {
+		fail("FOLLOW: bad lsn %q", req.Args[0])
+		return
+	}
+	if !writeFlush(w, fmt.Sprintf("OK+ following after lsn %d\n", from)) {
+		return
+	}
+	// stop closes when the server shuts down OR the follower hangs up.
+	// The hangup side comes from draining the request scanner: a FOLLOW
+	// connection carries no further requests, so the only thing a read
+	// can produce is end-of-stream.  Both watcher goroutines retire when
+	// this handler returns (serveConn closes the connection, failing the
+	// scan).
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	closeStop := func() { stopOnce.Do(func() { close(stop) }) }
+	defer closeStop()
+	go func() {
+		io.Copy(io.Discard, r) // returns on the first read error: hangup
+		closeStop()
+	}()
+	go func() {
+		select {
+		case <-s.quit:
+			closeStop()
+		case <-stop:
+		}
+	}()
+	connGone := errors.New("follower connection gone")
+	err = s.follow.ServeFollow(from, stop, func(line string) error {
+		if !writeFlush(w, "|"+line+"\n") {
+			return connGone
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, connGone) {
+		// A terminal source failure (tail corruption, a follower position
+		// ahead of this primary's history) must reach the follower as an
+		// error, not masquerade as a clean shutdown it would silently
+		// retry forever.
+		writeFlush(w, "|"+wire.FollowFrameError+" "+wire.Quote(err.Error())+"\n")
+	}
+	if err == nil || !errors.Is(err, connGone) {
+		// Deliberate end: close the body politely so the follower sees
+		// end-of-stream rather than a torn line.
+		writeFlush(w, ".\n")
 	}
 }
 
@@ -239,9 +442,28 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 	ok := func(format string, args ...any) (wire.Response, bool) {
 		return wire.Response{OK: true, Detail: fmt.Sprintf(format, args...)}, false
 	}
+	if s.readOnly != nil {
+		switch req.Verb {
+		case wire.VerbPost, wire.VerbBatch, wire.VerbCreate, wire.VerbLink, wire.VerbSnapshot:
+			return fail("read-only follower: %s refused (write to the primary)", req.Verb)
+		}
+	}
 	switch req.Verb {
 	case wire.VerbPing:
 		return ok("pong")
+
+	case wire.VerbLSN:
+		switch {
+		case s.readOnly != nil:
+			return ok("lsn %d", s.readOnly.AppliedLSN())
+		case s.journal != nil:
+			return ok("lsn %d", s.journal.LastLSN())
+		default:
+			return ok("lsn 0")
+		}
+
+	case wire.VerbFollow:
+		return fail("FOLLOW needs a network connection (it streams indefinitely)")
 
 	case wire.VerbSync:
 		s.eng.WaitIdle()
@@ -402,31 +624,21 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 		return wire.Response{OK: true, Detail: k.String(), Body: body}, false
 
 	case wire.VerbReport, wire.VerbGap:
-		// Stream the report: each row is formatted from the live OID under
-		// the shard read lock, so no property map is ever materialized —
-		// only the output lines exist.  Rows arrive in shard order and are
-		// key-sorted afterwards to keep the wire format stable.
-		type row struct {
-			key  meta.Key
-			line string
+		// The buffered form, used by in-process callers (Handle); network
+		// connections take the per-row streaming path in serveConn.  Rows
+		// are evaluated through the same sorted stream so both forms emit
+		// identical bodies.
+		if resp := s.reportGate(req); resp != nil {
+			return *resp, false
 		}
-		var rows []row
-		state.Stream(s.eng.DB(), s.eng.Blueprint(), func(st *state.OIDState) bool {
+		var body []string
+		state.StreamSorted(s.eng.DB(), s.eng.Blueprint(), func(st *state.OIDState) bool {
 			if req.Verb == wire.VerbGap && st.Ready {
 				return true
 			}
-			line := fmt.Sprintf("%s ready=%v", st.Key, st.Ready)
-			if len(st.Reasons) > 0 {
-				line += " " + wire.Quote(strings.Join(st.Reasons, "; "))
-			}
-			rows = append(rows, row{key: st.Key, line: line})
+			body = append(body, reportRow(st))
 			return true
 		})
-		sort.Slice(rows, func(i, j int) bool { return rows[i].key.Less(rows[j].key) })
-		body := make([]string, len(rows))
-		for i, r := range rows {
-			body[i] = r.line
-		}
 		return wire.Response{OK: true, Detail: fmt.Sprintf("%d rows", len(body)), Body: body}, false
 
 	case wire.VerbSnapshot:

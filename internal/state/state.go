@@ -132,6 +132,39 @@ func Stream(db *meta.DB, bp *bpl.Blueprint, fn func(*OIDState) bool) {
 	})
 }
 
+// StreamSorted evaluates the latest version of every version chain in key
+// order and hands each report to fn — the streaming form behind the
+// server's per-row flushed REPORT/GAP responses.  Unlike Stream, fn runs
+// outside the database locks (each OID is evaluated in its own WithOID
+// round-trip, so fn may block on a slow network writer without stalling
+// writers), and the row order is the stable sorted order the wire format
+// promises.  The cost of that shape: the pass is per-row consistent, not a
+// point-in-time snapshot, and a chain pruned mid-pass is skipped.  The
+// OIDState is reused between calls and its Props field is nil — property
+// maps are never copied or exposed.  Returning false stops the stream.
+func StreamSorted(db *meta.DB, bp *bpl.Blueprint, fn func(*OIDState) bool) {
+	ix := bp.Index()
+	var keys []meta.Key
+	db.EachLatestOID(func(o *meta.OID) bool {
+		keys = append(keys, o.Key)
+		return true
+	})
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	var st OIDState
+	for _, k := range keys {
+		err := db.WithOID(k, func(o *meta.OID) {
+			evaluateInto(&st, ix.Lets(o.Key.View), ix, o)
+		})
+		if err != nil {
+			continue // pruned between the key pass and now
+		}
+		st.Props = nil // aliases the live map; not valid outside the lock
+		if !fn(&st) {
+			return
+		}
+	}
+}
+
 // Report evaluates the latest version of every version chain and returns
 // the reports sorted by key.  The blueprint is compiled once (and cached on
 // it), and the database is read in a per-shard locked pass without

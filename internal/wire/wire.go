@@ -17,6 +17,7 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -39,7 +40,76 @@ const (
 	VerbLinks     = "LINKS"     // LINKS <oid>
 	VerbSync      = "SYNC"      // SYNC — wait until the event queue settles
 	VerbBatch     = "BATCH"     // BATCH <item> [<item>...]; see BatchItem
+	VerbFollow    = "FOLLOW"    // FOLLOW <last-applied-lsn>; see the Follow frame helpers
+	VerbLSN       = "LSN"       // LSN — report the journal/applied log position
 )
+
+// Follow-stream framing.  FOLLOW turns the connection into a one-way
+// record stream: the server answers with a multi-line response whose body
+// lines are emitted one at a time (flushed per frame, never terminated
+// while the stream lives) and whose first token discriminates the frame:
+//
+//	snapshot <lsn> <n>           — a bootstrap document follows as the next
+//	                               n body lines, verbatim JSON; the
+//	                               follower re-bases on it and records
+//	                               resume at lsn+1
+//	record <lsn> <seq> <op> ...  — one journal record, fields quoted with
+//	                               the protocol's own rules
+//	watermark <lsn>              — the follower has seen every record the
+//	                               primary has committed up to lsn
+//	error <message>              — the stream failed terminally on the
+//	                               primary side (tail corruption, position
+//	                               ahead of the primary's history);
+//	                               reconnecting will not help
+//
+// The terminating "." line is written when the server ends the stream
+// deliberately — shutdown, or right after an error frame; a vanished
+// connection is the usual end.
+const (
+	FollowFrameSnapshot  = "snapshot"
+	FollowFrameRecord    = "record"
+	FollowFrameWatermark = "watermark"
+	FollowFrameError     = "error"
+)
+
+// EncodeFollowRecord renders one journal record as a follow-stream body
+// line (without the "|" prefix).
+func EncodeFollowRecord(lsn, seq int64, op string, args []string) string {
+	var sb strings.Builder
+	sb.WriteString(FollowFrameRecord)
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.FormatInt(lsn, 10))
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.FormatInt(seq, 10))
+	sb.WriteByte(' ')
+	sb.WriteString(Quote(op))
+	for _, a := range args {
+		sb.WriteByte(' ')
+		sb.WriteString(Quote(a))
+	}
+	return sb.String()
+}
+
+// ParseFollowRecord decodes the tokenized fields of a "record" frame
+// (fields[0] must already be FollowFrameRecord).
+func ParseFollowRecord(fields []string) (lsn, seq int64, op string, args []string, err error) {
+	if len(fields) < 4 || fields[0] != FollowFrameRecord {
+		return 0, 0, "", nil, fmt.Errorf("%w: record frame wants record <lsn> <seq> <op> [args...]", ErrSyntax)
+	}
+	lsn, err = strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0, 0, "", nil, fmt.Errorf("%w: record lsn %q", ErrSyntax, fields[1])
+	}
+	seq, err = strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return 0, 0, "", nil, fmt.Errorf("%w: record seq %q", ErrSyntax, fields[2])
+	}
+	op = fields[3]
+	if len(fields) > 4 {
+		args = fields[4:]
+	}
+	return lsn, seq, op, args, nil
+}
 
 // ErrSyntax reports a malformed protocol line.
 var ErrSyntax = errors.New("wire: syntax error")

@@ -1,0 +1,216 @@
+package repro
+
+// Follower crash-recovery acceptance test: a real damocles -follow
+// process, SIGKILLed mid-apply while the primary keeps writing, must
+// restart from its persisted applied-LSN (not from zero, and without
+// re-applying or skipping records) and converge to a REPORT identical to
+// the primary's at the same LSN.
+
+import (
+	"bufio"
+	"fmt"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+var followingRE = regexp.MustCompile(`following \S+ from applied lsn (\d+)`)
+
+// startFollowerProc launches damocles -follow against the primary and
+// returns the process, its bound address, and the applied LSN it reported
+// resuming from.
+func startFollowerProc(t *testing.T, bin, jdir, primary string) (*exec.Cmd, string, int64) {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-journal", jdir, "-follow", primary)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	lsnCh := make(chan int64, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if m := followingRE.FindStringSubmatch(sc.Text()); m != nil {
+				n, _ := strconv.ParseInt(m[1], 10, 64)
+				lsnCh <- n
+			}
+			if m := servingRE.FindStringSubmatch(sc.Text()); m != nil {
+				addrCh <- m[1]
+			}
+		}
+	}()
+	var resumedAt int64
+	select {
+	case resumedAt = <-lsnCh:
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("follower never reported its applied lsn")
+	}
+	select {
+	case addr := <-addrCh:
+		return cmd, addr, resumedAt
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("follower did not start serving")
+		return nil, "", 0
+	}
+}
+
+func TestFollowerCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs child processes")
+	}
+	bin, err := buildDamocles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdir, fdir := t.TempDir(), t.TempDir()
+
+	prim, paddr := startDamocles(t, bin, pdir)
+	defer func() {
+		prim.Process.Kill()
+		prim.Wait()
+	}()
+	fol, faddr, resumedAt := startFollowerProc(t, bin, fdir, paddr)
+	defer func() {
+		if fol.Process != nil {
+			fol.Process.Kill()
+			fol.Wait()
+		}
+	}()
+	if resumedAt != 0 {
+		t.Fatalf("fresh follower resumed at lsn %d, want 0", resumedAt)
+	}
+
+	pc, err := server.Dial(paddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc.User = "yves"
+
+	// Settled phase: build state, let the follower catch up and commit
+	// (it commits on the stream's caught-up watermark).
+	for _, block := range []string{"CPU", "ALU", "REG"} {
+		k, err := pc.Create(block, "HDL_model")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pc.PostEvent("ckin", "up", k, "initial"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pc.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	settledLSN, err := pc.LSN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := server.Dial(faddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.ReportAt(settledLSN); err != nil {
+		t.Fatalf("follower never caught up with the settled state: %v", err)
+	}
+	fc.Hangup()
+	time.Sleep(150 * time.Millisecond) // let the idle-point commit land
+
+	// Mid-apply phase: hammer the primary so the stream is busy when the
+	// kill hits.
+	pc2, err := server.Dial(paddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc2.User = "marc"
+	stopTraffic := make(chan struct{})
+	trafficDone := make(chan struct{})
+	go func() {
+		defer close(trafficDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stopTraffic:
+				return
+			default:
+			}
+			k, err := pc2.Create(fmt.Sprintf("SCRATCH%d", i), "HDL_model")
+			if err != nil {
+				return
+			}
+			if err := pc2.PostEvent("ckin", "up", k, "mid-crash"); err != nil {
+				return
+			}
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	if err := fol.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	fol.Wait()
+	time.Sleep(100 * time.Millisecond) // primary keeps writing past the kill
+	close(stopTraffic)
+	<-trafficDone
+	if err := pc.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	finalLSN, err := pc.LSN()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same directory: the follower must resume from its
+	// persisted applied position — after the settled catch-up commit,
+	// that position cannot be zero — and converge without gaps or
+	// duplicate application (either would be terminal, and REPORT at the
+	// final LSN would never answer).
+	fol2, faddr2, resumedAt2 := startFollowerProc(t, bin, fdir, paddr)
+	defer func() {
+		fol2.Process.Kill()
+		fol2.Wait()
+	}()
+	if resumedAt2 < settledLSN {
+		t.Errorf("follower resumed at lsn %d, want at least the settled commit %d", resumedAt2, settledLSN)
+	}
+	if resumedAt2 > finalLSN {
+		t.Errorf("follower resumed at lsn %d, beyond the primary's %d", resumedAt2, finalLSN)
+	}
+
+	fc2, err := server.Dial(faddr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc2.Hangup()
+	var followerReport []string
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		followerReport, err = fc2.ReportAt(finalLSN)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted follower never reached lsn %d: %v", finalLSN, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	primaryReport, err := pc.ReportAt(finalLSN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Join(followerReport, "\n"), strings.Join(primaryReport, "\n"); got != want {
+		t.Errorf("follower REPORT differs from primary at lsn %d:\n--- primary\n%s\n--- follower\n%s", finalLSN, want, got)
+	}
+	t.Logf("killed at ~lsn %d, resumed at %d, converged at %d with %d rows",
+		settledLSN, resumedAt2, finalLSN, len(followerReport))
+}
