@@ -65,6 +65,13 @@ type Engine struct {
 	nextWave int64
 	compGen  int64 // component generation the cached roots reflect
 
+	// compRebuild requests an exact union-find rebuild at the next safe
+	// drain start (set by SetBlueprint; link churn triggers one too).  The
+	// merge-only partition only ever coarsens, so long-lived graphs lose
+	// drain parallelism until a rebuild re-splits what pruned or
+	// retargeted links no longer connect.
+	compRebuild atomic.Bool
+
 	// rootCache memoizes seed block → component root between component
 	// merges, so repeated waves on the same block skip the database's
 	// component lock; lastSeed/lastRoot are a one-entry cache in front of
@@ -223,6 +230,11 @@ func (e *Engine) SetBlueprint(bp *bpl.Blueprint) error {
 		return fmt.Errorf("engine: blueprint %s has errors", bp.Name)
 	}
 	e.pol.Store(&policy{bp: bp, idx: bp.Index()})
+	// A policy reload is the natural quiet point to re-derive the block
+	// partition exactly: the old blueprint's propagation topology may have
+	// merged components the new one (and link pruning since) no longer
+	// justifies.  The rebuild itself runs at the next safe drain start.
+	e.compRebuild.Store(true)
 	return nil
 }
 
@@ -416,6 +428,8 @@ func (e *Engine) drainQueue() (ran bool, _ error) {
 		e.mu.Unlock()
 	}()
 
+	e.maybeRebuildComponents()
+
 	workers := e.workers
 	if workers <= 0 {
 		workers = min(runtime.GOMAXPROCS(0), maxDrainWorkers)
@@ -546,6 +560,33 @@ func (e *Engine) scheduleLocked(workers int, d *drainState) *wave {
 		}
 	}
 	return mine
+}
+
+// componentRebuildChurn is the propagating-link removal count past which
+// a drain start triggers an exact component rebuild.
+const componentRebuildChurn = 64
+
+// maybeRebuildComponents runs the periodic exact union-find rebuild at a
+// drain start — the one point where rebuilding a partition that can SPLIT
+// is safe.  Precondition (guaranteed by drainQueue): this goroutine owns
+// the drain and no wave is running.  The rebuild additionally requires
+// every queued wave to be a fresh seed (head 0, one item): a wave that
+// already propagated — possible only when a previous drain stopped at the
+// step limit — may hold deliveries that crossed links removed since, and
+// its conservative pre-removal footprint must keep serializing it.
+func (e *Engine) maybeRebuildComponents() {
+	if !e.compRebuild.Load() && e.db.ComponentChurn() < componentRebuildChurn {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, w := range e.waves[e.whead:] {
+		if w != nil && (w.head > 0 || len(w.items) != 1) {
+			return // resumed mid-wave work queued; retry at the next drain
+		}
+	}
+	e.compRebuild.Store(false)
+	e.db.RebuildComponents()
 }
 
 // rootLocked resolves a seed block's component root through the engine's

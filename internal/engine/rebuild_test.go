@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/bpl"
+	"repro/internal/meta"
+)
+
+// TestDrainTriggersComponentRebuild covers the scheduling-precision
+// satellite: deleting the only propagating link between two blocks leaves
+// the merge-only union-find coarse (the two waves would keep
+// serializing), and a SetBlueprint-triggered rebuild at the next drain
+// start splits the component again.
+func TestDrainTriggersComponentRebuild(t *testing.T) {
+	e := newTestEngine(t, tinyBP, WithDrainWorkers(2))
+	db := e.DB()
+	a := mustCreate(t, e, "cpu", "default")
+	b := mustCreate(t, e, "alu", "default")
+	id, err := e.CreateLink(meta.DeriveLink, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetLinkPropagates(id, []string{"ckin"}); err != nil {
+		t.Fatal(err)
+	}
+	if !db.SameComponent("cpu", "alu") {
+		t.Fatal("propagating link did not merge components")
+	}
+
+	if err := db.DeleteLink(id); err != nil {
+		t.Fatal(err)
+	}
+	if !db.SameComponent("cpu", "alu") {
+		t.Fatal("partition split without a rebuild (merge-only invariant broken)")
+	}
+
+	// Reloading the (identical) blueprint requests the rebuild; the next
+	// drain performs it at its safe start point.
+	if err := e.SetBlueprint(e.Blueprint()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PostAndDrain(Event{Name: "ckin", Dir: bpl.DirUp, Target: a}); err != nil {
+		t.Fatal(err)
+	}
+	if db.SameComponent("cpu", "alu") {
+		t.Error("drain after SetBlueprint did not rebuild the stale component")
+	}
+
+	// The engine keeps working against the rebuilt partition.
+	if err := e.PostAndDrain(Event{Name: "ckin", Dir: bpl.DirUp, Target: b}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChurnTriggersComponentRebuild checks the count-based trigger: past
+// componentRebuildChurn propagating-link removals, a drain rebuilds
+// without any blueprint reload.
+func TestChurnTriggersComponentRebuild(t *testing.T) {
+	e := newTestEngine(t, tinyBP, WithDrainWorkers(2))
+	db := e.DB()
+	a := mustCreate(t, e, "cpu", "default")
+	b := mustCreate(t, e, "alu", "default")
+	for i := 0; i < componentRebuildChurn; i++ {
+		id, err := e.CreateLink(meta.DeriveLink, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.SetLinkPropagates(id, []string{"ckin"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.DeleteLink(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.ComponentChurn() < componentRebuildChurn {
+		t.Fatalf("churn = %d, want >= %d", db.ComponentChurn(), componentRebuildChurn)
+	}
+	if err := e.PostAndDrain(Event{Name: "ckin", Dir: bpl.DirUp, Target: a}); err != nil {
+		t.Fatal(err)
+	}
+	if db.ComponentChurn() != 0 {
+		t.Error("drain did not reset churn via rebuild")
+	}
+	if db.SameComponent("cpu", "alu") {
+		t.Error("churn-triggered rebuild did not split the stale component")
+	}
+}

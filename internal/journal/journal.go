@@ -87,19 +87,26 @@ func appendFrame(dst, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
-// encodePayload renders a record as its wire-line payload.
-func encodePayload(r meta.Record) []byte {
-	var sb strings.Builder
-	sb.WriteString(strconv.FormatInt(r.LSN, 10))
-	sb.WriteByte(' ')
-	sb.WriteString(strconv.FormatInt(r.Seq, 10))
-	sb.WriteByte(' ')
-	sb.WriteString(wire.Quote(r.Op))
+// appendPayload renders a record as its wire-line payload into dst — the
+// writer reuses one scratch buffer across records, so the hot append path
+// allocates nothing per record beyond buffer growth.
+func appendPayload(dst []byte, r meta.Record) []byte {
+	dst = strconv.AppendInt(dst, r.LSN, 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, r.Seq, 10)
+	dst = append(dst, ' ')
+	dst = wire.AppendQuote(dst, r.Op)
 	for _, a := range r.Args {
-		sb.WriteByte(' ')
-		sb.WriteString(wire.Quote(a))
+		dst = append(dst, ' ')
+		dst = wire.AppendQuote(dst, a)
 	}
-	return []byte(sb.String())
+	return dst
+}
+
+// encodePayload renders a record as a fresh payload slice (tests and
+// one-shot paths); the writer's hot path uses appendPayload.
+func encodePayload(r meta.Record) []byte {
+	return appendPayload(nil, r)
 }
 
 // validFrameAt reports whether a complete, checksummed, decodable record

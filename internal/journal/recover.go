@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io/fs"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -27,9 +28,19 @@ type replayState struct {
 // -journal) and is safe to run against the directory of a live server —
 // the result is simply the state as of the last committed record.
 func Replay(dir string, shards int) (*meta.DB, int64, error) {
+	return ReplayUpTo(dir, shards, math.MaxInt64)
+}
+
+// ReplayUpTo is Replay bounded at a journal position: records with LSN
+// beyond upTo are not applied, so the result is the database exactly as
+// it stood at that LSN — the ground truth the MVCC property tests compare
+// ReadViewAt(lsn) against.  The newest snapshot at or below upTo seeds
+// the replay; when every snapshot is newer, the history below upTo has
+// been compacted away and the call fails.
+func ReplayUpTo(dir string, shards int, upTo int64) (*meta.DB, int64, error) {
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
-		st, err := replay(dir, shards, false)
+		st, err := replay(dir, shards, false, upTo)
 		if err == nil {
 			return st.db, st.lastLSN, nil
 		}
@@ -45,8 +56,9 @@ func Replay(dir string, shards int) (*meta.DB, int64, error) {
 
 // replay reads dir.  With repair set, a torn final record is truncated off
 // the last segment and leftover temporary snapshot files are removed, so a
-// Writer can resume appending at a clean tail.
-func replay(dir string, shards int, repair bool) (replayState, error) {
+// Writer can resume appending at a clean tail.  Records beyond upTo are
+// scanned (the continuity checks still run) but not applied.
+func replay(dir string, shards int, repair bool, upTo int64) (replayState, error) {
 	if shards <= 0 {
 		shards = meta.DefaultShards
 	}
@@ -81,6 +93,19 @@ func replay(dir string, shards int, repair bool) (replayState, error) {
 	}
 	sort.Slice(snapLSNs, func(i, j int) bool { return snapLSNs[i] > snapLSNs[j] })
 	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+	if upTo < math.MaxInt64 {
+		// Bounded replay: only a snapshot at or below the bound may seed
+		// it.  When none qualifies the replay starts from empty, and the
+		// segment continuity check below fails loudly if the history below
+		// the bound has already been compacted away.
+		trimmed := snapLSNs[:0]
+		for _, lsn := range snapLSNs {
+			if lsn <= upTo {
+				trimmed = append(trimmed, lsn)
+			}
+		}
+		snapLSNs = trimmed
+	}
 
 	// Load the newest snapshot.  Snapshots are written to a temporary file
 	// and renamed, so a crash cannot leave a torn one under a valid name;
@@ -128,7 +153,7 @@ func replay(dir string, shards int, repair bool) (replayState, error) {
 				"journal: gap in record stream: segment %s starts at lsn %d, want %d",
 				filepath.Base(sg.path), sg.start, next)
 		}
-		n, err := replaySegment(&st, sg.path, sg.start, last, repair)
+		n, err := replaySegment(&st, sg.path, sg.start, last, repair, upTo)
 		if err != nil {
 			return replayState{}, err
 		}
@@ -145,7 +170,7 @@ func replay(dir string, shards int, repair bool) (replayState, error) {
 // snapshot and returns the LSN the stream continues at in the next
 // segment.  On the last segment a torn tail stops the replay (and, with
 // repair, is truncated off the file); anywhere else it is corruption.
-func replaySegment(st *replayState, path string, start int64, last, repair bool) (int64, error) {
+func replaySegment(st *replayState, path string, start int64, last, repair bool, upTo int64) (int64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return 0, fmt.Errorf("journal: %w", err)
@@ -239,7 +264,7 @@ func replaySegment(st *replayState, path string, start int64, last, repair bool)
 		if rec.LSN != next {
 			return 0, fmt.Errorf("journal: segment %s: record lsn %d at offset %d, want %d", name, rec.LSN, off, next)
 		}
-		if rec.LSN > st.snapLSN {
+		if rec.LSN > st.snapLSN && rec.LSN <= upTo {
 			if err := st.db.ApplyRecord(rec); err != nil {
 				return 0, fmt.Errorf("journal: segment %s: %w", name, err)
 			}

@@ -3,6 +3,7 @@ package journal
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -53,9 +54,14 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// bufFlushBytes bounds the in-memory record buffer: past it, Record writes
-// the buffer through even before the next Commit, so a long drain cannot
-// hold an unbounded journal in memory.
+// bufFlushBytes bounds the in-memory record buffer: past it, the
+// dedicated spill goroutine is woken to Commit even before the caller's
+// next explicit Commit, so a long drain cannot hold an unbounded journal
+// in memory.  The spill is asynchronous because Record runs under the
+// MVCC epoch gate (and the database locks serializing the mutation): a
+// segment-file write — or, in fsync mode, a disk flush — inside that
+// critical section would stall every shard's writers and all view
+// pinning for the syscall's duration.
 const bufFlushBytes = 1 << 20
 
 // Writer is an open journal: the meta.Recorder end that appends records,
@@ -71,12 +77,19 @@ type Writer struct {
 	db       *meta.DB
 	follower bool // opened by OpenFollower: records arrive pre-numbered via ApplyAppend
 
+	// flushMu serializes flushers (Commit), ordered outside mu: the
+	// buffer write happens under mu, the fsync with mu released, so
+	// Record keeps buffering — and the MVCC gate keeps pinning —
+	// through a disk flush.
+	flushMu sync.Mutex
+
 	mu      sync.Mutex
 	seg     *os.File
 	segSize int64
 	buf     []byte
-	pending int64 // records buffered since the last flush
-	ioErr   error // first write failure; sticky, surfaced by Commit
+	scratch []byte // reused payload-encode buffer; guarded by mu
+	pending int64  // records buffered since the last flush
+	ioErr   error  // first write failure; sticky, surfaced by Commit
 	closed  bool
 
 	lastLSN   atomic.Int64 // newest assigned record number
@@ -97,22 +110,27 @@ type Writer struct {
 	// atomicity the primary gets for free (see ApplyAppend).
 	applyMu sync.Mutex
 
-	snapMu sync.Mutex // serializes Snapshot
-	snapCh chan struct{}
-	quit   chan struct{}
-	wg     sync.WaitGroup
+	snapMu  sync.Mutex // serializes Snapshot
+	snapCh  chan struct{}
+	spillCh chan struct{} // wakes the background loop to Commit an outgrown buffer
+	quit    chan struct{}
+	wg      sync.WaitGroup
 }
 
 // Open recovers the database persisted in dir (creating the directory if
 // needed: an empty directory is an empty project) and returns a Writer
 // already attached to it as its mutation recorder.  A torn final record
-// left by a crash is truncated away before appending resumes.
+// left by a crash is truncated away before appending resumes.  MVCC is
+// enabled on the recovered database — a journaled database keys its read
+// views by the journal LSN, which is what makes snapshots, reports and
+// read-your-LSN queries pause-free.
 func Open(dir string, opt Options) (*Writer, *meta.DB, error) {
 	w, db, err := open(dir, opt, false)
 	if err != nil {
 		return nil, nil, err
 	}
 	db.SetRecorder(w)
+	db.EnableMVCC()
 	return w, db, nil
 }
 
@@ -122,9 +140,16 @@ func Open(dir string, opt Options) (*Writer, *meta.DB, error) {
 // which preserves the primary's numbering so the follower's log is
 // record-for-record identical to the primary's.  The recovered database's
 // LastLSN is the follower's persisted applied position — the resume point
-// a restarted follower hands the primary's FOLLOW verb.
+// a restarted follower hands the primary's FOLLOW verb.  MVCC is enabled
+// with versions keyed by the primary's LSNs, so a follower REPORT at a
+// given LSN reads exactly the state the primary had at that LSN.
 func OpenFollower(dir string, opt Options) (*Writer, *meta.DB, error) {
-	return open(dir, opt, true)
+	w, db, err := open(dir, opt, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	db.EnableMVCC()
+	return w, db, nil
 }
 
 func open(dir string, opt Options, follower bool) (*Writer, *meta.DB, error) {
@@ -132,7 +157,7 @@ func open(dir string, opt Options, follower bool) (*Writer, *meta.DB, error) {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
-	st, err := replay(dir, opt.Shards, true)
+	st, err := replay(dir, opt.Shards, true, math.MaxInt64)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -148,11 +173,13 @@ func open(dir string, opt Options, follower bool) (*Writer, *meta.DB, error) {
 	w.lastLSN.Store(st.lastLSN)
 	w.snapLSN.Store(st.snapLSN)
 	w.watermark.Store(st.lastLSN)
+	w.spillCh = make(chan struct{}, 1)
 	if err := w.openTail(); err != nil {
 		return nil, nil, err
 	}
-	w.wg.Add(1)
+	w.wg.Add(2)
 	go w.snapshotLoop()
+	go w.spillLoop()
 	return w, st.db, nil
 }
 
@@ -271,28 +298,37 @@ func (w *Writer) waitCommitted(after int64, stop <-chan struct{}) (int64, bool) 
 	}
 }
 
-// Record implements meta.Recorder: it stamps the record with the next LSN
-// and buffers its encoding.  It is called with database locks held, so it
-// must not block on the journal's own Commit I/O — it only appends to the
-// buffer, spilling to the segment file when the buffer outgrows its bound.
-// I/O errors are sticky and surface at the next Commit.
-func (w *Writer) Record(r meta.Record) {
+// Record implements meta.Recorder: it stamps the record with the next
+// LSN, buffers its encoding, and returns the assigned LSN (the MVCC
+// version stamp of the mutation it describes).  It is called with
+// database locks and the MVCC epoch gate held, so it performs no I/O at
+// all — it only appends to the buffer (through a reused scratch buffer,
+// so the hot path allocates nothing per record) and, when the buffer
+// outgrows its bound, wakes the background loop to commit it.  I/O
+// errors are sticky and surface at the next Commit.
+func (w *Writer) Record(r meta.Record) int64 {
 	w.mu.Lock()
 	r.LSN = w.lastLSN.Add(1)
-	w.buf = appendFrame(w.buf, encodePayload(r))
+	w.scratch = appendPayload(w.scratch[:0], r)
+	w.buf = appendFrame(w.buf, w.scratch)
 	w.pending++
-	if len(w.buf) >= bufFlushBytes {
-		w.flushLocked()
-	}
+	spill := len(w.buf) >= bufFlushBytes
 	w.mu.Unlock()
+	if spill {
+		select {
+		case w.spillCh <- struct{}{}:
+		default: // a spill wake-up is already pending
+		}
+	}
+	return r.LSN
 }
 
-// flushLocked writes the buffered records through to the segment file and
-// rotates it past the size threshold.  Callers hold w.mu.  The first I/O
-// failure is recorded and the journal stops accepting writes — a half
-// written frame at the tail is exactly the torn-record case recovery
-// already truncates, so the log stays valid up to the failure point.
-func (w *Writer) flushLocked() {
+// writeBufLocked writes the buffered records through to the segment
+// file.  Callers hold w.mu.  The first I/O failure is recorded and the
+// journal stops accepting writes — a half written frame at the tail is
+// exactly the torn-record case recovery already truncates, so the log
+// stays valid up to the failure point.
+func (w *Writer) writeBufLocked() {
 	if w.ioErr != nil || len(w.buf) == 0 {
 		w.buf = w.buf[:0]
 		w.pending = 0
@@ -309,24 +345,6 @@ func (w *Writer) flushLocked() {
 	w.pending = 0
 	if err != nil {
 		w.ioErr = fmt.Errorf("journal: append: %w", err)
-		return
-	}
-	if w.opt.Fsync {
-		if err := w.seg.Sync(); err != nil {
-			w.ioErr = fmt.Errorf("journal: fsync: %w", err)
-			return
-		}
-	}
-	// Only now is the batch as durable as the mode promises, so only now
-	// may replication ship it: advancing the watermark before the fsync
-	// would let a follower hold records an OS crash erases from the
-	// primary — permanent silent divergence, because the reconnect
-	// protocol skips LSNs the follower already applied.
-	w.advanceWatermark(w.lastLSN.Load())
-	if w.segSize >= w.opt.SegmentBytes {
-		if err := w.newSegmentLocked(); err != nil {
-			w.ioErr = err
-		}
 	}
 }
 
@@ -335,11 +353,51 @@ func (w *Writer) flushLocked() {
 // server after each non-drain mutation, so a state change is on disk
 // before the request that caused it is acknowledged.  Commit also arms
 // the snapshot trigger when enough records have accumulated.
+//
+// In fsync mode the Sync runs while w.mu is released (flushMu alone
+// serializes flushers): Record is called under the MVCC epoch gate, so
+// an fsync performed — or waited on — while w.mu is held would stall
+// every shard's writers and all view pinning for the disk flush's
+// duration.  The watermark advances only after the sync succeeds, and
+// only to the position captured at write time: replication must never
+// ship records an OS crash could still erase from the primary —
+// permanent silent divergence, because the reconnect protocol skips
+// LSNs the follower already applied.
 func (w *Writer) Commit() error {
+	w.flushMu.Lock()
 	w.mu.Lock()
-	w.flushLocked()
+	w.writeBufLocked()
+	seg := w.seg
+	lsn := w.lastLSN.Load()
+	needSync := w.opt.Fsync && w.ioErr == nil && seg != nil
+	w.mu.Unlock()
+	syncOK := true
+	if needSync {
+		if serr := seg.Sync(); serr != nil {
+			syncOK = false
+			w.mu.Lock()
+			if w.seg == seg && w.ioErr == nil {
+				// A sync failure on a segment that was retired underneath
+				// us (snapshot re-bootstrap swapped the log) is moot — its
+				// records were superseded wholesale; on the live segment it
+				// is a real durability failure and sticks.
+				w.ioErr = fmt.Errorf("journal: fsync: %w", serr)
+			}
+			w.mu.Unlock()
+		}
+	}
+	w.mu.Lock()
+	if w.ioErr == nil && syncOK {
+		w.advanceWatermark(lsn)
+	}
+	if w.ioErr == nil && w.seg != nil && w.segSize >= w.opt.SegmentBytes {
+		if err := w.newSegmentLocked(); err != nil {
+			w.ioErr = err
+		}
+	}
 	err := w.ioErr
 	w.mu.Unlock()
+	w.flushMu.Unlock()
 	if err != nil {
 		return err
 	}
@@ -384,13 +442,20 @@ func (w *Writer) ApplyAppend(r meta.Record) error {
 	}
 	w.mu.Lock()
 	w.lastLSN.Store(r.LSN)
-	w.buf = appendFrame(w.buf, encodePayload(r))
+	w.scratch = appendPayload(w.scratch[:0], r)
+	w.buf = appendFrame(w.buf, w.scratch)
 	w.pending++
-	if len(w.buf) >= bufFlushBytes {
-		w.flushLocked()
-	}
+	spill := len(w.buf) >= bufFlushBytes
 	err := w.ioErr
 	w.mu.Unlock()
+	if spill {
+		// Deferred like Record's spill: rotation and fsync belong to the
+		// flushMu-serialized Commit path, never under w.mu.
+		select {
+		case w.spillCh <- struct{}{}:
+		default:
+		}
+	}
 	return err
 }
 
@@ -457,7 +522,7 @@ func (w *Writer) BootstrapSnapshot(lsn int64, doc []byte) error {
 			}
 		}
 	}
-	if err := w.db.RestoreFrom(restored); err != nil {
+	if err := w.db.RestoreFrom(restored, lsn); err != nil {
 		return err
 	}
 	w.db.FloorAppliedLSN(lsn)
@@ -489,12 +554,13 @@ func (w *Writer) Abort() {
 }
 
 // Snapshot writes a consistent whole-database snapshot and compacts the
-// log behind it.  The document is collected under the database's read
-// locks only — concurrent checkins proceed on other shards and are never
-// blocked for the encode or the file write — and the LSN captured under
-// those locks names the file, so recovery knows exactly which records the
-// snapshot covers.  The write goes to a temporary file that is fsynced
-// and renamed, making snapshot installation atomic under crashes.
+// log behind it.  The document is collected from a pinned MVCC read view
+// at the journal's newest assigned LSN — no database lock of any kind is
+// held for the collection, the encode or the file write, so checkins on
+// every shard proceed for the snapshot's whole duration — and that LSN
+// names the file, so recovery knows exactly which records the snapshot
+// covers.  The write goes to a temporary file that is fsynced and
+// renamed, making snapshot installation atomic under crashes.
 func (w *Writer) Snapshot() error {
 	w.snapMu.Lock()
 	defer w.snapMu.Unlock()
@@ -505,27 +571,29 @@ func (w *Writer) Snapshot() error {
 	}
 	tmp := f.Name()
 	// On a follower, applied records reach the database outside its own
-	// lock-held emission path; excluding ApplyAppend while the collector
-	// holds the database locks keeps the pinned LSN and the collected
-	// state in step.  The capture hook releases it the moment the LSN is
-	// pinned, so the encode, the file I/O and the compaction below all
-	// run with replication apply flowing — a snapshot of a large replica
-	// must not stall the stream (and read-your-LSN waiters) for its full
-	// write duration.  On a primary the lock is uncontended.
+	// lock-held emission path; holding applyMu across the pin keeps the
+	// chosen LSN and the applied state in step, and is released the moment
+	// the view is pinned so the encode, the file I/O and the compaction
+	// below all run with replication apply flowing.  On a primary the
+	// lock is uncontended and the pin waits only for mutations already
+	// past their journal append to finish installing.
 	w.applyMu.Lock()
-	applyHeld := true
-	releaseApply := func() {
-		if applyHeld {
-			applyHeld = false
-			w.applyMu.Unlock()
-		}
+	lsn := w.lastLSN.Load()
+	v, err := w.db.ReadViewAt(lsn)
+	w.applyMu.Unlock()
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("journal: snapshot: %w", err)
 	}
-	defer releaseApply()
-	var lsn int64
-	err = w.db.SnapshotTo(f, func() {
-		lsn = w.lastLSN.Load()
-		releaseApply()
-	})
+	defer v.Close()
+	if lsn <= w.snapLSN.Load() {
+		// Nothing newer than the snapshot already on disk.
+		f.Close()
+		os.Remove(tmp)
+		return nil
+	}
+	err = v.SaveTo(f)
 	if err == nil {
 		// Flush the log through the pinned LSN before the snapshot becomes
 		// visible.  The pinned records may still sit in the in-memory
@@ -534,12 +602,6 @@ func (w *Writer) Snapshot() error {
 		// next append is discontinuous with its last record — which a
 		// later recovery must (and does) refuse.
 		err = w.Commit()
-	}
-	if err == nil && lsn <= w.snapLSN.Load() {
-		// Nothing newer than the snapshot already on disk.
-		f.Close()
-		os.Remove(tmp)
-		return nil
 	}
 	if err := w.sealSnapshot(f, err, lsn); err != nil {
 		return err
@@ -627,6 +689,23 @@ func (w *Writer) snapshotLoop() {
 				w.ioErr = err
 			}
 			w.mu.Unlock()
+		}
+	}
+}
+
+// spillLoop services buffer-overflow wake-ups from Record and ApplyAppend
+// on its own goroutine — deliberately not snapshotLoop, whose Snapshot
+// calls take seconds on a large database and would let the buffer grow
+// unboundedly past its bound while one is in flight.  Commit failures are
+// already sticky in ioErr and surface at the caller's next Commit.
+func (w *Writer) spillLoop() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.quit:
+			return
+		case <-w.spillCh:
+			_ = w.Commit()
 		}
 	}
 }

@@ -83,3 +83,58 @@ func (db *DB) unionBlocks(a, b string) {
 	}
 	db.compMu.Unlock()
 }
+
+// ComponentChurn counts propagating-link removals and retargets since the
+// last RebuildComponents — mutations the merge-only union-find cannot
+// reflect, each a chance that the partition is now coarser than the real
+// link graph.  The engine uses it to schedule periodic exact rebuilds.
+func (db *DB) ComponentChurn() int64 { return db.compChurn.Load() }
+
+// RebuildComponents recomputes the block partition exactly from the
+// current propagating links, replacing the merge-only approximation —
+// components that converged toward one blob as links were pruned or
+// retargeted split apart again, restoring drain parallelism on long-lived
+// graphs.  It locks the whole database for the scan (O(links)), so
+// callers should run it at quiet points; the engine triggers it at drain
+// start when the queue holds only fresh seed events (a wave that already
+// propagated across a since-removed link must keep its conservative
+// footprint) and enough churn has accumulated or the blueprint was
+// reloaded.
+func (db *DB) RebuildComponents() {
+	db.lockAll()
+	comp := make(map[string]string)
+	var find func(string) string
+	find = func(b string) string {
+		for {
+			p, ok := comp[b]
+			if !ok || p == b {
+				return b
+			}
+			if gp, ok := comp[p]; ok && gp != p {
+				comp[b] = gp
+				b = gp
+				continue
+			}
+			b = p
+		}
+	}
+	for _, st := range db.stripes {
+		for _, l := range st.links {
+			if len(l.Propagates) == 0 || l.From.Block == l.To.Block {
+				continue
+			}
+			ra, rb := find(l.From.Block), find(l.To.Block)
+			if ra != rb {
+				comp[ra] = rb
+			}
+		}
+	}
+	db.compMu.Lock()
+	db.comp = comp
+	db.compMu.Unlock()
+	// Bump after the swap so schedulers that cached roots under the old
+	// generation revalidate against the rebuilt partition.
+	db.compGen.Add(1)
+	db.compChurn.Store(0)
+	db.unlockAll()
+}

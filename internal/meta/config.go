@@ -69,12 +69,51 @@ func FollowType(types ...string) FollowFunc {
 // (From→To) starting at root, following the links admitted by follow.
 // This is the paper's "built by traversing a hierarchy while following
 // certain rules".
+//
+// With MVCC enabled the traversal runs against a pinned read view —
+// no shard lock is taken for the collection phase, so snapshots proceed
+// while writers keep committing; the install itself is a short
+// control-plane critical section.
 func (db *DB) SnapshotHierarchy(name string, root Key, follow FollowFunc) (*Configuration, error) {
 	if err := ValidateName(name); err != nil {
 		return nil, fmt.Errorf("configuration: %w", err)
 	}
 	if follow == nil {
 		follow = FollowUseLinks
+	}
+	if db.mvcc.on.Load() {
+		v := db.ReadView()
+		defer v.Close()
+		if !v.HasOID(root) {
+			return nil, fmt.Errorf("root %v: %w", root, ErrNotFound)
+		}
+		c := &Configuration{Name: name, Seq: v.Seq()}
+		out := make(map[Key][]*Link)
+		v.EachLink(func(l *Link) bool {
+			if follow(l) {
+				out[l.From] = append(out[l.From], l)
+			}
+			return true
+		})
+		visited := map[Key]bool{root: true}
+		linkSeen := map[LinkID]bool{}
+		queue := []Key{root}
+		for len(queue) > 0 {
+			k := queue[0]
+			queue = queue[1:]
+			c.OIDs = append(c.OIDs, k)
+			for _, l := range out[k] {
+				if !linkSeen[l.ID] {
+					linkSeen[l.ID] = true
+					c.Links = append(c.Links, l.ID)
+				}
+				if !visited[l.To] {
+					visited[l.To] = true
+					queue = append(queue, l.To)
+				}
+			}
+		}
+		return db.installNewConfig(c)
 	}
 	db.ctl.Lock()
 	defer db.ctl.Unlock()
@@ -109,13 +148,34 @@ func (db *DB) SnapshotHierarchy(name string, root Key, follow FollowFunc) (*Conf
 			}
 		}
 	}
+	return db.installConfigLocked(c), nil
+}
+
+// installNewConfig sorts and installs a freshly collected configuration
+// under the control-plane lock, journaling and versioning it.  It is the
+// install half of the view-based Snapshot* constructors.
+func (db *DB) installNewConfig(c *Configuration) (*Configuration, error) {
+	db.ctl.Lock()
+	defer db.ctl.Unlock()
+	if _, ok := db.configs[c.Name]; ok {
+		return nil, fmt.Errorf("configuration %q: %w", c.Name, ErrExists)
+	}
+	return db.installConfigLocked(c), nil
+}
+
+// installConfigLocked finishes a collected configuration: sort, store,
+// journal, version.  Callers hold the control-plane write lock and have
+// checked the name is free.
+func (db *DB) installConfigLocked(c *Configuration) *Configuration {
 	sort.Slice(c.OIDs, func(i, j int) bool { return keyLess(c.OIDs[i], c.OIDs[j]) })
 	sort.Slice(c.Links, func(i, j int) bool { return c.Links[i] < c.Links[j] })
-	db.configs[name] = c
-	if db.rec != nil {
-		db.emit(OpConfig, configArgs(c))
+	db.configs[c.Name] = c
+	tok := db.beginMut(OpConfig, 0, func() []string { return configArgs(c) })
+	if tok.on {
+		db.histConfigPushLocked(c.Name, tok.s, c)
 	}
-	return c.clone(), nil
+	db.endMut(tok)
+	return c.clone()
 }
 
 // SnapshotQuery builds a Configuration from the OIDs accepted by pred — the
@@ -124,6 +184,26 @@ func (db *DB) SnapshotHierarchy(name string, root Key, follow FollowFunc) (*Conf
 func (db *DB) SnapshotQuery(name string, pred func(*OID) bool) (*Configuration, error) {
 	if err := ValidateName(name); err != nil {
 		return nil, fmt.Errorf("configuration: %w", err)
+	}
+	if db.mvcc.on.Load() {
+		v := db.ReadView()
+		defer v.Close()
+		c := &Configuration{Name: name, Seq: v.Seq()}
+		selected := make(map[Key]bool)
+		v.EachOID(func(o *OID) bool {
+			if pred(o) {
+				selected[o.Key] = true
+				c.OIDs = append(c.OIDs, o.Key)
+			}
+			return true
+		})
+		v.EachLink(func(l *Link) bool {
+			if selected[l.From] && selected[l.To] {
+				c.Links = append(c.Links, l.ID)
+			}
+			return true
+		})
+		return db.installNewConfig(c)
 	}
 	db.ctl.Lock()
 	defer db.ctl.Unlock()
@@ -149,13 +229,7 @@ func (db *DB) SnapshotQuery(name string, pred func(*OID) bool) (*Configuration, 
 			}
 		}
 	}
-	sort.Slice(c.OIDs, func(i, j int) bool { return keyLess(c.OIDs[i], c.OIDs[j]) })
-	sort.Slice(c.Links, func(i, j int) bool { return c.Links[i] < c.Links[j] })
-	db.configs[name] = c
-	if db.rec != nil {
-		db.emit(OpConfig, configArgs(c))
-	}
-	return c.clone(), nil
+	return db.installConfigLocked(c), nil
 }
 
 // SnapshotAsOf builds a Configuration that reconstructs the design as it
@@ -168,6 +242,37 @@ func (db *DB) SnapshotQuery(name string, pred func(*OID) bool) (*Configuration, 
 func (db *DB) SnapshotAsOf(name string, seq int64) (*Configuration, error) {
 	if err := ValidateName(name); err != nil {
 		return nil, fmt.Errorf("configuration: %w", err)
+	}
+	if db.mvcc.on.Load() {
+		v := db.ReadView()
+		defer v.Close()
+		c := &Configuration{Name: name, Seq: seq}
+		selected := make(map[Key]bool)
+		v.eachChain(func(bv BlockView, chain []int) bool {
+			// Chains are ascending in version and creation order; pick the
+			// newest version created at or before seq.
+			var pick Key
+			for _, ver := range chain {
+				k := Key{Block: bv.Block, View: bv.View, Version: ver}
+				o := v.oidAt(k)
+				if o == nil || o.val.seq > seq {
+					continue
+				}
+				pick = k
+			}
+			if !pick.IsZero() {
+				selected[pick] = true
+				c.OIDs = append(c.OIDs, pick)
+			}
+			return true
+		})
+		v.EachLink(func(l *Link) bool {
+			if l.Seq <= seq && selected[l.From] && selected[l.To] {
+				c.Links = append(c.Links, l.ID)
+			}
+			return true
+		})
+		return db.installNewConfig(c)
 	}
 	db.ctl.Lock()
 	defer db.ctl.Unlock()
@@ -204,13 +309,7 @@ func (db *DB) SnapshotAsOf(name string, seq int64) (*Configuration, error) {
 			}
 		}
 	}
-	sort.Slice(c.OIDs, func(i, j int) bool { return keyLess(c.OIDs[i], c.OIDs[j]) })
-	sort.Slice(c.Links, func(i, j int) bool { return c.Links[i] < c.Links[j] })
-	db.configs[name] = c
-	if db.rec != nil {
-		db.emit(OpConfig, configArgs(c))
-	}
-	return c.clone(), nil
+	return db.installConfigLocked(c), nil
 }
 
 // GetConfiguration returns a copy of a stored configuration.
@@ -232,9 +331,11 @@ func (db *DB) DeleteConfiguration(name string) error {
 		return fmt.Errorf("configuration %q: %w", name, ErrNotFound)
 	}
 	delete(db.configs, name)
-	if db.rec != nil {
-		db.emit(OpDelConfig, []string{name})
+	tok := db.beginMut(OpDelConfig, 0, func() []string { return []string{name} })
+	if tok.on {
+		db.histConfigPushLocked(name, tok.s, nil)
 	}
+	db.endMut(tok)
 	return nil
 }
 

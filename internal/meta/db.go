@@ -43,9 +43,15 @@ import (
 // would deadlock).  EachOID, EachLatestOID and the Select*/Latest* queries
 // visit shards one at a time: each shard is internally consistent, but the
 // iteration is not a point-in-time snapshot of the whole database when
-// writers run concurrently.  Operations that need whole-database atomicity
-// (Save, Snapshot*, PruneVersions, Reachable, Dependents, Equivalents) lock
-// every shard and stripe for their duration.
+// writers run concurrently.
+//
+// Whole-database reads have two tiers.  With MVCC enabled (mvcc.go —
+// automatic on journaled and follower databases), Save, the Snapshot*
+// configuration builders and the state streams read from LSN-pinned
+// lock-free views and never pause writers.  Without it, they and the
+// remaining graph walks (Reachable, Dependents, Equivalents, Resolve)
+// read-lock every shard and stripe for their duration; PruneVersions
+// write-locks everything either way.
 type DB struct {
 	shards []*dbShard
 	mask   uint32
@@ -77,6 +83,18 @@ type DB struct {
 	// change-capture stream behind the append-only journal.  Emission
 	// happens under the locks that serialize the mutation; see record.go.
 	rec Recorder
+
+	// MVCC state (mvcc.go): with version tracking enabled, every mutation
+	// publishes immutable LSN-stamped versions and readers pin lock-free
+	// point-in-time views.  ctlH holds the control plane's histories;
+	// replayAt carries the record LSN being replayed so ApplyRecord's
+	// inner mutations stamp with the original numbering; compChurn counts
+	// propagating-link removals since the last component rebuild.
+	mvcc      mvccState
+	ctlH      atomic.Pointer[ctlHist]
+	replayAt  atomic.Int64
+	replaySeq atomic.Int64
+	compChurn atomic.Int64
 }
 
 // dbShard holds one stripe of the OID/chain/adjacency maps.  Every key in
@@ -87,6 +105,10 @@ type dbShard struct {
 	chains   map[BlockView][]int
 	outLinks map[Key][]linkRef
 	inLinks  map[Key][]linkRef
+
+	// hist is the shard's MVCC version store; the container is replaced
+	// wholesale on RestoreFrom so pinned views survive a re-base.
+	hist atomic.Pointer[shardHist]
 }
 
 // linkRef pairs a link ID with its current object in the adjacency lists,
@@ -107,6 +129,8 @@ type linkRef struct {
 type linkStripe struct {
 	mu    sync.RWMutex
 	links map[LinkID]*Link
+
+	hist atomic.Pointer[stripeHist]
 }
 
 // DefaultShards is the shard count of NewDB: enough stripes to spread a
@@ -144,10 +168,13 @@ func NewDBWithShards(n int) *DB {
 			outLinks: make(map[Key][]linkRef),
 			inLinks:  make(map[Key][]linkRef),
 		}
+		db.shards[i].hist.Store(&shardHist{})
 	}
 	for i := range db.stripes {
 		db.stripes[i] = &linkStripe{links: make(map[LinkID]*Link)}
+		db.stripes[i].hist.Store(&stripeHist{})
 	}
+	db.ctlH.Store(&ctlHist{})
 	return db
 }
 
@@ -276,9 +303,14 @@ func (db *DB) NewVersion(block, view string) (Key, error) {
 	o := &OID{Key: k, Props: make(map[string]string), Seq: db.tick()}
 	sh.oids[k] = o
 	sh.chains[bv] = append(chain, next)
-	if db.rec != nil {
-		db.emit(OpOID, []string{k.String(), strconv.FormatInt(o.Seq, 10)})
+	tok := db.beginMut(OpOID, 0, func() []string {
+		return []string{k.String(), strconv.FormatInt(o.Seq, 10)}
+	})
+	if tok.on {
+		db.histOIDPush(sh, k, tok.s, o, false)
+		db.histChainPush(sh, bv, tok.s)
 	}
+	db.endMut(tok)
 	return k, nil
 }
 
@@ -305,9 +337,14 @@ func (db *DB) InsertOID(k Key) error {
 	o := &OID{Key: k, Props: make(map[string]string), Seq: db.tick()}
 	sh.oids[k] = o
 	sh.chains[bv] = append(chain, k.Version)
-	if db.rec != nil {
-		db.emit(OpOID, []string{k.String(), strconv.FormatInt(o.Seq, 10)})
+	tok := db.beginMut(OpOID, 0, func() []string {
+		return []string{k.String(), strconv.FormatInt(o.Seq, 10)}
+	})
+	if tok.on {
+		db.histOIDPush(sh, k, tok.s, o, false)
+		db.histChainPush(sh, bv, tok.s)
 	}
+	db.endMut(tok)
 	return nil
 }
 
@@ -336,6 +373,7 @@ func (db *DB) PruneVersions(block, view string, keep int) (int, error) {
 		return 0, nil
 	}
 	drop := chain[:len(chain)-keep]
+	var removedLinks []LinkID
 	for _, v := range drop {
 		k := Key{Block: block, View: view, Version: v}
 		// Remove incident links first.
@@ -349,15 +387,29 @@ func (db *DB) PruneVersions(block, view string, keep int) (int, error) {
 			fs, ts := db.shardOf(l.From), db.shardOf(l.To)
 			fs.outLinks[l.From] = removeRef(fs.outLinks[l.From], r.id)
 			ts.inLinks[l.To] = removeRef(ts.inLinks[l.To], r.id)
+			removedLinks = append(removedLinks, r.id)
+			if len(l.Propagates) > 0 {
+				db.compChurn.Add(1)
+			}
 		}
 		delete(sh.outLinks, k)
 		delete(sh.inLinks, k)
 		delete(sh.oids, k)
 	}
 	sh.chains[bv] = append([]int(nil), chain[len(chain)-keep:]...)
-	if db.rec != nil {
-		db.emit(OpPrune, []string{block, view, strconv.Itoa(keep)})
+	tok := db.beginMut(OpPrune, 0, func() []string {
+		return []string{block, view, strconv.Itoa(keep)}
+	})
+	if tok.on {
+		for _, v := range drop {
+			db.histOIDPush(sh, Key{Block: block, View: view, Version: v}, tok.s, nil, true)
+		}
+		for _, id := range removedLinks {
+			db.histLinkPushLocked(id, tok.s, nil)
+		}
+		db.histChainPush(sh, bv, tok.s)
 	}
+	db.endMut(tok)
 	return len(drop), nil
 }
 
@@ -433,9 +485,13 @@ func (db *DB) SetProp(k Key, name, value string) error {
 		return fmt.Errorf("oid %v: %w", k, ErrNotFound)
 	}
 	o.Props[name] = value
-	if db.rec != nil {
-		db.emit(OpUpdate, []string{k.String(), "1", name, value})
+	tok := db.beginMut(OpUpdate, 0, func() []string {
+		return []string{k.String(), "1", name, value}
+	})
+	if tok.on {
+		db.histOIDPush(sh, k, tok.s, o, false)
 	}
+	db.endMut(tok)
 	return nil
 }
 
@@ -466,9 +522,11 @@ func (db *DB) WithOID(k Key, fn func(o *OID)) error {
 // deadlock).  Property names written by fn must satisfy ValidateName; the
 // caller validates because fn has no error channel.
 //
-// With a Recorder attached, the property map is diffed around fn and the
-// net change journaled as one update record; an fn that changes nothing
-// emits nothing.
+// With a Recorder or MVCC attached, the property map is diffed around fn
+// and the net change journaled (and versioned) as one update; an fn that
+// changes nothing emits nothing.  With MVCC on, the diff runs against the
+// newest published version's map — which always mirrors the live map —
+// so no pre-copy is needed.
 func (db *DB) UpdateOID(k Key, fn func(o *OID)) error {
 	sh := db.shardOf(k)
 	sh.mu.Lock()
@@ -477,18 +535,27 @@ func (db *DB) UpdateOID(k Key, fn func(o *OID)) error {
 	if !ok {
 		return fmt.Errorf("oid %v: %w", k, ErrNotFound)
 	}
-	if db.rec == nil {
+	on := db.mvcc.on.Load()
+	if db.rec == nil && !on {
 		fn(o)
 		return nil
 	}
-	before := make(map[string]string, len(o.Props))
-	for n, v := range o.Props {
-		before[n] = v
+	var before map[string]string
+	if on {
+		before = db.histOIDPrev(sh, k)
+	} else {
+		before = make(map[string]string, len(o.Props))
+		for n, v := range o.Props {
+			before[n] = v
+		}
 	}
 	fn(o)
-	sets := make(map[string]string)
+	var sets map[string]string
 	for n, v := range o.Props {
 		if ov, had := before[n]; !had || ov != v {
+			if sets == nil {
+				sets = make(map[string]string)
+			}
 			sets[n] = v
 		}
 	}
@@ -498,9 +565,16 @@ func (db *DB) UpdateOID(k Key, fn func(o *OID)) error {
 			dels = append(dels, n)
 		}
 	}
-	if len(sets) > 0 || len(dels) > 0 {
-		db.emit(OpUpdate, propArgs([]string{k.String()}, sets, dels))
+	if len(sets) == 0 && len(dels) == 0 {
+		return nil
 	}
+	tok := db.beginMut(OpUpdate, 0, func() []string {
+		return propArgs([]string{k.String()}, sets, dels)
+	})
+	if tok.on {
+		db.histOIDPush(sh, k, tok.s, o, false)
+	}
+	db.endMut(tok)
 	return nil
 }
 
@@ -530,9 +604,13 @@ func (db *DB) DelProp(k Key, name string) error {
 	}
 	if _, had := o.Props[name]; had {
 		delete(o.Props, name)
-		if db.rec != nil {
-			db.emit(OpUpdate, []string{k.String(), "0", name})
+		tok := db.beginMut(OpUpdate, 0, func() []string {
+			return []string{k.String(), "0", name}
+		})
+		if tok.on {
+			db.histOIDPush(sh, k, tok.s, o, false)
 		}
+		db.endMut(tok)
 	}
 	return nil
 }
@@ -586,9 +664,13 @@ func (db *DB) AddLink(class LinkClass, from, to Key, template string, propagates
 	stripe.mu.Unlock()
 	sf.outLinks[from] = append(sf.outLinks[from], linkRef{id: l.ID, l: l})
 	st.inLinks[to] = append(st.inLinks[to], linkRef{id: l.ID, l: l})
-	if db.rec != nil {
-		db.emit(OpLink, linkArgs(l))
+	tok := db.beginMut(OpLink, int64(l.ID), func() []string { return linkArgs(l) })
+	if tok.on {
+		stripe.mu.Lock()
+		db.histLinkPushLocked(l.ID, tok.s, l)
+		stripe.mu.Unlock()
 	}
+	db.endMut(tok)
 	return l.ID, nil
 }
 
@@ -635,9 +717,18 @@ func (db *DB) DeleteLink(id LinkID) error {
 		delete(stripe.links, id)
 		sf.outLinks[l.From] = removeRef(sf.outLinks[l.From], id)
 		st.inLinks[l.To] = removeRef(st.inLinks[l.To], id)
-		if db.rec != nil {
-			db.emit(OpDelLink, []string{strconv.FormatInt(int64(id), 10)})
+		if len(l.Propagates) > 0 {
+			// The merge-only component partition is now conservatively
+			// coarse; count it toward the periodic exact rebuild.
+			db.compChurn.Add(1)
 		}
+		tok := db.beginMut(OpDelLink, 0, func() []string {
+			return []string{strconv.FormatInt(int64(id), 10)}
+		})
+		if tok.on {
+			db.histLinkPushLocked(id, tok.s, nil)
+		}
+		db.endMut(tok)
 		stripe.mu.Unlock()
 		unlockPair(sf, st)
 		return nil
@@ -710,10 +801,16 @@ func (db *DB) RetargetLink(id LinkID, oldEnd, newEnd Key) error {
 			ns.inLinks[newEnd] = append(ns.inLinks[newEnd], linkRef{id: id, l: moved})
 			replaceRef(db.shardOf(from).outLinks[from], id, moved)
 		}
-		if db.rec != nil {
-			db.emit(OpRetarget, []string{
-				strconv.FormatInt(int64(id), 10), oldEnd.String(), newEnd.String()})
+		if len(l.Propagates) > 0 {
+			db.compChurn.Add(1)
 		}
+		tok := db.beginMut(OpRetarget, 0, func() []string {
+			return []string{strconv.FormatInt(int64(id), 10), oldEnd.String(), newEnd.String()}
+		})
+		if tok.on {
+			db.histLinkPushLocked(id, tok.s, moved)
+		}
+		db.endMut(tok)
 		stripe.mu.Unlock()
 		db.unlockShardSet(locked)
 		return nil
@@ -754,7 +851,9 @@ func (db *DB) SetLinkProp(id LinkID, name, value string) error {
 
 // SetLinkPropagates replaces the PROPAGATE set of a link.
 func (db *DB) SetLinkPropagates(id LinkID, events []string) error {
-	return db.replaceLink(id, func(nl *Link) {
+	wasPropagating := false
+	err := db.replaceLink(id, func(nl *Link) {
+		wasPropagating = len(nl.Propagates) > 0
 		nl.Propagates = make(map[string]bool, len(events))
 		for _, e := range events {
 			nl.Propagates[e] = true
@@ -765,14 +864,23 @@ func (db *DB) SetLinkPropagates(id LinkID, events []string) error {
 	}, func(nl *Link) (string, []string) {
 		return OpPropagates, append([]string{strconv.FormatInt(int64(id), 10)}, nl.PropagateList()...)
 	})
+	if err == nil && wasPropagating && len(events) == 0 {
+		// Emptying the set never splits the merge-only component
+		// partition in place; count it toward the periodic rebuild.
+		// Only a successful transition counts — failed or no-op calls
+		// must not schedule spurious whole-database rebuilds.
+		db.compChurn.Add(1)
+	}
+	return err
 }
 
 // replaceLink installs a mutated copy of a link: links are immutable once
 // published, so in-place annotation edits clone the object, apply mutate,
 // and swap the clone into the stripe map and both adjacency refs under the
 // endpoint shard locks.  Retries if the link is replaced concurrently.
-// record, if non-nil and a Recorder is attached, builds the journal record
-// describing the installed object; it runs inside the critical section.
+// record builds the journal record describing the installed object and
+// must be non-nil whenever a Recorder may be attached; it runs inside the
+// critical section.
 func (db *DB) replaceLink(id LinkID, mutate func(nl *Link), record func(nl *Link) (string, []string)) error {
 	for {
 		l := db.snapshotLink(id)
@@ -792,9 +900,17 @@ func (db *DB) replaceLink(id LinkID, mutate func(nl *Link), record func(nl *Link
 		stripe.links[id] = nl
 		replaceRef(sf.outLinks[l.From], id, nl)
 		replaceRef(st.inLinks[l.To], id, nl)
+		var tok mutTok
 		if db.rec != nil && record != nil {
-			db.emit(record(nl))
+			op, args := record(nl)
+			tok = db.beginMut(op, 0, func() []string { return args })
+		} else {
+			tok = db.beginMut("", 0, nil)
 		}
+		if tok.on {
+			db.histLinkPushLocked(id, tok.s, nl)
+		}
+		db.endMut(tok)
 		stripe.mu.Unlock()
 		unlockPair(sf, st)
 		return nil

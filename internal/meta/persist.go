@@ -53,18 +53,27 @@ type workspaceJSON struct {
 	Paths map[string]string `json:"paths,omitempty"`
 }
 
-// Save writes the whole meta-database as indented JSON.  The document is a
-// consistent snapshot: collection happens under every read lock (control
-// plane, shards, stripes), while the JSON encoding — the expensive part —
+// Save writes the whole meta-database as indented JSON.  With MVCC
+// enabled the document is collected from a pinned read view — no lock of
+// any kind is held during collection or encoding, and writers proceed
+// throughout; otherwise collection happens under every read lock (control
+// plane, shards, stripes) while the JSON encoding — the expensive part —
 // runs after the locks are released.
-func (db *DB) Save(w io.Writer) error { return db.SnapshotTo(w, nil) }
+func (db *DB) Save(w io.Writer) error {
+	if db.mvcc.on.Load() {
+		v := db.ReadView()
+		defer v.Close()
+		return v.SaveTo(w)
+	}
+	return db.SnapshotTo(w, nil)
+}
 
-// SnapshotTo is Save with a coordination hook: capture, if non-nil, runs
-// while every lock is still held, after the document has been collected.
-// The append-only journal uses it to read its last assigned record number
-// — mutators emit journal records under the same locks, so the captured
-// position exactly matches the collected state, and recovery can replay
-// precisely the records the snapshot does not cover.  capture must not
+// SnapshotTo is the legacy locked collection path with a coordination
+// hook: capture, if non-nil, runs while every lock is still held, after
+// the document has been collected.  The append-only journal used it to
+// read its last assigned record number; journal snapshots now collect
+// from a pinned View (View.SaveTo), which carries its LSN explicitly, so
+// this path remains for databases without MVCC enabled.  capture must not
 // call back into the DB.
 func (db *DB) SnapshotTo(w io.Writer, capture func()) error {
 	db.ctl.RLock()
@@ -128,6 +137,14 @@ func (db *DB) SnapshotTo(w io.Writer, capture func()) error {
 	db.runlockAll()
 	db.ctl.RUnlock()
 
+	return encodeDoc(w, &doc)
+}
+
+// encodeDoc sorts a collected document into the canonical order and
+// writes it as indented JSON — the shared tail of the locked and
+// view-based collection paths, so both produce byte-identical output for
+// identical state.
+func encodeDoc(w io.Writer, doc *dbJSON) error {
 	sort.Slice(doc.OIDs, func(i, j int) bool {
 		a, b := doc.OIDs[i], doc.OIDs[j]
 		if a.Block != b.Block {
@@ -144,7 +161,60 @@ func (db *DB) SnapshotTo(w io.Writer, capture func()) error {
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	return enc.Encode(*doc)
+}
+
+// SaveTo writes the database exactly as it stood at the view's LSN, in
+// the same canonical JSON form as Save — byte-identical to what replaying
+// the journal up to that LSN and saving would produce.  No locks are
+// taken; writers proceed throughout.
+func (v *View) SaveTo(w io.Writer) error {
+	doc := dbJSON{Seq: v.seq, NextLink: v.nextLink}
+	v.EachOID(func(o *OID) bool {
+		oj := oidJSON{Block: o.Key.Block, View: o.Key.View, Version: o.Key.Version, Seq: o.Seq}
+		if len(o.Props) > 0 {
+			oj.Props = o.Props // immutable version map; the encoder only reads
+		}
+		doc.OIDs = append(doc.OIDs, oj)
+		return true
+	})
+	v.EachLink(func(l *Link) bool {
+		lj := linkJSON{
+			ID:       int64(l.ID),
+			Class:    l.Class.String(),
+			From:     l.From.String(),
+			To:       l.To.String(),
+			Template: l.Template,
+			Seq:      l.Seq,
+		}
+		lj.Propagates = l.PropagateList()
+		if len(l.Props) > 0 {
+			lj.Props = l.Props // immutable once published
+		}
+		doc.Links = append(doc.Links, lj)
+		return true
+	})
+	v.eachConfiguration(func(c *Configuration) {
+		cj := configJSON{Name: c.Name, Seq: c.Seq}
+		for _, k := range c.OIDs {
+			cj.OIDs = append(cj.OIDs, k.String())
+		}
+		for _, id := range c.Links {
+			cj.Links = append(cj.Links, int64(id))
+		}
+		doc.Configs = append(doc.Configs, cj)
+	})
+	v.eachWorkspace(func(ws *Workspace) {
+		wj := workspaceJSON{Name: ws.Name, Root: ws.Root}
+		if len(ws.paths) > 0 {
+			wj.Paths = make(map[string]string, len(ws.paths))
+			for k, p := range ws.paths {
+				wj.Paths[k.String()] = p
+			}
+		}
+		doc.Workspaces = append(doc.Workspaces, wj)
+	})
+	return encodeDoc(w, &doc)
 }
 
 // Load reads a database previously written by Save and returns a fresh DB
@@ -288,10 +358,14 @@ func LoadShards(r io.Reader, shards int) (*DB, error) {
 // RestoreFrom atomically replaces the database's entire contents with
 // src's, in place — the follower-side snapshot re-bootstrap path: engines
 // and servers hold the *DB pointer, so re-basing on a primary snapshot
-// must swap the guts rather than the pointer.  src must have the same
-// shard count (both sides of a bootstrap build it from the same Options)
-// and must not be used afterwards: db adopts its maps.
-func (db *DB) RestoreFrom(src *DB) error {
+// must swap the guts rather than the pointer.  lsn is the journal
+// position the restored document covers; with MVCC enabled the version
+// histories are rebuilt from the new content at that stamp (views pinned
+// before the re-base captured the old containers and stay consistent;
+// the horizon jumps to lsn).  src must have the same shard count (both
+// sides of a bootstrap build it from the same Options) and must not be
+// used afterwards: db adopts its maps.
+func (db *DB) RestoreFrom(src *DB, lsn int64) error {
 	if len(db.shards) != len(src.shards) || len(db.stripes) != len(src.stripes) {
 		return fmt.Errorf("meta: restore: shard count mismatch (%d vs %d)",
 			len(db.shards), len(src.shards))
@@ -309,6 +383,9 @@ func (db *DB) RestoreFrom(src *DB) error {
 	db.workspaces = src.workspaces
 	db.seq.Store(src.seq.Load())
 	db.nextLink.Store(src.nextLink.Load())
+	if db.mvcc.on.Load() {
+		db.genesisLocked(lsn)
+	}
 	db.unlockAll()
 	db.ctl.Unlock()
 	db.compMu.Lock()

@@ -64,10 +64,12 @@ type Record struct {
 	Args []string
 }
 
-// Recorder receives one Record per committed mutation.  See the package
+// Recorder receives one Record per committed mutation and returns the
+// log sequence number it assigned — the journal writer's LSN, which the
+// MVCC layer uses as the mutation's version stamp.  See the package
 // comment on emission ordering and the locking constraints.
 type Recorder interface {
-	Record(Record)
+	Record(Record) int64
 }
 
 // SetRecorder attaches (or, with nil, detaches) the mutation recorder.
@@ -75,18 +77,11 @@ type Recorder interface {
 // typically right after NewDB or after recovery replay, before serving.
 func (db *DB) SetRecorder(r Recorder) { db.rec = r }
 
-// emit hands a record to the recorder, stamping the current logical clock.
-// Callers hold the locks that serialize the mutation and have already
-// checked db.rec != nil (so the hot paths build no argument slices when no
-// recorder is attached).
-func (db *DB) emit(op string, args []string) {
-	db.rec.Record(Record{Seq: db.seq.Load(), Op: op, Args: args})
-}
-
 // propArgs encodes a property diff as the argument tail shared by OpUpdate
 // and OpLinkUpdate: the set count, then name/value pairs, then deleted
 // names.  Pairs and deletions are sorted by name so identical diffs encode
-// identically regardless of map iteration order.
+// identically regardless of map iteration order.  The result is allocated
+// at exact capacity — this sits on the journaled delivery hot path.
 func propArgs(prefix []string, sets map[string]string, dels []string) []string {
 	names := make([]string, 0, len(sets))
 	for n := range sets {
@@ -94,7 +89,9 @@ func propArgs(prefix []string, sets map[string]string, dels []string) []string {
 	}
 	sort.Strings(names)
 	sort.Strings(dels)
-	args := append(prefix, strconv.Itoa(len(names)))
+	args := make([]string, 0, len(prefix)+1+2*len(names)+len(dels))
+	args = append(args, prefix...)
+	args = append(args, strconv.Itoa(len(names)))
 	for _, n := range names {
 		args = append(args, n, sets[n])
 	}
@@ -227,7 +224,24 @@ func (db *DB) nextLinkFloor(s int64) {
 // journal attaches it after recovery); with one attached, applied records
 // are re-emitted like any other mutation, which is the desired behavior
 // for a follower mirroring a leader's stream.
+//
+// Calls must be serialized (recovery is single-threaded; a follower's
+// ApplyAppend holds its apply mutex): with MVCC enabled, the record's LSN
+// is carried to the inner mutation so its versions are stamped with the
+// original numbering, through a single replay slot.
 func (db *DB) ApplyRecord(r Record) error {
+	if r.LSN > 0 && db.mvcc.on.Load() {
+		db.replayAt.Store(r.LSN)
+		db.replaySeq.Store(r.Seq)
+		defer func() {
+			db.replayAt.Store(0)
+			db.replaySeq.Store(0)
+		}()
+	}
+	return db.applyRecord(r)
+}
+
+func (db *DB) applyRecord(r Record) error {
 	fail := func(err error) error {
 		return fmt.Errorf("meta: apply %s record (lsn %d): %w", r.Op, r.LSN, err)
 	}
@@ -407,6 +421,8 @@ func (db *DB) ApplyRecord(r Record) error {
 
 	case OpEvent:
 		// Audit only: the engine's event stream, not a database mutation.
+		// No version is stamped either — a view at an event record's LSN
+		// equals the view at the last mutation before it.
 
 	default:
 		return fail(fmt.Errorf("unknown op"))
@@ -510,11 +526,17 @@ func (db *DB) insertOIDSeq(k Key, seq int64) error {
 		return fmt.Errorf("oid %v: chain is already at version %d: %w",
 			k, chain[len(chain)-1], ErrBadVersion)
 	}
-	sh.oids[k] = &OID{Key: k, Props: make(map[string]string), Seq: seq}
+	o := &OID{Key: k, Props: make(map[string]string), Seq: seq}
+	sh.oids[k] = o
 	sh.chains[bv] = append(chain, k.Version)
-	if db.rec != nil {
-		db.emit(OpOID, []string{k.String(), strconv.FormatInt(seq, 10)})
+	tok := db.beginMut(OpOID, 0, func() []string {
+		return []string{k.String(), strconv.FormatInt(seq, 10)}
+	})
+	if tok.on {
+		db.histOIDPush(sh, k, tok.s, o, false)
+		db.histChainPush(sh, bv, tok.s)
 	}
+	db.endMut(tok)
 	return nil
 }
 
@@ -546,9 +568,13 @@ func (db *DB) insertLinkObject(l *Link) error {
 	sf.outLinks[l.From] = append(sf.outLinks[l.From], linkRef{id: l.ID, l: l})
 	st.inLinks[l.To] = append(st.inLinks[l.To], linkRef{id: l.ID, l: l})
 	db.nextLinkFloor(int64(l.ID))
-	if db.rec != nil {
-		db.emit(OpLink, linkArgs(l))
+	tok := db.beginMut(OpLink, int64(l.ID), func() []string { return linkArgs(l) })
+	if tok.on {
+		stripe.mu.Lock()
+		db.histLinkPushLocked(l.ID, tok.s, l)
+		stripe.mu.Unlock()
 	}
+	db.endMut(tok)
 	return nil
 }
 
@@ -564,8 +590,10 @@ func (db *DB) installConfig(c *Configuration) error {
 		return fmt.Errorf("configuration %q: %w", c.Name, ErrExists)
 	}
 	db.configs[c.Name] = c
-	if db.rec != nil {
-		db.emit(OpConfig, configArgs(c))
+	tok := db.beginMut(OpConfig, 0, func() []string { return configArgs(c) })
+	if tok.on {
+		db.histConfigPushLocked(c.Name, tok.s, c)
 	}
+	db.endMut(tok)
 	return nil
 }

@@ -6,10 +6,15 @@ import (
 	"testing"
 )
 
-// sliceRecorder accumulates emitted records for inspection.
+// sliceRecorder accumulates emitted records for inspection, assigning
+// consecutive LSNs like the journal writer does.
 type sliceRecorder struct{ recs []Record }
 
-func (r *sliceRecorder) Record(rec Record) { r.recs = append(r.recs, rec) }
+func (r *sliceRecorder) Record(rec Record) int64 {
+	rec.LSN = int64(len(r.recs) + 1)
+	r.recs = append(r.recs, rec)
+	return rec.LSN
+}
 
 func (r *sliceRecorder) ops() []string {
 	out := make([]string, len(r.recs))

@@ -54,10 +54,13 @@ func (db *DB) AddWorkspace(name, root string) error {
 	if _, ok := db.workspaces[name]; ok {
 		return fmt.Errorf("workspace %q: %w", name, ErrExists)
 	}
-	db.workspaces[name] = &Workspace{Name: name, Root: root, paths: make(map[Key]string)}
-	if db.rec != nil {
-		db.emit(OpWorkspace, []string{name, root})
+	w := &Workspace{Name: name, Root: root, paths: make(map[Key]string)}
+	db.workspaces[name] = w
+	tok := db.beginMut(OpWorkspace, 0, func() []string { return []string{name, root} })
+	if tok.on {
+		db.histWorkspacePushLocked(name, tok.s, w.clone())
 	}
+	db.endMut(tok)
 	return nil
 }
 
@@ -73,9 +76,13 @@ func (db *DB) BindPath(workspace string, k Key, path string) error {
 		return fmt.Errorf("oid %v: %w", k, ErrNotFound)
 	}
 	w.paths[k] = path
-	if db.rec != nil {
-		db.emit(OpBind, []string{workspace, k.String(), path})
+	tok := db.beginMut(OpBind, 0, func() []string {
+		return []string{workspace, k.String(), path}
+	})
+	if tok.on {
+		db.histWorkspacePushLocked(workspace, tok.s, w.clone())
 	}
+	db.endMut(tok)
 	return nil
 }
 

@@ -293,34 +293,56 @@ func writeFlush(w *bufio.Writer, chunk string) bool {
 
 // reportGate validates the optional minimum-LSN argument of REPORT/GAP
 // and, on a follower, blocks until the replica has applied that position.
-// It returns nil to proceed or an error response to send instead.
-func (s *Server) reportGate(req wire.Request) *wire.Response {
-	if len(req.Args) == 0 {
-		return nil
-	}
+// It returns a pinned MVCC view to evaluate the rows against — at exactly
+// the requested LSN when the version history still reaches back that far,
+// at the current stable epoch otherwise (still "at least" the requested
+// position, the read-your-writes contract) — or an error response to send
+// instead.  A nil view with a nil response means the database has no MVCC
+// (an unjournaled server): the caller streams from the live database.
+// The caller must Close a returned view once the rows are written.
+func (s *Server) reportGate(req wire.Request) (*meta.View, *wire.Response) {
+	db := s.eng.DB()
 	errResp := func(format string, a ...any) *wire.Response {
 		return &wire.Response{OK: false, Detail: fmt.Sprintf(format, a...)}
 	}
+	if len(req.Args) == 0 {
+		if db.MVCCEnabled() {
+			return db.ReadView(), nil
+		}
+		return nil, nil
+	}
 	if len(req.Args) > 1 {
-		return errResp("%s wants at most one <min-lsn> argument", req.Verb)
+		return nil, errResp("%s wants at most one <min-lsn> argument", req.Verb)
 	}
 	lsn, err := strconv.ParseInt(req.Args[0], 10, 64)
 	if err != nil || lsn < 0 {
-		return errResp("%s: bad min-lsn %q", req.Verb, req.Args[0])
+		return nil, errResp("%s: bad min-lsn %q", req.Verb, req.Args[0])
 	}
 	switch {
 	case s.readOnly != nil:
 		if at, err := s.readOnly.WaitApplied(lsn, 10*time.Second); err != nil {
-			return errResp("replica at lsn %d has not reached %d: %v", at, lsn, err)
+			return nil, errResp("replica at lsn %d has not reached %d: %v", at, lsn, err)
 		}
 	case s.journal != nil:
 		if at := s.journal.LastLSN(); at < lsn {
-			return errResp("journal at lsn %d has not reached %d", at, lsn)
+			return nil, errResp("journal at lsn %d has not reached %d", at, lsn)
 		}
 	default:
-		return errResp("%s <min-lsn> needs a journal or replica", req.Verb)
+		return nil, errResp("%s <min-lsn> needs a journal or replica", req.Verb)
 	}
-	return nil
+	if !db.MVCCEnabled() {
+		return nil, nil
+	}
+	// The journal (or replica) has reached lsn, so a view pinned exactly
+	// there answers "the state at my write", not "whatever is current once
+	// we caught up".  History reclaimed below the horizon falls back to
+	// the current stable view, which is newer than lsn and therefore still
+	// satisfies the minimum.
+	v, err := db.ReadViewAt(lsn)
+	if err != nil {
+		return db.ReadView(), nil
+	}
+	return v, nil
 }
 
 // streamReport serves REPORT/GAP over a live connection, writing and
@@ -329,20 +351,29 @@ func (s *Server) reportGate(req wire.Request) *wire.Response {
 // buffer.  Rows keep the stable key-sorted order of the buffered form.
 // false means the connection died mid-stream.
 func (s *Server) streamReport(w *bufio.Writer, req wire.Request) bool {
-	if resp := s.reportGate(req); resp != nil {
+	v, resp := s.reportGate(req)
+	if resp != nil {
 		return writeFlush(w, resp.Encode()+"\n")
 	}
+	defer v.Close() // nil-safe
 	if !writeFlush(w, "OK+ streaming\n") {
 		return false
 	}
 	alive := true
-	state.StreamSorted(s.eng.DB(), s.eng.Blueprint(), func(st *state.OIDState) bool {
+	row := func(st *state.OIDState) bool {
 		if req.Verb == wire.VerbGap && st.Ready {
 			return true
 		}
 		alive = writeFlush(w, "|"+reportRow(st)+"\n")
 		return alive
-	})
+	}
+	if v != nil {
+		// Pause-free path: rows evaluate against the pinned view with no
+		// database locks; a slow reader stalls nobody.
+		state.StreamSortedView(v, s.eng.Blueprint(), row)
+	} else {
+		state.StreamSorted(s.eng.DB(), s.eng.Blueprint(), row)
+	}
 	if !alive {
 		return false
 	}
@@ -628,17 +659,24 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 		// connections take the per-row streaming path in serveConn.  Rows
 		// are evaluated through the same sorted stream so both forms emit
 		// identical bodies.
-		if resp := s.reportGate(req); resp != nil {
+		v, resp := s.reportGate(req)
+		if resp != nil {
 			return *resp, false
 		}
+		defer v.Close() // nil-safe
 		var body []string
-		state.StreamSorted(s.eng.DB(), s.eng.Blueprint(), func(st *state.OIDState) bool {
+		row := func(st *state.OIDState) bool {
 			if req.Verb == wire.VerbGap && st.Ready {
 				return true
 			}
 			body = append(body, reportRow(st))
 			return true
-		})
+		}
+		if v != nil {
+			state.StreamSortedView(v, s.eng.Blueprint(), row)
+		} else {
+			state.StreamSorted(s.eng.DB(), s.eng.Blueprint(), row)
+		}
 		return wire.Response{OK: true, Detail: fmt.Sprintf("%d rows", len(body)), Body: body}, false
 
 	case wire.VerbSnapshot:

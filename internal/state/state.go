@@ -123,10 +123,33 @@ func EvaluateWith(ix *bpl.Index, o *meta.OID) OIDState {
 // This is the pull API behind the server's REPORT/GAP verbs: a report row
 // can be formatted and shipped per OID with zero per-row map copies,
 // where Report clones every property map up front.
+//
+// With MVCC enabled the rows are evaluated against a pinned read view —
+// no shard lock is taken, writers proceed throughout, and the pass is a
+// true point-in-time snapshot instead of per-shard consistent.
 func Stream(db *meta.DB, bp *bpl.Blueprint, fn func(*OIDState) bool) {
+	if db.MVCCEnabled() {
+		v := db.ReadView()
+		defer v.Close()
+		StreamView(v, bp, fn)
+		return
+	}
 	ix := bp.Index()
 	var st OIDState
 	db.EachLatestOID(func(o *meta.OID) bool {
+		evaluateInto(&st, ix.Lets(o.Key.View), ix, o)
+		return fn(&st)
+	})
+}
+
+// StreamView is Stream against an explicit pinned view: every row is
+// evaluated at exactly the view's LSN, lock-free.  Props aliases the
+// view's immutable version map and, unlike the live-database Stream, may
+// be retained by fn.
+func StreamView(v *meta.View, bp *bpl.Blueprint, fn func(*OIDState) bool) {
+	ix := bp.Index()
+	var st OIDState
+	v.EachLatestOID(func(o *meta.OID) bool {
 		evaluateInto(&st, ix.Lets(o.Key.View), ix, o)
 		return fn(&st)
 	})
@@ -142,7 +165,16 @@ func Stream(db *meta.DB, bp *bpl.Blueprint, fn func(*OIDState) bool) {
 // point-in-time snapshot, and a chain pruned mid-pass is skipped.  The
 // OIDState is reused between calls and its Props field is nil — property
 // maps are never copied or exposed.  Returning false stops the stream.
+// With MVCC enabled the pass pins a read view instead: rows are
+// evaluated lock-free at one LSN, the mid-pass-prune caveat disappears,
+// and a slow consumer never holds any database lock.
 func StreamSorted(db *meta.DB, bp *bpl.Blueprint, fn func(*OIDState) bool) {
+	if db.MVCCEnabled() {
+		v := db.ReadView()
+		defer v.Close()
+		StreamSortedView(v, bp, fn)
+		return
+	}
 	ix := bp.Index()
 	var keys []meta.Key
 	db.EachLatestOID(func(o *meta.OID) bool {
@@ -165,6 +197,35 @@ func StreamSorted(db *meta.DB, bp *bpl.Blueprint, fn func(*OIDState) bool) {
 	}
 }
 
+// StreamSortedView is StreamSorted against an explicit pinned view: the
+// stable key-sorted row order of the wire format, every row consistent at
+// the view's LSN, zero locks held while fn runs (it may block on a slow
+// network writer without stalling anything).  Props aliases the view's
+// immutable version map and may be retained.
+func StreamSortedView(v *meta.View, bp *bpl.Blueprint, fn func(*OIDState) bool) {
+	ix := bp.Index()
+	type row struct {
+		key   meta.Key
+		seq   int64
+		props map[string]string
+	}
+	var rows []row
+	v.EachLatestOID(func(o *meta.OID) bool {
+		rows = append(rows, row{key: o.Key, seq: o.Seq, props: o.Props})
+		return true
+	})
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key.Less(rows[j].key) })
+	var st OIDState
+	var o meta.OID
+	for _, r := range rows {
+		o = meta.OID{Key: r.key, Seq: r.seq, Props: r.props}
+		evaluateInto(&st, ix.Lets(r.key.View), ix, &o)
+		if !fn(&st) {
+			return
+		}
+	}
+}
+
 // Report evaluates the latest version of every version chain and returns
 // the reports sorted by key.  The blueprint is compiled once (and cached on
 // it), and the database is read in a per-shard locked pass without
@@ -173,6 +234,17 @@ func StreamSorted(db *meta.DB, bp *bpl.Blueprint, fn func(*OIDState) bool) {
 func Report(db *meta.DB, bp *bpl.Blueprint) []OIDState {
 	ix := bp.Index()
 	var out []OIDState
+	if db.MVCCEnabled() {
+		// Point-in-time rows from a pinned view; the version maps are
+		// immutable, so the returned states may share them safely.
+		v := db.ReadView()
+		defer v.Close()
+		v.EachLatestOID(func(o *meta.OID) bool {
+			out = append(out, EvaluateWith(ix, o))
+			return true
+		})
+		return sortReport(out)
+	}
 	db.EachLatestOID(func(o *meta.OID) bool {
 		st := EvaluateWith(ix, o)
 		props := make(map[string]string, len(o.Props))
@@ -183,8 +255,13 @@ func Report(db *meta.DB, bp *bpl.Blueprint) []OIDState {
 		out = append(out, st)
 		return true
 	})
-	// Sort a permutation, not the states themselves: OIDState is large and
-	// swapping it through the generic sorter shows up in profiles.
+	return sortReport(out)
+}
+
+// sortReport orders report rows by key through a permutation — OIDState
+// is large and swapping it through the generic sorter shows up in
+// profiles.
+func sortReport(out []OIDState) []OIDState {
 	perm := make([]int, len(out))
 	for i := range perm {
 		perm[i] = i

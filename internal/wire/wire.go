@@ -276,30 +276,40 @@ func ParseBodyLine(line string) (content string, done bool, err error) {
 
 // Quote renders s as a protocol field: bare when it contains no spaces,
 // quotes or control characters, double-quoted with escapes otherwise.
+// The escaping rules live in AppendQuote; keeping one table means the
+// journal's payload encoder can never drift from the other producers.
 func Quote(s string) string {
 	if s != "" && !strings.ContainsAny(s, " \t\"\\\r\n") {
 		return s
 	}
-	var sb strings.Builder
-	sb.WriteByte('"')
+	return string(AppendQuote(nil, s))
+}
+
+// AppendQuote appends the Quote rendering of s to dst — the allocation-free
+// form the journal's hot append path uses to encode record payloads into a
+// reused buffer.
+func AppendQuote(dst []byte, s string) []byte {
+	if s != "" && !strings.ContainsAny(s, " \t\"\\\r\n") {
+		return append(dst, s...)
+	}
+	dst = append(dst, '"')
 	for i := 0; i < len(s); i++ {
 		switch c := s[i]; c {
 		case '"':
-			sb.WriteString(`\"`)
+			dst = append(dst, '\\', '"')
 		case '\\':
-			sb.WriteString(`\\`)
+			dst = append(dst, '\\', '\\')
 		case '\n':
-			sb.WriteString(`\n`)
+			dst = append(dst, '\\', 'n')
 		case '\t':
-			sb.WriteString(`\t`)
+			dst = append(dst, '\\', 't')
 		case '\r':
-			sb.WriteString(`\r`)
+			dst = append(dst, '\\', 'r')
 		default:
-			sb.WriteByte(c)
+			dst = append(dst, c)
 		}
 	}
-	sb.WriteByte('"')
-	return sb.String()
+	return append(dst, '"')
 }
 
 // Tokenize splits a protocol line into fields, honoring double quotes and

@@ -23,6 +23,9 @@ CPU="${BENCH_CPU:-}"
 # added later run in a second process.
 LEGACY="BenchmarkEventThroughput\$|BenchmarkPropagationScaling|BenchmarkStateReport"
 EXTRA="BenchmarkEventThroughputParallel\$|BenchmarkParallelDrain|BenchmarkBatchPost"
+# MVCC reader-latency family (PR 5): report and snapshot latency with
+# paced concurrent writers vs. the idle baseline.
+MVCC="BenchmarkReportUnderWrites|BenchmarkSnapshotUnderLoad"
 OUT="BENCH_${INDEX}.json"
 RAW="BENCH_${INDEX}.txt"
 
@@ -35,6 +38,7 @@ if [ -n "${BENCH_PATTERN:-}" ]; then
 else
   go test -run '^$' -bench "$LEGACY" -benchmem -count "$COUNT" "${CPUFLAGS[@]}" . | tee "$RAW"
   go test -run '^$' -bench "$EXTRA" -benchmem -count "$COUNT" "${CPUFLAGS[@]}" . | tee -a "$RAW"
+  go test -run '^$' -bench "$MVCC" -benchmem -count "$COUNT" "${CPUFLAGS[@]}" . | tee -a "$RAW"
 fi
 
 {
