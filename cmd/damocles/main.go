@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	damocles [-addr host:port] [-blueprint file] [-db file | -journal dir [-fsync]] [-trace]
+//	damocles [-addr host:port] [-blueprint file] [-db file | -journal dir [-fsync]] [-ack n [-ack-timeout d]] [-trace]
 //	damocles -follow primary:port -journal dir [-addr host:port] [-blueprint file]
+//	damocles -promote follower:port
 //
 // With no -blueprint, the EDTC_example policy from section 3.4 of the
 // paper is loaded.  With -db, the meta-database is loaded at startup (if
@@ -20,12 +21,26 @@
 // stable storage at a per-request latency cost.  A journaled server is
 // also a replication primary: followers attach with the FOLLOW verb.
 //
+// With -ack n, a primary additionally holds each write's acknowledgement
+// until n follower watermarks cover its LSN; a write that cannot gather
+// its quorum within -ack-timeout degrades to an explicit "quorum-timeout"
+// error (the write is committed locally, never silently lost).
+//
 // With -follow, the process runs as a replication follower instead: it
 // mirrors the primary's record stream into its own -journal directory
 // (resuming from the persisted applied position across restarts, even
-// after SIGKILL) and serves the read verbs — REPORT, GAP, STATE, LSN —
-// from the replicated database while refusing writes.  See
-// docs/REPLICATION.md.
+// after SIGKILL) and serves the read verbs — REPORT, GAP, STATE, LSN,
+// ROLE — from the replicated database while refusing writes.  A follower
+// also serves FOLLOW from its own journal, so followers chain: a
+// downstream replica may point at any node that shares its history.  The
+// PROMOTE verb (or damocles -promote, which sends it) flips a follower
+// into a full primary under a bumped election term; the deposed primary's
+// divergent tail is then fenced off by term checks.  See
+// docs/REPLICATION.md and docs/FAILOVER.md.
+//
+// On SIGINT/SIGTERM both modes shut down gracefully — the journal is
+// flushed and committed (the follower's applied marker with it) before
+// exit; a second signal force-exits without the clean shutdown.
 package main
 
 import (
@@ -37,6 +52,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/bpl"
 	"repro/internal/cli"
@@ -56,26 +72,70 @@ func main() {
 	jdir := flag.String("journal", "", "journal directory (append-only log + snapshots; excludes -db)")
 	fsync := flag.Bool("fsync", false, "with -journal, fsync every commit (survive OS crashes, not just process crashes)")
 	follow := flag.String("follow", "", "run as a read-only replication follower of this primary address (requires -journal)")
+	promote := flag.String("promote", "", "promote the read-only follower at this address to primary, then exit")
+	ack := flag.Int("ack", 0, "hold each write until this many follower watermarks cover it (0: no quorum gate)")
+	ackTimeout := flag.Duration("ack-timeout", 5*time.Second, "with -ack, degrade to an explicit quorum-timeout error after this long")
 	trace := flag.Bool("trace", false, "log engine trace to stderr")
 	flag.Parse()
 
-	if *follow != "" {
-		if *dbFile != "" {
-			log.Fatal("-follow replicates into -journal; -db does not apply")
-		}
-		if err := runFollower(*addr, *bpFile, *jdir, *follow, *fsync, *trace); err != nil {
+	if *promote != "" {
+		if err := runPromote(*promote); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
-	if err := run(*addr, *bpFile, *dbFile, *jdir, *fsync, *trace); err != nil {
+	if *follow != "" {
+		if *dbFile != "" {
+			log.Fatal("-follow replicates into -journal; -db does not apply")
+		}
+		if err := runFollower(*addr, *bpFile, *jdir, *follow, *fsync, *ack, *ackTimeout, *trace); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := run(*addr, *bpFile, *dbFile, *jdir, *fsync, *ack, *ackTimeout, *trace); err != nil {
 		log.Fatal(err)
 	}
 }
 
+// runPromote is the one-shot failover client: send PROMOTE to a follower
+// and report the new term.
+func runPromote(addr string) error {
+	c, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	term, lsn, err := c.Promote()
+	if err != nil {
+		return err
+	}
+	log.Printf("promoted %s: term %d, bump record at lsn %d", addr, term, lsn)
+	return nil
+}
+
+// watchSignals relays the first SIGINT/SIGTERM on the returned channel
+// and force-exits the process on a second — the escape hatch when a
+// graceful shutdown wedges.
+func watchSignals() <-chan struct{} {
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ch := make(chan struct{})
+	go func() {
+		<-sig
+		close(ch)
+		<-sig
+		log.SetOutput(os.Stderr)
+		log.Print("second signal: exiting without a clean shutdown")
+		os.Exit(1)
+	}()
+	return ch
+}
+
 // runFollower mirrors a primary's journal stream into jdir and serves the
-// read verbs from the replicated database.
-func runFollower(addr, bpFile, jdir, primary string, fsync, trace bool) error {
+// read verbs from the replicated database.  The follower also serves
+// FOLLOW from its own journal (follower chaining) and accepts PROMOTE.
+func runFollower(addr, bpFile, jdir, primary string, fsync bool, ack int, ackTimeout time.Duration, trace bool) error {
 	if jdir == "" {
 		return fmt.Errorf("-follow requires -journal DIR for the replica's local log")
 	}
@@ -97,7 +157,30 @@ func runFollower(addr, bpFile, jdir, primary string, fsync, trace bool) error {
 		fol.Close()
 		return err
 	}
-	srv := server.New(eng, server.WithReadOnly(fol))
+	// The promotion hook is built here because the daemon owns the
+	// replication plumbing: stop the apply loop, bump the term (the
+	// journal's term-bump record is the atomic hinge — a SIGKILL before
+	// its commit restarts as a follower, after it as a primary), and hand
+	// the now-primary journal to the engine and the server.
+	hook := func() (server.Promotion, error) {
+		term, lsn, err := fol.Promote()
+		if err != nil {
+			return server.Promotion{}, err
+		}
+		w := fol.Writer()
+		eng.AttachJournal(w)
+		log.Printf("promoted: term %d, bump record at lsn %d", term, lsn)
+		return server.Promotion{Journal: w, Source: replica.NewSource(w), Term: term, LSN: lsn}, nil
+	}
+	srv := server.New(eng,
+		server.WithReadOnly(fol),
+		// Chaining: serve FOLLOW from the follower's own journal.  The
+		// tailer never passes the local commit watermark, so a downstream
+		// replica can never get ahead of this node's applied position.
+		server.WithFollowSource(replica.NewSource(fol.Writer())),
+		server.WithPromote(hook),
+		// Dormant while read-only; gates writes after a promotion.
+		server.WithQuorum(ack, ackTimeout))
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		fol.Close()
@@ -105,37 +188,63 @@ func runFollower(addr, bpFile, jdir, primary string, fsync, trace bool) error {
 	}
 	log.Printf("replica of %s serving on %s", primary, bound)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	sig := watchSignals()
+	promoted := false
 	select {
 	case <-sig:
 		log.Printf("shutting down")
 	case <-fol.Done():
-		// The loop only stops on its own for a terminal error (gap,
-		// refusal, divergent history); dying loudly beats serving
-		// ever-staler reads that look healthy.
-		err := fol.Err()
-		srv.Close()
-		fol.Close()
-		if err == nil {
-			err = fmt.Errorf("replication loop stopped")
+		if !fol.Promoted() {
+			// The loop only stops on its own for a terminal error (gap,
+			// refusal, divergent history); dying loudly beats serving
+			// ever-staler reads that look healthy.
+			err := fol.Err()
+			srv.Close()
+			fol.Close()
+			if err == nil {
+				err = fmt.Errorf("replication loop stopped")
+			}
+			return fmt.Errorf("replication failed at applied lsn %d: %w", fol.AppliedLSN(), err)
 		}
-		return fmt.Errorf("replication failed at applied lsn %d: %w", fol.AppliedLSN(), err)
+		// Promotion flipped this process into a primary; keep serving
+		// under the new role until a signal arrives.
+		promoted = true
+		<-sig
+		log.Printf("shutting down")
 	}
 	if err := srv.Close(); err != nil {
-		fol.Close()
+		if promoted {
+			fol.Writer().Abort()
+		} else {
+			fol.Close()
+		}
 		return err
+	}
+	if promoted {
+		// The journal moved to the primary plane at promotion; close it
+		// directly (Follower.Close must not touch it any more).
+		jw := fol.Writer()
+		if err := jw.Close(); err != nil {
+			return err
+		}
+		log.Printf("journal closed at lsn %d (term %d): %+v", jw.LastLSN(), jw.Term(), fol.DB().Stats())
+		return nil
 	}
 	if err := fol.Close(); err != nil {
 		return err
 	}
-	log.Printf("follower closed at applied lsn %d: %+v", fol.AppliedLSN(), fol.DB().Stats())
+	st := fol.Stats()
+	log.Printf("follower closed at applied lsn %d (connects=%d bootstraps=%d records=%d acks=%d): %+v",
+		fol.AppliedLSN(), st.Connects, st.Bootstraps, st.Records, st.Acks, fol.DB().Stats())
 	return nil
 }
 
-func run(addr, bpFile, dbFile, jdir string, fsync, trace bool) error {
+func run(addr, bpFile, dbFile, jdir string, fsync bool, ack int, ackTimeout time.Duration, trace bool) error {
 	if dbFile != "" && jdir != "" {
 		return fmt.Errorf("-db and -journal are mutually exclusive persistence modes")
+	}
+	if ack > 0 && jdir == "" {
+		return fmt.Errorf("-ack needs -journal (quorum acks gate journaled writes)")
 	}
 	bp, err := cli.LoadBlueprint(bpFile)
 	if err != nil {
@@ -153,7 +262,7 @@ func run(addr, bpFile, dbFile, jdir string, fsync, trace bool) error {
 		if err != nil {
 			return err
 		}
-		log.Printf("recovered journal %s at lsn %d: %+v", jdir, jw.LastLSN(), db.Stats())
+		log.Printf("recovered journal %s at lsn %d (term %d): %+v", jdir, jw.LastLSN(), jw.Term(), db.Stats())
 	} else if dbFile != "" {
 		f, err := os.Open(dbFile)
 		switch {
@@ -182,7 +291,8 @@ func run(addr, bpFile, dbFile, jdir string, fsync, trace bool) error {
 			server.WithJournal(jw),
 			// A journaled server is a replication primary for free: the
 			// FOLLOW verb tails the same log that makes it durable.
-			server.WithFollowSource(replica.NewSource(jw)))
+			server.WithFollowSource(replica.NewSource(jw)),
+			server.WithQuorum(ack, ackTimeout))
 	}
 	eng, err := engine.New(db, bp, opts...)
 	if err != nil {
@@ -195,9 +305,7 @@ func run(addr, bpFile, dbFile, jdir string, fsync, trace bool) error {
 	}
 	log.Printf("project %s serving on %s", bp.Name, bound)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	<-watchSignals()
 	log.Printf("shutting down")
 	if err := srv.Close(); err != nil {
 		return err

@@ -89,7 +89,10 @@ type Engine struct {
 	drain drainState
 
 	executor exec.Executor
-	journal  *journal.Writer
+	// journal is an atomic pointer because a follower promotion attaches
+	// it to an already-serving engine: Drain and enqueueLocked read it
+	// without coordination with AttachJournal.
+	journal  atomic.Pointer[journal.Writer]
 	tracer   Tracer
 	tracing  bool // false iff tracer is a NopTracer; gates all entry construction
 	clock    func() time.Time
@@ -118,7 +121,14 @@ func WithTracer(t Tracer) Option { return func(e *Engine) { e.tracer = t } }
 // point: Drain commits the journal after the queue settles, so every
 // mutation a drain performed is on disk before PostAndDrain returns.
 // The journal must be the one whose Open recovered e's database.
-func WithJournal(j *journal.Writer) Option { return func(e *Engine) { e.journal = j } }
+func WithJournal(j *journal.Writer) Option { return func(e *Engine) { e.journal.Store(j) } }
+
+// AttachJournal attaches a journal to a live engine — the promotion path,
+// where a read-only follower's engine (journal-less by construction: the
+// replication loop owned the writer) becomes a primary's.  Safe against
+// concurrent Drain and Post; events enqueued after the attach are
+// journaled, earlier ones arrived via replication and already are.
+func (e *Engine) AttachJournal(j *journal.Writer) { e.journal.Store(j) }
 
 // WithClock sets the time source used for $date; tests inject a fixed
 // clock for determinism.
@@ -332,8 +342,8 @@ func (e *Engine) enqueueLocked(ev Event, skipRules bool) {
 	if e.tracing {
 		e.tracer.Trace(TraceEntry{Kind: TraceEnqueue, OID: ev.Target.String(), Event: ev.Name})
 	}
-	if e.journal != nil {
-		e.journal.Record(meta.Record{Seq: e.db.Seq(), Op: meta.OpEvent,
+	if j := e.journal.Load(); j != nil {
+		j.Record(meta.Record{Seq: e.db.Seq(), Op: meta.OpEvent,
 			Args: append([]string{ev.Name, ev.Dir.String(), ev.Target.String(), ev.User}, ev.Args...)})
 	}
 	e.wakeLocked()
@@ -388,11 +398,12 @@ type drainState struct {
 func (e *Engine) Drain() error {
 	for {
 		ran, err := e.drainQueue()
-		if e.journal == nil {
+		j := e.journal.Load()
+		if j == nil {
 			return err
 		}
 		if ran || err != nil {
-			if jerr := e.journal.Commit(); err == nil {
+			if jerr := j.Commit(); err == nil {
 				err = jerr
 			}
 			return err

@@ -6,11 +6,12 @@
 //
 // A journal directory holds two kinds of files:
 //
-//   - journal-<lsn16>.log — log segments.  Each starts with a 5-byte magic
-//     ("DJL1\n", the format version) followed by framed records.  The
-//     16-hex-digit name is the LSN of the first record the segment may
-//     contain; segments are strictly ordered and records within and across
-//     segments carry consecutive LSNs.
+//   - journal-<lsn16>.log — log segments.  Each starts with a header —
+//     "DJL2 <term16>\n" stamping the election term the segment opened in,
+//     or the legacy 5-byte "DJL1\n" magic implying term 1 — followed by
+//     framed records.  The 16-hex-digit name is the LSN of the first
+//     record the segment may contain; segments are strictly ordered and
+//     records within and across segments carry consecutive LSNs.
 //   - snapshot-<lsn16>.json — a whole-database document in the exact
 //     meta.Save JSON format, consistent as of LSN <lsn16>: it contains the
 //     effect of every record with LSN ≤ <lsn16> and nothing newer.
@@ -66,8 +67,69 @@ import (
 	"repro/internal/wire"
 )
 
-// segMagic opens every segment file; the digit is the format version.
+// segMagic opens every v1 segment file; the digit is the format version.
+// v1 segments predate election terms and imply the genesis term 1.
 const segMagic = "DJL1\n"
+
+// Segment header v2: "DJL2 " followed by the segment's opening election
+// term as 16 lower-case hex digits and a newline — fixed width so the
+// header parses (and its torn prefixes classify) without scanning.  The
+// term stamped is the writer's term when the segment was created; a
+// term-bump record may raise it mid-segment, so across a journal the
+// headers are non-decreasing, never decreasing — a regression means
+// doctored or shuffled files and is refused.
+const (
+	segMagicV2   = "DJL2 "
+	segHeaderLen = len(segMagicV2) + 16 + 1
+)
+
+// encodeSegHeader renders the v2 header for a segment opening at term.
+func encodeSegHeader(term int64) []byte {
+	return []byte(fmt.Sprintf("%s%016x\n", segMagicV2, term))
+}
+
+// parseSegHeader decodes the header at the front of a segment, accepting
+// both formats: v2 returns its stamped term, v1 the genesis term 1.  n is
+// the header length consumed.
+func parseSegHeader(data []byte) (term int64, n int, err error) {
+	if len(data) >= segHeaderLen && string(data[:len(segMagicV2)]) == segMagicV2 {
+		if data[segHeaderLen-1] != '\n' {
+			return 0, 0, fmt.Errorf("bad v2 header terminator")
+		}
+		t, perr := strconv.ParseInt(string(data[len(segMagicV2):segHeaderLen-1]), 16, 64)
+		if perr != nil || t < 1 {
+			return 0, 0, fmt.Errorf("bad v2 header term %q", data[len(segMagicV2):segHeaderLen-1])
+		}
+		return t, segHeaderLen, nil
+	}
+	if len(data) >= len(segMagic) && string(data[:len(segMagic)]) == segMagic {
+		return 1, len(segMagic), nil
+	}
+	return 0, 0, fmt.Errorf("bad magic")
+}
+
+// tornSegHeaderPrefix reports whether data — an entire segment shorter
+// than a full header — is a strict prefix of a valid header of either
+// format: the crash hit during segment creation, before any record could
+// have been acknowledged.
+func tornSegHeaderPrefix(data []byte) bool {
+	if len(data) < len(segMagic) {
+		// Shorter than both magics: a prefix of either string qualifies.
+		if string(data) == segMagic[:len(data)] || string(data) == segMagicV2[:len(data)] {
+			return true
+		}
+		return false
+	}
+	if len(data) >= segHeaderLen || string(data[:len(segMagicV2)]) != segMagicV2 {
+		return false
+	}
+	for _, c := range data[len(segMagicV2):] {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
 
 // frameHeader is the per-record framing overhead: payload length + CRC.
 const frameHeader = 8

@@ -19,6 +19,7 @@ type replayState struct {
 	db      *meta.DB
 	lastLSN int64 // newest record applied or covered by the snapshot
 	snapLSN int64 // LSN the loaded snapshot covers (0 when none)
+	hdrTerm int64 // newest segment-header term seen; headers must never regress
 }
 
 // Replay restores a database from a journal directory without modifying
@@ -201,20 +202,25 @@ func replaySegment(st *replayState, path string, start int64, last, repair bool,
 		return true, nil
 	}
 
-	if len(data) < len(segMagic) {
-		if string(data) == segMagic[:len(data)] {
-			// A strict prefix of the magic: the segment was torn at
+	hdrTerm, hdrLen, herr := parseSegHeader(data)
+	if herr != nil {
+		if tornSegHeaderPrefix(data) {
+			// A strict prefix of a valid header: the segment was torn at
 			// creation, before any record could have been acknowledged.
 			_, err := torn(0, "torn segment header")
 			return start, err
 		}
-		return 0, fmt.Errorf("journal: segment %s: bad magic", name)
+		return 0, fmt.Errorf("journal: segment %s: %v", name, herr)
 	}
-	if string(data[:len(segMagic)]) != segMagic {
-		return 0, fmt.Errorf("journal: segment %s: bad magic", name)
+	// Election terms only ever move forward, so segment headers are
+	// non-decreasing along the journal; a regression means shuffled or
+	// doctored files (truncation must not paper over it).
+	if hdrTerm < st.hdrTerm {
+		return 0, fmt.Errorf("journal: segment %s: header term %d regresses below %d", name, hdrTerm, st.hdrTerm)
 	}
+	st.hdrTerm = hdrTerm
 
-	off := len(segMagic)
+	off := hdrLen
 	next := start
 	for off < len(data) {
 		rest := len(data) - off

@@ -63,6 +63,7 @@ type FollowEvent struct {
 type Tailer struct {
 	w        *Writer
 	next     int64 // LSN of the next record to deliver
+	hdrTerm  int64 // newest segment-header term seen; headers must never regress
 	f        *os.File
 	buf      []byte
 	scratch  []byte
@@ -181,10 +182,31 @@ func (t *Tailer) locate() (FollowEvent, bool, error) {
 			}
 			return FollowEvent{}, false, fmt.Errorf("journal: tail: %w", err)
 		}
-		var magic [len(segMagic)]byte
-		if _, err := io.ReadFull(f, magic[:]); err != nil || string(magic[:]) != segMagic {
+		// Read up to a full header; a tiny legacy segment can be shorter
+		// than the v2 header, so a short read is parsed, not refused.
+		var hdr [segHeaderLen]byte
+		n, err := io.ReadFull(f, hdr[:])
+		if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) && err != io.EOF {
 			f.Close()
-			return FollowEvent{}, false, fmt.Errorf("journal: tail: segment %s: bad magic", segmentName(seg))
+			return FollowEvent{}, false, fmt.Errorf("journal: tail: %w", err)
+		}
+		hdrTerm, hdrLen, herr := parseSegHeader(hdr[:n])
+		if herr != nil {
+			f.Close()
+			return FollowEvent{}, false, fmt.Errorf("journal: tail: segment %s: %v", segmentName(seg), herr)
+		}
+		// Terms only move forward along the journal; a header below one
+		// already seen means the directory was shuffled or doctored.
+		if hdrTerm < t.hdrTerm {
+			f.Close()
+			return FollowEvent{}, false, fmt.Errorf(
+				"journal: tail: segment %s: header term %d regresses below %d",
+				segmentName(seg), hdrTerm, t.hdrTerm)
+		}
+		t.hdrTerm = hdrTerm
+		if _, err := f.Seek(int64(hdrLen), io.SeekStart); err != nil {
+			f.Close()
+			return FollowEvent{}, false, fmt.Errorf("journal: tail: %w", err)
 		}
 		t.f = f
 		t.buf = t.buf[:0]

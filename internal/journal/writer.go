@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -83,18 +84,25 @@ type Writer struct {
 	// through a disk flush.
 	flushMu sync.Mutex
 
-	mu      sync.Mutex
-	seg     *os.File
-	segSize int64
-	buf     []byte
-	scratch []byte // reused payload-encode buffer; guarded by mu
-	pending int64  // records buffered since the last flush
-	ioErr   error  // first write failure; sticky, surfaced by Commit
-	closed  bool
+	mu       sync.Mutex
+	seg      *os.File
+	segSize  int64
+	segFirst int64 // first LSN the open segment can contain (its name)
+	buf      []byte
+	scratch  []byte // reused payload-encode buffer; guarded by mu
+	pending  int64  // records buffered since the last flush
+	ioErr    error  // first write failure; sticky, surfaced by Commit
+	closed   bool
 
 	lastLSN   atomic.Int64 // newest assigned record number
 	snapLSN   atomic.Int64 // LSN covered by the newest snapshot
 	sinceSnap atomic.Int64 // records flushed since the newest snapshot
+
+	// term is the writer's election term (≥ 1), mirrored from the
+	// database's term table: recovery seeds it, an applied term-bump
+	// record raises it on a follower, and Promote bumps it.  New segment
+	// headers stamp it; the replication handshake fences on it.
+	term atomic.Int64
 
 	// watermark is the commit watermark: the newest LSN whose frame has
 	// been written through to the operating system.  Everything at or below
@@ -173,6 +181,7 @@ func open(dir string, opt Options, follower bool) (*Writer, *meta.DB, error) {
 	w.lastLSN.Store(st.lastLSN)
 	w.snapLSN.Store(st.snapLSN)
 	w.watermark.Store(st.lastLSN)
+	w.term.Store(st.db.CurrentTerm())
 	w.spillCh = make(chan struct{}, 1)
 	if err := w.openTail(); err != nil {
 		return nil, nil, err
@@ -210,7 +219,7 @@ func (w *Writer) openTail() error {
 		f.Close()
 		return fmt.Errorf("journal: %w", err)
 	}
-	w.seg, w.segSize = f, fi.Size()
+	w.seg, w.segSize, w.segFirst = f, fi.Size(), best
 	if w.segSize < int64(len(segMagic)) {
 		// Torn at creation (replay truncated it to zero): restart the
 		// segment header before any record lands in it.
@@ -218,11 +227,12 @@ func (w *Writer) openTail() error {
 			f.Close()
 			return fmt.Errorf("journal: %w", err)
 		}
-		if _, err := f.WriteString(segMagic); err != nil {
+		hdr := encodeSegHeader(w.term.Load())
+		if _, err := f.Write(hdr); err != nil {
 			f.Close()
 			return fmt.Errorf("journal: %w", err)
 		}
-		w.segSize = int64(len(segMagic))
+		w.segSize = int64(len(hdr))
 	}
 	return nil
 }
@@ -241,11 +251,12 @@ func (w *Writer) newSegmentLocked() error {
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
-	if _, err := f.WriteString(segMagic); err != nil {
+	hdr := encodeSegHeader(w.term.Load())
+	if _, err := f.Write(hdr); err != nil {
 		f.Close()
 		return fmt.Errorf("journal: %w", err)
 	}
-	w.seg, w.segSize = f, int64(len(segMagic))
+	w.seg, w.segSize, w.segFirst = f, int64(len(hdr)), w.lastLSN.Load()+1
 	return nil
 }
 
@@ -263,6 +274,56 @@ func (w *Writer) SnapshotLSN() int64 { return w.snapLSN.Load() }
 // to and including it — nothing above the watermark is offered to a
 // follower, because a primary crash could still lose it.
 func (w *Writer) CommittedLSN() int64 { return w.watermark.Load() }
+
+// Term returns the writer's current election term (≥ 1; 1 is the genesis
+// term of a history that never lived through a promotion).
+func (w *Writer) Term() int64 { return w.term.Load() }
+
+// ValidateFollowPosition decides whether a follower resuming at position
+// from with history ending in term fromTerm may be served from this
+// journal — the fencing half of the FOLLOW handshake.  fromTerm 0 marks a
+// legacy handshake that carries no term and skips the term checks.
+//
+// The rules, term checks first because they carry the sharper diagnosis:
+// a follower term NEWER than ours means this node is the deposed one —
+// serving would feed a stale lineage to a replica that already moved on.
+// A follower term OLDER than ours is fine only below the promotion point
+// that ended it: the oldest term-bump past fromTerm bounds the shared
+// history, and a follower claiming records at or beyond that bound holds
+// a divergent tail written by a deposed primary (a revived old primary is
+// the canonical case — its raw position may even exceed our watermark) —
+// refused loudly, never resumed over.  Finally, a position ahead of the
+// commit watermark within the same (or a legacy, term-less) lineage means
+// divergent histories outright: journal reset or wrong primary.
+func (w *Writer) ValidateFollowPosition(from, fromTerm int64) error {
+	if fromTerm > 0 {
+		myTerm := w.term.Load()
+		switch {
+		case fromTerm > myTerm:
+			return fmt.Errorf("journal: follower at term %d is ahead of this node's term %d — this primary is deposed", fromTerm, myTerm)
+		case fromTerm < myTerm:
+			bound, ok := w.db.FirstTermStartAfter(fromTerm)
+			if !ok {
+				// myTerm > fromTerm guarantees a bump past fromTerm
+				// happened; a missing table entry means lost term history.
+				// Nothing but a cold bootstrap can be validated against it.
+				if from == 0 {
+					return nil
+				}
+				return fmt.Errorf("journal: no term history past term %d to validate follower position %d against", fromTerm, from)
+			}
+			if from >= bound {
+				return fmt.Errorf("journal: follower tail at lsn %d term %d reaches past this lineage's promotion point (term bump at lsn %d) — divergent tail, refusing to serve", from, fromTerm, bound)
+			}
+			// Below the bound the histories are shared; the watermark
+			// check below still applies while the bump is uncommitted.
+		}
+	}
+	if wm := w.CommittedLSN(); from > wm {
+		return fmt.Errorf("journal: follower position %d is ahead of the primary's committed lsn %d — journal reset or wrong primary", from, wm)
+	}
+	return nil
+}
 
 // advanceWatermark publishes a new commit watermark and wakes every tailer
 // blocked in waitCommitted.  Callers hold w.mu.
@@ -390,7 +451,11 @@ func (w *Writer) Commit() error {
 	if w.ioErr == nil && syncOK {
 		w.advanceWatermark(lsn)
 	}
-	if w.ioErr == nil && w.seg != nil && w.segSize >= w.opt.SegmentBytes {
+	// Rotate only when the segment actually holds a record: a fresh
+	// segment whose header alone exceeds a tiny SegmentBytes would
+	// otherwise re-rotate on an empty commit into the same name (segments
+	// are named by first containable LSN) and trip the O_EXCL create.
+	if w.ioErr == nil && w.seg != nil && w.segSize >= w.opt.SegmentBytes && w.lastLSN.Load()+1 > w.segFirst {
 		if err := w.newSegmentLocked(); err != nil {
 			w.ioErr = err
 		}
@@ -439,6 +504,12 @@ func (w *Writer) ApplyAppend(r meta.Record) error {
 	}
 	if err := w.db.ApplyRecord(r); err != nil {
 		return err
+	}
+	if r.Op == meta.OpTerm {
+		// The primary promoted somewhere upstream of us: adopt its term so
+		// our next reconnect handshakes with it and our next segment header
+		// stamps it.  ApplyRecord already validated monotonicity.
+		w.term.Store(w.db.CurrentTerm())
 	}
 	w.mu.Lock()
 	w.lastLSN.Store(r.LSN)
@@ -496,6 +567,10 @@ func (w *Writer) BootstrapSnapshot(lsn int64, doc []byte) error {
 		return err
 	}
 
+	// The document may carry term bumps this stale follower never saw as
+	// records; adopt them before the fresh segment below stamps its header.
+	w.term.Store(restored.CurrentTerm())
+
 	w.mu.Lock()
 	w.buf = w.buf[:0]
 	w.pending = 0
@@ -527,6 +602,51 @@ func (w *Writer) BootstrapSnapshot(lsn int64, doc []byte) error {
 	}
 	w.db.FloorAppliedLSN(lsn)
 	return nil
+}
+
+// Promote atomically flips a follower-mode writer into a primary: it
+// bumps the election term, applies and appends the term-bump record that
+// opens the new term, commits it, and attaches the writer as the
+// database's recorder so local mutations journal from here on.  The
+// caller must have stopped the replication apply loop first (no
+// ApplyAppend may race this); applyMu additionally serializes against a
+// snapshot pinning its LSN.
+//
+// The commit of the bump record is the atomicity hinge: a crash before it
+// recovers as a follower still in the old term (the bump was never
+// acknowledged and is truncated as a torn tail at worst), a crash after
+// it recovers with the new term in the database's term table — exactly
+// one of {still-follower, fully-primary}, never a half-promoted state.
+// The returned term and LSN identify the new lineage.
+func (w *Writer) Promote() (term, lsn int64, err error) {
+	w.applyMu.Lock()
+	defer w.applyMu.Unlock()
+	if !w.follower {
+		return 0, 0, fmt.Errorf("journal: Promote on a primary-mode writer")
+	}
+	newTerm := w.term.Load() + 1
+	rec := meta.Record{
+		LSN:  w.lastLSN.Load() + 1,
+		Seq:  w.db.Seq(),
+		Op:   meta.OpTerm,
+		Args: []string{strconv.FormatInt(newTerm, 10)},
+	}
+	if err := w.db.ApplyRecord(rec); err != nil {
+		return 0, 0, fmt.Errorf("journal: promote: %w", err)
+	}
+	w.mu.Lock()
+	w.lastLSN.Store(rec.LSN)
+	w.scratch = appendPayload(w.scratch[:0], rec)
+	w.buf = appendFrame(w.buf, w.scratch)
+	w.pending++
+	w.mu.Unlock()
+	w.term.Store(newTerm)
+	if err := w.Commit(); err != nil {
+		return 0, 0, fmt.Errorf("journal: promote: %w", err)
+	}
+	w.follower = false
+	w.db.SetRecorder(w)
+	return newTerm, rec.LSN, nil
 }
 
 // Abort closes the writer without flushing the in-memory buffer — the

@@ -68,6 +68,12 @@ type DB struct {
 	// never replayed records.
 	appliedLSN atomic.Int64
 
+	// terms is the election-term table (term.go): one TermStart per
+	// promotion this database's history has lived through, copy-on-write
+	// behind the pointer so handshake validation and Save read it without
+	// locks.  nil means the genesis term 1.
+	terms atomic.Pointer[termTable]
+
 	// ctl guards the control plane: configurations and workspaces.
 	ctl        sync.RWMutex
 	configs    map[string]*Configuration

@@ -19,6 +19,28 @@ type dbJSON struct {
 	Links      []linkJSON      `json:"links"`
 	Configs    []configJSON    `json:"configurations,omitempty"`
 	Workspaces []workspaceJSON `json:"workspaces,omitempty"`
+
+	// Terms is the election-term history (term.go), one entry per
+	// promotion, ascending.  omitempty keeps documents from databases that
+	// never lived through a promotion byte-identical to the pre-term
+	// format.
+	Terms []termJSON `json:"terms,omitempty"`
+}
+
+type termJSON struct {
+	Term int64 `json:"term"`
+	LSN  int64 `json:"lsn"`
+}
+
+func termsToJSON(starts []TermStart) []termJSON {
+	if len(starts) == 0 {
+		return nil
+	}
+	out := make([]termJSON, len(starts))
+	for i, ts := range starts {
+		out[i] = termJSON{Term: ts.Term, LSN: ts.LSN}
+	}
+	return out
 }
 
 type oidJSON struct {
@@ -131,6 +153,7 @@ func (db *DB) SnapshotTo(w io.Writer, capture func()) error {
 		}
 		doc.Workspaces = append(doc.Workspaces, wj)
 	}
+	doc.Terms = termsToJSON(db.TermStarts())
 	if capture != nil {
 		capture()
 	}
@@ -214,6 +237,10 @@ func (v *View) SaveTo(w io.Writer) error {
 		}
 		doc.Workspaces = append(doc.Workspaces, wj)
 	})
+	// The term table is LSN-keyed rather than versioned: filtering it by
+	// the view's pin reproduces exactly what replaying up to that LSN
+	// would have accumulated.
+	doc.Terms = termsToJSON(v.db.termsUpTo(v.lsn))
 	return encodeDoc(w, &doc)
 }
 
@@ -350,6 +377,16 @@ func LoadShards(r io.Reader, shards int) (*DB, error) {
 		db.workspaces[ws.Name] = ws
 	}
 
+	if len(doc.Terms) > 0 {
+		starts := make([]TermStart, len(doc.Terms))
+		for i, tj := range doc.Terms {
+			starts[i] = TermStart{Term: tj.Term, LSN: tj.LSN}
+		}
+		if err := db.setTermStarts(starts); err != nil {
+			return nil, fmt.Errorf("meta: load: %w", err)
+		}
+	}
+
 	db.seq.Store(doc.Seq)
 	db.nextLink.Store(doc.NextLink)
 	return db, nil
@@ -383,6 +420,11 @@ func (db *DB) RestoreFrom(src *DB, lsn int64) error {
 	db.workspaces = src.workspaces
 	db.seq.Store(src.seq.Load())
 	db.nextLink.Store(src.nextLink.Load())
+	// Adopt the source's term history wholesale: a bootstrap document from
+	// a post-promotion primary carries bumps the stale follower never saw,
+	// and forgetting them would leave this replica unable to fence the
+	// deposed primary's tail.
+	db.storeTerms(src.loadTerms())
 	if db.mvcc.on.Load() {
 		db.genesisLocked(lsn)
 	}

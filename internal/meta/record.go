@@ -44,6 +44,7 @@ const (
 	OpWorkspace  = "workspace"  // register a workspace
 	OpBind       = "bind"       // bind an OID path inside a workspace
 	OpEvent      = "event"      // audit: a design event entered the engine
+	OpTerm       = "term"       // election-term bump: a follower was promoted to primary
 )
 
 // Record is one replayable mutation (or, for OpEvent, one audit entry).
@@ -423,6 +424,23 @@ func (db *DB) applyRecord(r Record) error {
 		// Audit only: the engine's event stream, not a database mutation.
 		// No version is stamped either — a view at an event record's LSN
 		// equals the view at the last mutation before it.
+
+	case OpTerm:
+		// Args: new term.  Opens a new election term at this record's LSN.
+		// The table is LSN-keyed rather than MVCC-versioned: a view filters
+		// it by its pinned LSN, so no version stamp is needed.  A bump that
+		// does not move the term forward is a record from a forked history
+		// — exactly what term fencing exists to catch — and fails loudly.
+		if len(r.Args) != 1 {
+			return fail(fmt.Errorf("want 1 arg, got %d", len(r.Args)))
+		}
+		term, err := strconv.ParseInt(r.Args[0], 10, 64)
+		if err != nil {
+			return fail(err)
+		}
+		if err := db.applyTermBump(term, r.LSN); err != nil {
+			return fail(err)
+		}
 
 	default:
 		return fail(fmt.Errorf("unknown op"))

@@ -133,10 +133,12 @@ func TestFollowerIgnoresTornRecordAtStreamBoundary(t *testing.T) {
 			t.Fatalf("timed out waiting for %q", req)
 		}
 	}
-	want("FOLLOW 0")
+	// The follower announces its history's term (genesis 1) with every
+	// FOLLOW so the primary can fence divergent tails.
+	want("FOLLOW 0 1")
 	// The reconnect must resume from the persisted position — record 3
 	// (torn) not applied, records 1-2 kept.
-	want("FOLLOW 2")
+	want("FOLLOW 2 1")
 
 	if _, err := fol.WaitApplied(4, 10*time.Second); err != nil {
 		t.Fatalf("follower never caught up: %v (terminal: %v)", err, fol.Err())

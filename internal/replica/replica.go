@@ -22,6 +22,7 @@ package replica
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -48,18 +49,19 @@ func NewSource(w *journal.Writer) *Source { return &Source{w: w} }
 // bootstrap, then records and caught-up watermarks, encoded as wire
 // follow-frame lines, until stop closes (clean shutdown, nil return) or
 // send fails (the follower hung up; its error is returned).
-func (s *Source) ServeFollow(from int64, stop <-chan struct{}, send func(line string) error) error {
-	// A follower claiming a position beyond everything this primary has
-	// committed can only mean divergent histories — the primary's journal
-	// was reset or the follower is pointed at the wrong primary.  Waiting
-	// for the counter to catch up would eventually ship records from the
-	// NEW history under LSNs the follower already holds from the OLD one,
-	// which its duplicate-skip would paper over into silent divergence.
-	// Refuse loudly instead.  The watermark only ever grows, so a race
+func (s *Source) ServeFollow(from, fromTerm int64, stop <-chan struct{}, send func(line string) error) error {
+	// A follower whose position or term does not lie on this journal's
+	// lineage must be refused loudly: streaming to it would eventually
+	// ship records from the NEW history under LSNs the follower already
+	// holds from the OLD one, which its duplicate-skip would paper over
+	// into silent divergence.  Two cases: a position beyond everything
+	// committed here (journal reset or wrong primary), and — with terms —
+	// a deposed primary's tail reaching past this lineage's promotion
+	// point.  The watermark and the term table only ever grow, so a race
 	// with concurrent commits can only make a legitimate position look
 	// more legitimate, never a divergent one look acceptable.
-	if wm := s.w.CommittedLSN(); from > wm {
-		return fmt.Errorf("replica: follower position %d is ahead of the primary's committed lsn %d — journal reset or wrong primary", from, wm)
+	if err := s.w.ValidateFollowPosition(from, fromTerm); err != nil {
+		return fmt.Errorf("replica: %w", err)
 	}
 	t := s.w.NewTailer(from)
 	defer t.Close()
@@ -104,12 +106,14 @@ const commitEvery = 256
 // left too far behind) as needed.  It implements server.ReadFollower, so
 // a read-only server over DB() answers read-your-LSN queries.
 type Follower struct {
-	dir  string
-	addr string
-	w    *journal.Writer
-	db   *meta.DB
+	dir        string
+	w          *journal.Writer
+	db         *meta.DB
+	backoffMin time.Duration
+	backoffMax time.Duration
 
 	mu          sync.Mutex
+	addr        string // current primary; Repoint swaps it on a live loop
 	applied     int64
 	watermark   int64 // newest caught-up watermark seen from the primary
 	progress    bool  // frames applied since the last reconnect
@@ -118,10 +122,47 @@ type Follower struct {
 	err         error // terminal replication error; nil while healthy
 	advCh       chan struct{}
 
+	stats struct {
+		connects   atomic.Int64 // successful dials
+		failures   atomic.Int64 // failed dials and broken streams
+		bootstraps atomic.Int64 // snapshot re-bases
+		records    atomic.Int64 // records applied
+		acks       atomic.Int64 // ACK lines sent upstream
+	}
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	aborting atomic.Bool
+	promoted atomic.Bool
 	done     chan struct{}
+}
+
+// FollowerStats is a point-in-time copy of the replication loop's
+// counters — the observability surface for reconnect churn.
+type FollowerStats struct {
+	Connects   int64 // successful dials since Start
+	Failures   int64 // failed dials and broken streams
+	Bootstraps int64 // snapshot re-bases (left behind by compaction)
+	Records    int64 // records applied
+	Acks       int64 // ACK progress lines sent upstream
+}
+
+// Option tunes a Follower.
+type Option func(*Follower)
+
+// WithBackoff bounds the reconnect backoff: the first retry waits min,
+// each failure doubles the wait up to max, and every wait is jittered
+// ±25% so a fleet of followers orphaned by the same primary death does
+// not reconnect in lockstep.  The defaults are 50ms and 1s.
+func WithBackoff(min, max time.Duration) Option {
+	return func(f *Follower) {
+		if min > 0 {
+			f.backoffMin = min
+		}
+		if max >= f.backoffMin {
+			f.backoffMax = max
+		}
+	}
 }
 
 // Start opens (or resumes) the follower's local journal in dir and begins
@@ -129,20 +170,25 @@ type Follower struct {
 // is live immediately — recovered to the persisted applied position, then
 // mutated in place as records stream in.  opt.Shards should match across
 // restarts, like any journal recovery.
-func Start(dir, addr string, opt journal.Options) (*Follower, error) {
+func Start(dir, addr string, opt journal.Options, opts ...Option) (*Follower, error) {
 	w, db, err := journal.OpenFollower(dir, opt)
 	if err != nil {
 		return nil, err
 	}
 	f := &Follower{
-		dir:     dir,
-		addr:    addr,
-		w:       w,
-		db:      db,
-		applied: w.LastLSN(),
-		advCh:   make(chan struct{}),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		dir:        dir,
+		addr:       addr,
+		w:          w,
+		db:         db,
+		backoffMin: 50 * time.Millisecond,
+		backoffMax: time.Second,
+		applied:    w.LastLSN(),
+		advCh:      make(chan struct{}),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(f)
 	}
 	go f.run()
 	return f, nil
@@ -167,6 +213,77 @@ func (f *Follower) Watermark() int64 {
 	defer f.mu.Unlock()
 	return f.watermark
 }
+
+// Stats returns a copy of the replication loop's counters.
+func (f *Follower) Stats() FollowerStats {
+	return FollowerStats{
+		Connects:   f.stats.connects.Load(),
+		Failures:   f.stats.failures.Load(),
+		Bootstraps: f.stats.bootstraps.Load(),
+		Records:    f.stats.records.Load(),
+		Acks:       f.stats.acks.Load(),
+	}
+}
+
+// Writer exposes the follower's own journal writer — the chaining handle:
+// a Source over it lets this follower serve FOLLOW to downstream
+// followers, relaying the watermark only up to its own committed
+// position, and after Promote it is the new primary's journal.
+func (f *Follower) Writer() *journal.Writer { return f.w }
+
+// Term returns the election term of the follower's replicated history.
+func (f *Follower) Term() int64 { return f.w.Term() }
+
+// Repoint re-targets the follower at a different primary: the current
+// stream (if any) is hung up, and the reconnect loop dials the new
+// address.  Duplicate records across the switch are skipped, a gap is a
+// terminal error, and a divergent-lineage upstream is refused by term
+// fencing — re-pointing is safe exactly when the new upstream shares the
+// follower's history.
+func (f *Follower) Repoint(addr string) {
+	f.mu.Lock()
+	f.addr = addr
+	c := f.conn
+	f.mu.Unlock()
+	if c != nil {
+		c.Hangup()
+	}
+}
+
+// Promote flips the follower into a primary: the replication loop is
+// stopped and drained (its tail committed), the term is bumped with a
+// journal record, and the journal writer switches to primary mode —
+// ready for an engine (AttachJournal) and a Source over Writer().  After
+// a successful Promote the replication loop is done (Done() is closed
+// with Promoted() true, Err() nil) and Close/Abort must not be called:
+// the journal now belongs to the primary plane.
+//
+// The hinge of crash atomicity is the term-bump record's commit: a crash
+// before it leaves a valid follower journal (still a follower), a crash
+// after it a valid primary journal at the new term (recovery seeds the
+// term from the record).  There is no intermediate state on disk.
+func (f *Follower) Promote() (term, lsn int64, err error) {
+	f.promoted.Store(true)
+	f.halt()
+	if ferr := f.Err(); ferr != nil {
+		f.promoted.Store(false)
+		return 0, 0, fmt.Errorf("replica: promote: replication failed terminally: %w", ferr)
+	}
+	term, lsn, err = f.w.Promote()
+	if err != nil {
+		f.promoted.Store(false)
+		return 0, 0, err
+	}
+	f.mu.Lock()
+	f.applied = lsn
+	f.wakeLocked()
+	f.mu.Unlock()
+	return term, lsn, nil
+}
+
+// Promoted reports whether Promote has stopped this follower; daemons
+// watching Done use it to tell a promotion from a terminal failure.
+func (f *Follower) Promoted() bool { return f.promoted.Load() }
 
 // Done is closed when the replication loop has stopped — after Close or
 // Abort, or on a terminal error (see Err).  Daemons select on it so a
@@ -247,20 +364,25 @@ func (t terminalError) Error() string { return t.err.Error() }
 
 func (f *Follower) run() {
 	defer close(f.done)
-	delay := 50 * time.Millisecond
+	delay := f.backoffMin
 	for {
 		select {
 		case <-f.stop:
 			return
 		default:
 		}
-		c, err := server.Dial(f.addr)
+		f.mu.Lock()
+		addr := f.addr
+		f.mu.Unlock()
+		c, err := server.Dial(addr)
 		if err != nil {
+			f.stats.failures.Add(1)
 			if !f.pause(&delay) {
 				return
 			}
 			continue
 		}
+		f.stats.connects.Add(1)
 		f.mu.Lock()
 		f.conn = c
 		f.progress = false
@@ -275,7 +397,10 @@ func (f *Follower) run() {
 		default:
 		}
 		f.mu.Unlock()
-		err = c.Follow(f.AppliedLSN(), f.apply)
+		err = c.FollowFrom(f.AppliedLSN(), f.w.Term(), f.apply)
+		if err != nil {
+			f.stats.failures.Add(1)
+		}
 		c.Hangup()
 		f.mu.Lock()
 		f.conn = nil
@@ -310,7 +435,7 @@ func (f *Follower) run() {
 		default:
 		}
 		if madeProgress {
-			delay = 50 * time.Millisecond
+			delay = f.backoffMin
 		}
 		if !f.pause(&delay) {
 			return
@@ -327,19 +452,43 @@ func (f *Follower) wakeLocked() {
 	f.advCh = make(chan struct{})
 }
 
-// pause sleeps the current backoff (doubling it, capped at a second) and
-// reports whether the loop should continue.
+// pause sleeps the current backoff — jittered ±25% so orphaned followers
+// decorrelate — doubles it up to the configured cap, and reports whether
+// the loop should continue.
 func (f *Follower) pause(delay *time.Duration) bool {
-	t := time.NewTimer(*delay)
+	d := *delay
+	if j := int64(d / 4); j > 0 {
+		d += time.Duration(rand.Int64N(2*j) - j)
+	}
+	t := time.NewTimer(d)
 	defer t.Stop()
-	if *delay < time.Second {
+	if *delay < f.backoffMax {
 		*delay *= 2
+		if *delay > f.backoffMax {
+			*delay = f.backoffMax
+		}
 	}
 	select {
 	case <-f.stop:
 		return false
 	case <-t.C:
 		return true
+	}
+}
+
+// sendAck reports the follower's applied-and-committed position upstream
+// on the live stream.  Called at every commit point; a send failure is
+// ignored here — the broken transport surfaces on the stream's read side
+// and triggers the normal reconnect.
+func (f *Follower) sendAck(lsn int64) {
+	f.mu.Lock()
+	c := f.conn
+	f.mu.Unlock()
+	if c == nil {
+		return
+	}
+	if c.SendAck(lsn) == nil {
+		f.stats.acks.Add(1)
 	}
 }
 
@@ -352,6 +501,7 @@ func (f *Follower) apply(fr server.FollowFrame) error {
 		if err := f.w.ApplyAppend(*fr.Rec); err != nil {
 			return terminalError{err}
 		}
+		f.stats.records.Add(1)
 		f.mu.Lock()
 		f.applied = fr.Rec.LSN
 		f.progress = true
@@ -366,18 +516,21 @@ func (f *Follower) apply(fr server.FollowFrame) error {
 			if err := f.w.Commit(); err != nil {
 				return terminalError{err}
 			}
+			f.sendAck(fr.Rec.LSN)
 		}
 
 	case fr.Snapshot != nil:
 		if err := f.w.BootstrapSnapshot(fr.SnapLSN, fr.Snapshot); err != nil {
 			return terminalError{err}
 		}
+		f.stats.bootstraps.Add(1)
 		f.mu.Lock()
 		f.applied = fr.SnapLSN
 		f.progress = true
 		f.sinceCommit = 0
 		f.wakeLocked()
 		f.mu.Unlock()
+		f.sendAck(fr.SnapLSN)
 
 	case fr.Mark:
 		// Idle point: the primary has nothing more committed.  Make the
@@ -387,9 +540,11 @@ func (f *Follower) apply(fr server.FollowFrame) error {
 		}
 		f.mu.Lock()
 		f.watermark = fr.Watermark
+		applied := f.applied
 		f.sinceCommit = 0
 		f.wakeLocked()
 		f.mu.Unlock()
+		f.sendAck(applied)
 	}
 	return nil
 }

@@ -344,7 +344,20 @@ var ErrFollowStream = errors.New("follow stream failed")
 // parse as a different, valid record.  The connection cannot be reused
 // for request/response traffic afterwards.
 func (c *Client) Follow(after int64, fn func(FollowFrame) error) error {
-	if _, err := c.w.WriteString(wire.Request{Verb: wire.VerbFollow, Args: []string{strconv.FormatInt(after, 10)}}.Encode() + "\n"); err != nil {
+	return c.FollowFrom(after, 0, fn)
+}
+
+// FollowFrom is Follow carrying the follower's election term at its
+// resume position, letting the primary fence a divergent tail: a
+// follower whose history extends past the primary lineage's promotion
+// point is refused (ErrFollowStream) instead of silently diverging.
+// term 0 omits the argument — the legacy, unfenced form.
+func (c *Client) FollowFrom(after, term int64, fn func(FollowFrame) error) error {
+	args := []string{strconv.FormatInt(after, 10)}
+	if term > 0 {
+		args = append(args, strconv.FormatInt(term, 10))
+	}
+	if _, err := c.w.WriteString(wire.Request{Verb: wire.VerbFollow, Args: args}.Encode() + "\n"); err != nil {
 		return fmt.Errorf("client: send: %w", err)
 	}
 	if err := c.w.Flush(); err != nil {
@@ -438,6 +451,89 @@ func (c *Client) Follow(after int64, fn func(FollowFrame) error) error {
 			return err
 		}
 	}
+}
+
+// SendAck reports an applied-and-committed position upstream on a
+// connection that is inside Follow: the one line a follower may write on
+// the stream, feeding the primary's quorum-ack accounting.  It must only
+// be called from within the Follow frame callback (the same goroutine
+// owns both directions there).
+func (c *Client) SendAck(lsn int64) error {
+	if _, err := c.w.WriteString(wire.AckPrefix + " " + strconv.FormatInt(lsn, 10) + "\n"); err != nil {
+		return fmt.Errorf("client: ack: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("client: ack: %w", err)
+	}
+	return nil
+}
+
+// RoleInfo is the decoded ROLE response: the server's replication role
+// and standing in one snapshot.
+type RoleInfo struct {
+	Role      string // "primary" or "follower"
+	Term      int64
+	Applied   int64
+	Watermark int64
+}
+
+// Role queries the server's replication role, election term, applied LSN
+// and commit watermark.
+func (c *Client) Role() (RoleInfo, error) {
+	resp, err := c.do(wire.VerbRole)
+	if err != nil {
+		return RoleInfo{}, err
+	}
+	info := RoleInfo{}
+	for _, f := range strings.Fields(resp.Detail) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return RoleInfo{}, fmt.Errorf("client: ROLE: bad field %q in %q", f, resp.Detail)
+		}
+		switch k {
+		case "role":
+			info.Role = v
+			continue
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return RoleInfo{}, fmt.Errorf("client: ROLE: bad field %q in %q", f, resp.Detail)
+		}
+		switch k {
+		case "term":
+			info.Term = n
+		case "applied":
+			info.Applied = n
+		case "watermark":
+			info.Watermark = n
+		}
+	}
+	if info.Role == "" || info.Term == 0 {
+		return RoleInfo{}, fmt.Errorf("client: ROLE: bad response %q", resp.Detail)
+	}
+	return info, nil
+}
+
+// Promote asks a read-only follower server to become a primary, and
+// returns the new election term and the LSN of its term-bump record.
+func (c *Client) Promote() (term, lsn int64, err error) {
+	resp, err := c.do(wire.VerbPromote)
+	if err != nil {
+		return 0, 0, err
+	}
+	fields, err := wire.Tokenize(resp.Detail)
+	if err != nil || len(fields) != 5 || fields[0] != "promoted" || fields[1] != "term" || fields[3] != "lsn" {
+		return 0, 0, fmt.Errorf("client: PROMOTE: bad response %q", resp.Detail)
+	}
+	term, err = strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("client: PROMOTE: bad response %q", resp.Detail)
+	}
+	lsn, err = strconv.ParseInt(fields[4], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("client: PROMOTE: bad response %q", resp.Detail)
+	}
+	return term, lsn, nil
 }
 
 // Snapshot stores a configuration server-side; root "*" captures the whole

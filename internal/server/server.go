@@ -9,7 +9,6 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"strconv"
 	"strings"
@@ -27,16 +26,27 @@ import (
 
 // Server is a running project server.
 type Server struct {
-	eng      *engine.Engine
+	eng *engine.Engine
+
+	// journal/follow/readOnly define the server's replication role.  They
+	// are mu-guarded (not construction-constant) because PROMOTE flips all
+	// three at once on a live server: a read-only follower becomes a
+	// journaled primary without restarting its listener.
+	mu       sync.Mutex
 	journal  *journal.Writer
 	follow   FollowSource
 	readOnly ReadFollower
-
-	mu       sync.Mutex
+	promote  func() (Promotion, error)
 	listener net.Listener
 	conns    map[net.Conn]bool
 	closed   bool
 	wg       sync.WaitGroup
+
+	// promoteMu serializes PROMOTE requests end to end, so a second
+	// request observes the flipped role instead of racing the hook.
+	promoteMu sync.Mutex
+
+	quorum *quorum
 
 	async    bool
 	wake     chan struct{}
@@ -47,18 +57,36 @@ type Server struct {
 // FollowSource produces the primary-side replication stream for one
 // follower: ServeFollow emits follow-stream body lines (the wire package's
 // snapshot/record/watermark framing, without the "|" prefix) through send,
-// in order, until stop closes or send fails.  Implemented by
-// replica.Source over a journal tail.
+// in order, until stop closes or send fails.  fromTerm is the election
+// term of the follower's history at its resume position (0 when the
+// follower predates terms); the source refuses positions from a divergent
+// lineage.  Implemented by replica.Source over a journal tail.
 type FollowSource interface {
-	ServeFollow(from int64, stop <-chan struct{}, send func(line string) error) error
+	ServeFollow(from, fromTerm int64, stop <-chan struct{}, send func(line string) error) error
 }
 
 // ReadFollower is the follower-side applier a read-only server consults
-// for its applied position and for read-your-LSN queries (implemented by
-// replica.Follower).
+// for its applied position, its replication standing (ROLE), and for
+// read-your-LSN queries (implemented by replica.Follower).
 type ReadFollower interface {
 	AppliedLSN() int64
+	Watermark() int64
+	Term() int64
 	WaitApplied(lsn int64, timeout time.Duration) (int64, error)
+}
+
+// Promotion is what a promotion hook hands back to the server: the
+// journal that now accepts local writes (the follower's own, flipped to
+// primary mode), the follow source that serves it onward, and the new
+// term.  The hook — built by the daemon, which owns the replication
+// plumbing the server cannot import — must have already stopped the
+// apply loop, written the term-bump record, and attached the journal to
+// the engine before returning.
+type Promotion struct {
+	Journal *journal.Writer
+	Source  FollowSource
+	Term    int64
+	LSN     int64
 }
 
 // Option configures a Server.
@@ -94,6 +122,32 @@ func WithFollowSource(src FollowSource) Option { return func(s *Server) { s.foll
 // on f until the replica has applied at least that position, giving
 // clients read-your-writes across the primary/follower boundary.
 func WithReadOnly(f ReadFollower) Option { return func(s *Server) { s.readOnly = f } }
+
+// WithPromote arms the PROMOTE verb on a read-only follower server: the
+// hook performs the actual role flip (stop replicating, bump the term,
+// re-wire the engine) and the server then atomically swaps its own role
+// state to primary.  Without it PROMOTE is refused.
+func WithPromote(hook func() (Promotion, error)) Option {
+	return func(s *Server) { s.promote = hook }
+}
+
+// WithQuorum holds each write's acknowledgement until n follower
+// watermarks cover its LSN, as reported by ACK lines on their FOLLOW
+// connections.  A write that cannot gather its quorum within timeout
+// (default 5s) degrades to an explicit "quorum-timeout" error — the write
+// is committed locally and will replicate when followers return; it is
+// never silently lost, and never silently under-replicated.
+func WithQuorum(n int, timeout time.Duration) Option {
+	return func(s *Server) {
+		if n <= 0 {
+			return
+		}
+		if timeout <= 0 {
+			timeout = 5 * time.Second
+		}
+		s.quorum = newQuorum(n, timeout)
+	}
+}
 
 // New creates a server around an engine.
 func New(eng *engine.Engine, opts ...Option) *Server {
@@ -147,13 +201,52 @@ func (s *Server) kick() error {
 // tests and tools.
 func (s *Server) Engine() *engine.Engine { return s.eng }
 
+// getJournal/getFollow/getReadOnly read the mu-guarded role state —
+// every post-construction reader must come through these, because
+// PROMOTE swaps all three on a live server.
+func (s *Server) getJournal() *journal.Writer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journal
+}
+
+func (s *Server) getFollow() FollowSource {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.follow
+}
+
+func (s *Server) getReadOnly() ReadFollower {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readOnly
+}
+
 // commitJournal flushes the journal, if one is attached — called by
 // mutating verbs whose changes do not pass through a drain.
 func (s *Server) commitJournal() error {
-	if s.journal == nil {
+	j := s.getJournal()
+	if j == nil {
 		return nil
 	}
-	return s.journal.Commit()
+	return j.Commit()
+}
+
+// ackGate blocks a just-committed write until the configured quorum of
+// follower watermarks covers it; a no-op without WithQuorum.  The commit
+// has already happened: a timeout here means under-replication, not loss,
+// and the error says so explicitly instead of stalling forever or lying
+// with an OK.
+func (s *Server) ackGate() error {
+	q := s.quorum
+	if q == nil {
+		return nil
+	}
+	j := s.getJournal()
+	if j == nil {
+		return nil
+	}
+	return q.wait(j.LastLSN(), s.quit)
 }
 
 // Listen starts accepting connections on addr ("host:port"; port 0 picks a
@@ -318,13 +411,14 @@ func (s *Server) reportGate(req wire.Request) (*meta.View, *wire.Response) {
 	if err != nil || lsn < 0 {
 		return nil, errResp("%s: bad min-lsn %q", req.Verb, req.Args[0])
 	}
+	ro, j := s.getReadOnly(), s.getJournal()
 	switch {
-	case s.readOnly != nil:
-		if at, err := s.readOnly.WaitApplied(lsn, 10*time.Second); err != nil {
+	case ro != nil:
+		if at, err := ro.WaitApplied(lsn, 10*time.Second); err != nil {
 			return nil, errResp("replica at lsn %d has not reached %d: %v", at, lsn, err)
 		}
-	case s.journal != nil:
-		if at := s.journal.LastLSN(); at < lsn {
+	case j != nil:
+		if at := j.LastLSN(); at < lsn {
 			return nil, errResp("journal at lsn %d has not reached %d", at, lsn)
 		}
 	default:
@@ -400,12 +494,13 @@ func (s *Server) serveFollow(r *bufio.Reader, w *bufio.Writer, req wire.Request)
 	fail := func(format string, a ...any) {
 		writeFlush(w, wire.Response{OK: false, Detail: fmt.Sprintf(format, a...)}.Encode()+"\n")
 	}
-	if s.follow == nil {
+	follow := s.getFollow()
+	if follow == nil {
 		fail("FOLLOW: this server is not a replication primary")
 		return
 	}
-	if len(req.Args) != 1 {
-		fail("FOLLOW wants <last-applied-lsn>")
+	if len(req.Args) < 1 || len(req.Args) > 2 {
+		fail("FOLLOW wants <last-applied-lsn> [<term>]")
 		return
 	}
 	from, err := strconv.ParseInt(req.Args[0], 10, 64)
@@ -413,22 +508,51 @@ func (s *Server) serveFollow(r *bufio.Reader, w *bufio.Writer, req wire.Request)
 		fail("FOLLOW: bad lsn %q", req.Args[0])
 		return
 	}
+	var fromTerm int64
+	if len(req.Args) == 2 {
+		fromTerm, err = strconv.ParseInt(req.Args[1], 10, 64)
+		if err != nil || fromTerm < 1 {
+			fail("FOLLOW: bad term %q", req.Args[1])
+			return
+		}
+	}
 	if !writeFlush(w, fmt.Sprintf("OK+ following after lsn %d\n", from)) {
 		return
 	}
 	// stop closes when the server shuts down OR the follower hangs up.
-	// The hangup side comes from draining the request scanner: a FOLLOW
-	// connection carries no further requests, so the only thing a read
-	// can produce is end-of-stream.  Both watcher goroutines retire when
+	// The hangup side comes from draining the request scanner: the only
+	// upstream traffic a FOLLOW connection carries is ACK progress lines,
+	// so the reader parses those into the quorum registry and anything
+	// else ends the conversation.  Both watcher goroutines retire when
 	// this handler returns (serveConn closes the connection, failing the
-	// scan).
+	// read).
 	stop := make(chan struct{})
 	var stopOnce sync.Once
 	closeStop := func() { stopOnce.Do(func() { close(stop) }) }
 	defer closeStop()
+	var connID int64
+	if s.quorum != nil {
+		connID = s.quorum.register()
+		defer s.quorum.unregister(connID)
+	}
 	go func() {
-		io.Copy(io.Discard, r) // returns on the first read error: hangup
-		closeStop()
+		defer closeStop()
+		for {
+			line, err := readProtocolLine(r)
+			if err != nil {
+				return // hangup (or a torn/oversized line: same outcome)
+			}
+			fields := strings.Fields(line)
+			if len(fields) == 2 && fields[0] == wire.AckPrefix {
+				if lsn, err := strconv.ParseInt(fields[1], 10, 64); err == nil && lsn >= 0 {
+					if s.quorum != nil {
+						s.quorum.ack(connID, lsn)
+					}
+					continue
+				}
+			}
+			return // not an ACK: the peer is confused, end the stream
+		}
 	}()
 	go func() {
 		select {
@@ -438,7 +562,7 @@ func (s *Server) serveFollow(r *bufio.Reader, w *bufio.Writer, req wire.Request)
 		}
 	}()
 	connGone := errors.New("follower connection gone")
-	err = s.follow.ServeFollow(from, stop, func(line string) error {
+	err = follow.ServeFollow(from, fromTerm, stop, func(line string) error {
 		if !writeFlush(w, "|"+line+"\n") {
 			return connGone
 		}
@@ -473,7 +597,7 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 	ok := func(format string, args ...any) (wire.Response, bool) {
 		return wire.Response{OK: true, Detail: fmt.Sprintf(format, args...)}, false
 	}
-	if s.readOnly != nil {
+	if ro := s.getReadOnly(); ro != nil {
 		switch req.Verb {
 		case wire.VerbPost, wire.VerbBatch, wire.VerbCreate, wire.VerbLink, wire.VerbSnapshot:
 			return fail("read-only follower: %s refused (write to the primary)", req.Verb)
@@ -484,14 +608,55 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 		return ok("pong")
 
 	case wire.VerbLSN:
-		switch {
-		case s.readOnly != nil:
-			return ok("lsn %d", s.readOnly.AppliedLSN())
-		case s.journal != nil:
-			return ok("lsn %d", s.journal.LastLSN())
+		switch ro, j := s.getReadOnly(), s.getJournal(); {
+		case ro != nil:
+			return ok("lsn %d", ro.AppliedLSN())
+		case j != nil:
+			return ok("lsn %d", j.LastLSN())
 		default:
 			return ok("lsn 0")
 		}
+
+	case wire.VerbRole:
+		// One line a failover driver can act on: who am I, which election
+		// term, how far has my history reached.
+		switch ro, j := s.getReadOnly(), s.getJournal(); {
+		case ro != nil:
+			return ok("role=follower term=%d applied=%d watermark=%d",
+				ro.Term(), ro.AppliedLSN(), ro.Watermark())
+		case j != nil:
+			return ok("role=primary term=%d applied=%d watermark=%d",
+				j.Term(), j.LastLSN(), j.CommittedLSN())
+		default:
+			return ok("role=primary term=1 applied=0 watermark=0")
+		}
+
+	case wire.VerbPromote:
+		// promoteMu serializes promotions end to end: a second PROMOTE
+		// waits out the first and then sees the flipped role, instead of
+		// racing the hook into a double term bump.
+		s.promoteMu.Lock()
+		defer s.promoteMu.Unlock()
+		s.mu.Lock()
+		isFollower, hook := s.readOnly != nil, s.promote
+		s.mu.Unlock()
+		if !isFollower {
+			return fail("PROMOTE: already a primary")
+		}
+		if hook == nil {
+			return fail("PROMOTE: this follower has no promotion hook")
+		}
+		p, err := hook()
+		if err != nil {
+			return fail("PROMOTE: %v", err)
+		}
+		s.mu.Lock()
+		s.journal = p.Journal
+		s.follow = p.Source
+		s.readOnly = nil
+		s.promote = nil
+		s.mu.Unlock()
+		return ok("promoted term %d lsn %d", p.Term, p.LSN)
 
 	case wire.VerbFollow:
 		return fail("FOLLOW needs a network connection (it streams indefinitely)")
@@ -510,6 +675,9 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 		// commit here too — "idle" then always means "settled and on
 		// disk".
 		if err := s.commitJournal(); err != nil {
+			return fail("%v", err)
+		}
+		if err := s.ackGate(); err != nil {
 			return fail("%v", err)
 		}
 		return ok("idle")
@@ -537,7 +705,16 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 			return fail("%v", err)
 		}
 		if s.async {
+			// "queued" is an intake acknowledgement, not a durability (or
+			// replication) promise; the quorum gate applies at SYNC, the
+			// async mode's settlement point.
 			return ok("queued %s", ev.Name)
+		}
+		// The synchronous drain committed the journal; now the write must
+		// also reach the configured follower quorum before it is
+		// acknowledged as posted.
+		if err := s.ackGate(); err != nil {
+			return fail("%v", err)
 		}
 		return ok("posted %s", ev.Name)
 
@@ -584,6 +761,10 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 		verb := "posted"
 		if s.async {
 			verb = "queued"
+		} else if posted > 0 {
+			if err := s.ackGate(); err != nil {
+				return fail("%v", err)
+			}
 		}
 		return wire.Response{OK: posted == len(req.Args),
 			Detail: fmt.Sprintf("%s %d/%d", verb, posted, len(req.Args)), Body: body}, false
@@ -603,6 +784,9 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 		// the kick has not committed anything yet, so make the creation
 		// durable before acknowledging it.
 		if err := s.commitJournal(); err != nil {
+			return fail("%v", err)
+		}
+		if err := s.ackGate(); err != nil {
 			return fail("%v", err)
 		}
 		return ok("%s", k)
@@ -628,6 +812,9 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 			return fail("%v", err)
 		}
 		if err := s.commitJournal(); err != nil {
+			return fail("%v", err)
+		}
+		if err := s.ackGate(); err != nil {
 			return fail("%v", err)
 		}
 		return ok("%d", id)
@@ -699,6 +886,9 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 			return fail("%v", err)
 		}
 		if err := s.commitJournal(); err != nil {
+			return fail("%v", err)
+		}
+		if err := s.ackGate(); err != nil {
 			return fail("%v", err)
 		}
 		return ok("%d oids %d links", len(cfg.OIDs), len(cfg.Links))

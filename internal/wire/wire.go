@@ -40,9 +40,18 @@ const (
 	VerbLinks     = "LINKS"     // LINKS <oid>
 	VerbSync      = "SYNC"      // SYNC — wait until the event queue settles
 	VerbBatch     = "BATCH"     // BATCH <item> [<item>...]; see BatchItem
-	VerbFollow    = "FOLLOW"    // FOLLOW <last-applied-lsn>; see the Follow frame helpers
+	VerbFollow    = "FOLLOW"    // FOLLOW <last-applied-lsn> [<term>]; see the Follow frame helpers
 	VerbLSN       = "LSN"       // LSN — report the journal/applied log position
+	VerbRole      = "ROLE"      // ROLE — role, term, applied LSN and commit watermark in one line
+	VerbPromote   = "PROMOTE"   // PROMOTE — flip a read-only follower into a primary (term bump)
 )
+
+// AckPrefix opens the one upstream line a follower may write on a FOLLOW
+// connection: "ACK <lsn>" reports that every record up to lsn is applied
+// AND committed (durable) on the follower.  The primary's quorum gate
+// counts these per-follower positions; a follower that never sends them
+// (an older build) simply never contributes to a quorum.
+const AckPrefix = "ACK"
 
 // Follow-stream framing.  FOLLOW turns the connection into a one-way
 // record stream: the server answers with a multi-line response whose body
