@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	damocles [-addr host:port] [-blueprint file] [-db file | -journal dir [-fsync]] [-ack n [-ack-timeout d]] [-trace]
+//	damocles [-addr host:port] [-blueprint file] [-db file | -journal dir [-fsync]] [-ack n [-ack-timeout d]] [-max-conns n] [-idle-timeout d] [-write-timeout d] [-trace]
 //	damocles -follow primary:port -journal dir [-addr host:port] [-blueprint file]
 //	damocles -promote follower:port
 //
@@ -25,6 +25,16 @@
 // until n follower watermarks cover its LSN; a write that cannot gather
 // its quorum within -ack-timeout degrades to an explicit "quorum-timeout"
 // error (the write is committed locally, never silently lost).
+//
+// The overload flags harden the serving plane: -max-conns sheds excess
+// connections with an explicit "overloaded" error, -idle-timeout closes
+// connections whose next request never arrives, and -write-timeout closes
+// clients too slow to consume their responses — each misbehaving client
+// costs exactly its own connection, never the node.  If the journal disk
+// fails (ENOSPC that compaction cannot fix, a failed fsync), the node
+// flips to an explicit degraded state: writes are refused with a
+// journal-io error, reads keep serving, and ROLE reports
+// health=degraded — see docs/OPERATIONS.md.
 //
 // With -follow, the process runs as a replication follower instead: it
 // mirrors the primary's record stream into its own -journal directory
@@ -75,9 +85,13 @@ func main() {
 	promote := flag.String("promote", "", "promote the read-only follower at this address to primary, then exit")
 	ack := flag.Int("ack", 0, "hold each write until this many follower watermarks cover it (0: no quorum gate)")
 	ackTimeout := flag.Duration("ack-timeout", 5*time.Second, "with -ack, degrade to an explicit quorum-timeout error after this long")
+	maxConns := flag.Int("max-conns", 0, "shed connections past this count with an explicit overloaded error (0: unlimited)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "close a connection whose next request does not arrive in time (0: never)")
+	writeTimeout := flag.Duration("write-timeout", 0, "close a connection that stalls a response write this long (0: never)")
 	trace := flag.Bool("trace", false, "log engine trace to stderr")
 	flag.Parse()
 
+	limits := server.Limits{MaxConns: *maxConns, IdleTimeout: *idleTimeout, WriteTimeout: *writeTimeout}
 	if *promote != "" {
 		if err := runPromote(*promote); err != nil {
 			log.Fatal(err)
@@ -88,12 +102,12 @@ func main() {
 		if *dbFile != "" {
 			log.Fatal("-follow replicates into -journal; -db does not apply")
 		}
-		if err := runFollower(*addr, *bpFile, *jdir, *follow, *fsync, *ack, *ackTimeout, *trace); err != nil {
+		if err := runFollower(*addr, *bpFile, *jdir, *follow, *fsync, *ack, *ackTimeout, limits, *trace); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
-	if err := run(*addr, *bpFile, *dbFile, *jdir, *fsync, *ack, *ackTimeout, *trace); err != nil {
+	if err := run(*addr, *bpFile, *dbFile, *jdir, *fsync, *ack, *ackTimeout, limits, *trace); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -135,7 +149,7 @@ func watchSignals() <-chan struct{} {
 // runFollower mirrors a primary's journal stream into jdir and serves the
 // read verbs from the replicated database.  The follower also serves
 // FOLLOW from its own journal (follower chaining) and accepts PROMOTE.
-func runFollower(addr, bpFile, jdir, primary string, fsync bool, ack int, ackTimeout time.Duration, trace bool) error {
+func runFollower(addr, bpFile, jdir, primary string, fsync bool, ack int, ackTimeout time.Duration, limits server.Limits, trace bool) error {
 	if jdir == "" {
 		return fmt.Errorf("-follow requires -journal DIR for the replica's local log")
 	}
@@ -180,7 +194,8 @@ func runFollower(addr, bpFile, jdir, primary string, fsync bool, ack int, ackTim
 		server.WithFollowSource(replica.NewSource(fol.Writer())),
 		server.WithPromote(hook),
 		// Dormant while read-only; gates writes after a promotion.
-		server.WithQuorum(ack, ackTimeout))
+		server.WithQuorum(ack, ackTimeout),
+		server.WithLimits(limits))
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		fol.Close()
@@ -239,7 +254,7 @@ func runFollower(addr, bpFile, jdir, primary string, fsync bool, ack int, ackTim
 	return nil
 }
 
-func run(addr, bpFile, dbFile, jdir string, fsync bool, ack int, ackTimeout time.Duration, trace bool) error {
+func run(addr, bpFile, dbFile, jdir string, fsync bool, ack int, ackTimeout time.Duration, limits server.Limits, trace bool) error {
 	if dbFile != "" && jdir != "" {
 		return fmt.Errorf("-db and -journal are mutually exclusive persistence modes")
 	}
@@ -284,7 +299,7 @@ func run(addr, bpFile, dbFile, jdir string, fsync bool, ack int, ackTimeout time
 	if trace {
 		opts = append(opts, engine.WithTracer(logTracer{}))
 	}
-	var srvOpts []server.Option
+	srvOpts := []server.Option{server.WithLimits(limits)}
 	if jw != nil {
 		opts = append(opts, engine.WithJournal(jw))
 		srvOpts = append(srvOpts,

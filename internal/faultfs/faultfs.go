@@ -1,0 +1,117 @@
+// Package faultfs is the filesystem seam the persistence layer does its
+// I/O through — and the deterministic fault-injection harness behind the
+// durability test suite.
+//
+// Production code takes an FS (defaulting to OS, a thin passthrough to the
+// os package) and performs every open, write, sync, rename, remove and
+// directory read through it.  Tests wrap the same code over an Injector
+// carrying a Plan: "fail the 3rd fsync, once", "ENOSPC once 64 KiB have
+// been written", "every rename takes 5ms".  Because the plan keys on
+// deterministic per-operation counters — not wall-clock time or
+// goroutine scheduling — a failing case replays exactly, and a sweep can
+// enumerate every I/O site a workload touches (CountRun, then one run per
+// (op, n) pair) without guessing.
+package faultfs
+
+import (
+	"io"
+	"os"
+)
+
+// Op classifies a filesystem operation for counting and fault matching.
+type Op uint8
+
+const (
+	OpOpen     Op = iota // OpenFile, Open, CreateTemp
+	OpRead               // File.Read and whole-file ReadFile
+	OpWrite              // File.Write
+	OpSync               // File.Sync
+	OpClose              // File.Close
+	OpSeek               // File.Seek
+	OpRename             // Rename
+	OpRemove             // Remove
+	OpTruncate           // Truncate (by path or handle)
+	OpReadDir            // ReadDir
+	OpStat               // File.Stat
+	OpMkdir              // MkdirAll
+	opCount              // sentinel: number of ops
+)
+
+// Ops lists every operation kind, in a stable order — the sweep's axis.
+var Ops = []Op{OpOpen, OpRead, OpWrite, OpSync, OpClose, OpSeek, OpRename, OpRemove, OpTruncate, OpReadDir, OpStat, OpMkdir}
+
+func (o Op) String() string {
+	switch o {
+	case OpOpen:
+		return "open"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpClose:
+		return "close"
+	case OpSeek:
+		return "seek"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpTruncate:
+		return "truncate"
+	case OpReadDir:
+		return "readdir"
+	case OpStat:
+		return "stat"
+	case OpMkdir:
+		return "mkdir"
+	}
+	return "op?"
+}
+
+// File is the handle surface the persistence layer needs: the subset of
+// *os.File it actually calls.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	io.Seeker
+	Sync() error
+	Stat() (os.FileInfo, error)
+	Truncate(size int64) error
+	Name() string
+}
+
+// FS is the filesystem surface: every durability-relevant path operation
+// the journal, snapshot and follower code performs.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Open(name string) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]os.DirEntry, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	MkdirAll(path string, perm os.FileMode) error
+}
+
+// OS is the production filesystem: a direct passthrough to the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }

@@ -1,0 +1,189 @@
+package faultfs_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+)
+
+func openInj(t *testing.T, inj *faultfs.Injector, dir, name string) faultfs.File {
+	t.Helper()
+	f, err := inj.OpenFile(filepath.Join(dir, name), os.O_WRONLY|os.O_CREATE, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSingleFaultFiresExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.New(faultfs.OS, faultfs.SingleFault(faultfs.OpWrite, 2, nil))
+	f := openInj(t, inj, dir, "a.log")
+	defer f.Close()
+
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.Write([]byte("two")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("write 2 = %v, want ErrInjected", err)
+	}
+	if _, err := f.Write([]byte("three")); err != nil {
+		t.Fatalf("write 3 after a once-fault: %v", err)
+	}
+	if got := inj.Count(faultfs.OpWrite); got != 3 {
+		t.Errorf("write count = %d, want 3", got)
+	}
+	if fired := inj.Fired(); len(fired) != 1 {
+		t.Errorf("fired = %v, want exactly one entry", fired)
+	}
+	// The failed write must not have landed: only writes 1 and 3 did.
+	data, err := os.ReadFile(filepath.Join(dir, "a.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "onethree" {
+		t.Errorf("file = %q, want %q", data, "onethree")
+	}
+}
+
+func TestStickyFaultKeepsFiring(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.New(faultfs.OS, faultfs.StickyFault(faultfs.OpSync, 2, nil))
+	f := openInj(t, inj, dir, "a.log")
+	defer f.Close()
+
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	for i := 2; i <= 5; i++ {
+		if err := f.Sync(); !errors.Is(err, faultfs.ErrInjected) {
+			t.Fatalf("sync %d = %v, want ErrInjected (sticky)", i, err)
+		}
+	}
+}
+
+func TestFaultPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.New(faultfs.OS, faultfs.Plan{Faults: []faultfs.Fault{
+		{Op: faultfs.OpWrite, Path: "journal-", Sticky: true},
+	}})
+	seg := openInj(t, inj, dir, "journal-0001.log")
+	defer seg.Close()
+	snap := openInj(t, inj, dir, "snapshot-0001.json")
+	defer snap.Close()
+
+	if _, err := seg.Write([]byte("x")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("matching path write = %v, want ErrInjected", err)
+	}
+	if _, err := snap.Write([]byte("x")); err != nil {
+		t.Fatalf("non-matching path write: %v", err)
+	}
+}
+
+func TestDiskBudgetPartialWriteENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.New(faultfs.OS, faultfs.Plan{DiskBytes: 10})
+	f := openInj(t, inj, dir, "a.log")
+	defer f.Close()
+
+	if n, err := f.Write([]byte("12345678")); err != nil || n != 8 {
+		t.Fatalf("write within budget = (%d, %v)", n, err)
+	}
+	// 2 bytes of budget left: the syscall-faithful partial write lands them
+	// and reports ENOSPC for the rest.
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write past budget = %v, want ENOSPC", err)
+	}
+	if n != 2 {
+		t.Errorf("partial write landed %d bytes, want 2", n)
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "a.log"))
+	if string(data) != "12345678ab" {
+		t.Errorf("file = %q, want the partial-write prefix %q", data, "12345678ab")
+	}
+	if used := inj.DiskUsed(); used != 10 {
+		t.Errorf("DiskUsed = %d, want the full 10-byte budget", used)
+	}
+}
+
+func TestRemoveCreditsDiskBudget(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.New(faultfs.OS, faultfs.Plan{DiskBytes: 10})
+	f := openInj(t, inj, dir, "old.log")
+	if _, err := f.Write([]byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Budget nearly exhausted; deleting the file gives its bytes back —
+	// the compaction-frees-space model.
+	if err := inj.Remove(filepath.Join(dir, "old.log")); err != nil {
+		t.Fatal(err)
+	}
+	if used := inj.DiskUsed(); used != 0 {
+		t.Fatalf("DiskUsed after remove = %d, want 0", used)
+	}
+	g := openInj(t, inj, dir, "new.log")
+	defer g.Close()
+	if _, err := g.Write([]byte("abcdefgh")); err != nil {
+		t.Fatalf("write after reclaim: %v", err)
+	}
+}
+
+func TestLatencyOnlySlowsWithoutFailing(t *testing.T) {
+	dir := t.TempDir()
+	const delay = 30 * time.Millisecond
+	inj := faultfs.New(faultfs.OS, faultfs.Plan{Faults: []faultfs.Fault{
+		{Op: faultfs.OpWrite, LatencyOnly: true, Latency: delay},
+	}})
+	f := openInj(t, inj, dir, "a.log")
+	defer f.Close()
+
+	start := time.Now()
+	if _, err := f.Write([]byte("slow")); err != nil {
+		t.Fatalf("latency-only fault failed the write: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Errorf("write took %v, want at least %v of injected latency", elapsed, delay)
+	}
+	if fired := inj.Fired(); len(fired) != 0 {
+		t.Errorf("latency-only fault reported as fired: %v", fired)
+	}
+}
+
+// TestCountsDeterministic pins the property the fault sweep relies on:
+// the same call sequence yields the same per-op counters, so "fail the
+// nth write" names the same write on every run.
+func TestCountsDeterministic(t *testing.T) {
+	workload := func(dir string, inj *faultfs.Injector) map[faultfs.Op]int64 {
+		f, err := inj.OpenFile(filepath.Join(dir, "w.log"), os.O_WRONLY|os.O_CREATE, 0o666)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			f.Write([]byte("rec"))
+			f.Sync()
+		}
+		f.Close()
+		inj.ReadDir(dir)
+		inj.Rename(filepath.Join(dir, "w.log"), filepath.Join(dir, "w2.log"))
+		inj.Remove(filepath.Join(dir, "w2.log"))
+		return inj.Counts()
+	}
+	a := workload(t.TempDir(), faultfs.New(faultfs.OS, faultfs.Plan{}))
+	b := workload(t.TempDir(), faultfs.New(faultfs.OS, faultfs.Plan{}))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical workloads counted differently:\n%v\n%v", a, b)
+	}
+	if a[faultfs.OpWrite] != 3 || a[faultfs.OpSync] != 3 {
+		t.Errorf("counts = %v, want 3 writes and 3 syncs", a)
+	}
+}

@@ -1,0 +1,395 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ErrInjected is the default error an un-parameterized fault returns.
+// Callers distinguish an injected failure from a real one with errors.Is.
+var ErrInjected = errors.New("faultfs: injected I/O error")
+
+// Fault is one rule of a Plan: when the Nth matching call of Op happens
+// (counted across the whole Injector, 1-based), fail it.
+type Fault struct {
+	// Op selects which operation kind the fault applies to.
+	Op Op
+
+	// Path, when non-empty, restricts the fault to calls whose path
+	// contains it as a substring.
+	Path string
+
+	// Nth is the 1-based matching-call count the fault fires at; 0 means
+	// the first matching call.
+	Nth int64
+
+	// Err is the error returned; nil means ErrInjected.  For write faults
+	// use syscall-flavoured errors (e.g. syscall.ENOSPC) when the caller's
+	// errors.Is classification matters.
+	Err error
+
+	// Sticky keeps the fault firing on every later matching call — the
+	// wedged-disk model.  A non-sticky fault fires exactly once — the
+	// transient-glitch model.
+	Sticky bool
+
+	// Latency is added to every matching call from Nth onward (fired or
+	// not yet fired), the slow-disk model.  A fault with a Latency and a
+	// nil Err plus Sticky=false still fails its Nth call with ErrInjected;
+	// set LatencyOnly for a pure slowdown.
+	LatencyOnly bool
+	Latency     time.Duration
+}
+
+func (f Fault) String() string {
+	mode := "once"
+	if f.Sticky {
+		mode = "sticky"
+	}
+	if f.LatencyOnly {
+		mode = "latency-only"
+	}
+	s := fmt.Sprintf("%s#%d %s", f.Op, f.nth(), mode)
+	if f.Path != "" {
+		s += " path~" + f.Path
+	}
+	if f.Latency > 0 {
+		s += fmt.Sprintf(" +%v", f.Latency)
+	}
+	return s
+}
+
+func (f Fault) nth() int64 {
+	if f.Nth <= 0 {
+		return 1
+	}
+	return f.Nth
+}
+
+// Plan is a deterministic fault schedule: a set of Faults plus an optional
+// disk-capacity model.  The zero Plan injects nothing (a pure counter).
+type Plan struct {
+	Faults []Fault
+
+	// DiskBytes, when positive, models a disk with that much free space:
+	// writes consume it, Remove gives a removed file's bytes back, and a
+	// write past the budget is cut short with ENOSPC — the partial write
+	// the real syscall performs, not a clean all-or-nothing failure.
+	DiskBytes int64
+}
+
+// SingleFault is the sweep constructor: a plan that fails exactly the nth
+// call of op, once, with err (nil → ErrInjected).
+func SingleFault(op Op, nth int64, err error) Plan {
+	return Plan{Faults: []Fault{{Op: op, Nth: nth, Err: err}}}
+}
+
+// StickyFault is SingleFault with the wedged-disk model: the nth call of
+// op and every matching call after it fail.
+func StickyFault(op Op, nth int64, err error) Plan {
+	return Plan{Faults: []Fault{{Op: op, Nth: nth, Err: err, Sticky: true}}}
+}
+
+// Injector wraps a base FS and applies a Plan to the calls flowing
+// through it.  All counters are deterministic per call sequence; the
+// Injector is safe for concurrent use (counts serialize under one mutex,
+// like inode operations under a filesystem lock).
+type Injector struct {
+	base FS
+
+	mu       sync.Mutex
+	plan     Plan
+	counts   [opCount]int64
+	fired    []string // description of every fault that has fired, in order
+	consumed []bool   // per-fault: a non-sticky fault already fired
+	diskUsed int64
+}
+
+// New wraps base with plan.  A zero Plan makes a pure counting wrapper —
+// the CountRun half of a sweep.
+func New(base FS, plan Plan) *Injector {
+	if base == nil {
+		base = OS
+	}
+	return &Injector{base: base, plan: plan, consumed: make([]bool, len(plan.Faults))}
+}
+
+// Count returns how many calls of op have been observed so far.
+func (i *Injector) Count(op Op) int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.counts[op]
+}
+
+// Counts returns a copy of every per-op call counter — the axis of a
+// fault sweep: run a workload once over a counting Injector, then once
+// per (op, 1..Counts()[op]) with a SingleFault plan.
+func (i *Injector) Counts() map[Op]int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	m := make(map[Op]int64, len(Ops))
+	for _, op := range Ops {
+		if i.counts[op] > 0 {
+			m[op] = i.counts[op]
+		}
+	}
+	return m
+}
+
+// Fired returns a description of every fault that has fired, in order —
+// empty means the plan never triggered.
+func (i *Injector) Fired() []string {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return append([]string(nil), i.fired...)
+}
+
+// DiskUsed reports the bytes charged against the DiskBytes budget.
+func (i *Injector) DiskUsed() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.diskUsed
+}
+
+// check counts one call of op against path and decides its fate: the
+// returned latency is slept by the caller outside the lock, and a non-nil
+// error aborts the operation before it reaches the base FS.
+func (i *Injector) check(op Op, path string) (time.Duration, error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.counts[op]++
+	n := i.counts[op]
+	var delay time.Duration
+	for fi := range i.plan.Faults {
+		f := &i.plan.Faults[fi]
+		if f.Op != op || (f.Path != "" && !strings.Contains(path, f.Path)) {
+			continue
+		}
+		if n < f.nth() {
+			continue
+		}
+		if f.Latency > 0 {
+			delay += f.Latency
+		}
+		if f.LatencyOnly {
+			continue
+		}
+		if !f.Sticky && i.consumed[fi] {
+			continue
+		}
+		if !f.Sticky && n != f.nth() {
+			continue
+		}
+		i.consumed[fi] = true
+		err := f.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		i.fired = append(i.fired, fmt.Sprintf("%s @%s %s", f.String(), path, err))
+		return delay, &os.PathError{Op: op.String(), Path: path, Err: err}
+	}
+	return delay, nil
+}
+
+// chargeWrite applies the disk-capacity model to an n-byte write and
+// returns how many bytes may actually land plus the ENOSPC error when the
+// budget cuts the write short.
+func (i *Injector) chargeWrite(path string, n int) (int, error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.plan.DiskBytes <= 0 {
+		return n, nil
+	}
+	free := i.plan.DiskBytes - i.diskUsed
+	if int64(n) <= free {
+		i.diskUsed += int64(n)
+		return n, nil
+	}
+	allowed := int(free)
+	if allowed < 0 {
+		allowed = 0
+	}
+	i.diskUsed = i.plan.DiskBytes
+	i.fired = append(i.fired, fmt.Sprintf("write@%s ENOSPC after %d of %d bytes", path, allowed, n))
+	return allowed, &os.PathError{Op: "write", Path: path, Err: syscall.ENOSPC}
+}
+
+// creditRemove gives a removed file's bytes back to the disk budget.
+func (i *Injector) creditRemove(size int64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.plan.DiskBytes <= 0 {
+		return
+	}
+	i.diskUsed -= size
+	if i.diskUsed < 0 {
+		i.diskUsed = 0
+	}
+}
+
+func (i *Injector) run(op Op, path string) error {
+	delay, err := i.check(op, path)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return err
+}
+
+// --- FS implementation ---
+
+func (i *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := i.run(OpOpen, name); err != nil {
+		return nil, err
+	}
+	f, err := i.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, i: i}, nil
+}
+
+func (i *Injector) Open(name string) (File, error) {
+	if err := i.run(OpOpen, name); err != nil {
+		return nil, err
+	}
+	f, err := i.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, i: i}, nil
+}
+
+func (i *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if err := i.run(OpOpen, dir+"/"+pattern); err != nil {
+		return nil, err
+	}
+	f, err := i.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, i: i}, nil
+}
+
+func (i *Injector) ReadFile(name string) ([]byte, error) {
+	if err := i.run(OpRead, name); err != nil {
+		return nil, err
+	}
+	return i.base.ReadFile(name)
+}
+
+func (i *Injector) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := i.run(OpReadDir, name); err != nil {
+		return nil, err
+	}
+	return i.base.ReadDir(name)
+}
+
+func (i *Injector) Rename(oldpath, newpath string) error {
+	if err := i.run(OpRename, newpath); err != nil {
+		return err
+	}
+	return i.base.Rename(oldpath, newpath)
+}
+
+func (i *Injector) Remove(name string) error {
+	if err := i.run(OpRemove, name); err != nil {
+		return err
+	}
+	var size int64
+	if fi, err := os.Stat(name); err == nil {
+		size = fi.Size()
+	}
+	if err := i.base.Remove(name); err != nil {
+		return err
+	}
+	i.creditRemove(size)
+	return nil
+}
+
+func (i *Injector) Truncate(name string, size int64) error {
+	if err := i.run(OpTruncate, name); err != nil {
+		return err
+	}
+	return i.base.Truncate(name, size)
+}
+
+func (i *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if err := i.run(OpMkdir, path); err != nil {
+		return err
+	}
+	return i.base.MkdirAll(path, perm)
+}
+
+// injFile threads a handle's operations back through its Injector.
+type injFile struct {
+	f File
+	i *Injector
+}
+
+func (x *injFile) Read(p []byte) (int, error) {
+	if err := x.i.run(OpRead, x.f.Name()); err != nil {
+		return 0, err
+	}
+	return x.f.Read(p)
+}
+
+func (x *injFile) Write(p []byte) (int, error) {
+	if err := x.i.run(OpWrite, x.f.Name()); err != nil {
+		return 0, err
+	}
+	allowed, denyErr := x.i.chargeWrite(x.f.Name(), len(p))
+	if allowed < len(p) {
+		// Partial ENOSPC write: land what fits, report the rest failed —
+		// exactly what the syscall does on a full disk.
+		n, werr := x.f.Write(p[:allowed])
+		if werr != nil {
+			return n, werr
+		}
+		return n, denyErr
+	}
+	return x.f.Write(p)
+}
+
+func (x *injFile) Sync() error {
+	if err := x.i.run(OpSync, x.f.Name()); err != nil {
+		return err
+	}
+	return x.f.Sync()
+}
+
+func (x *injFile) Close() error {
+	if err := x.i.run(OpClose, x.f.Name()); err != nil {
+		// The handle must still be released, or a faulted run leaks it.
+		x.f.Close()
+		return err
+	}
+	return x.f.Close()
+}
+
+func (x *injFile) Seek(offset int64, whence int) (int64, error) {
+	if err := x.i.run(OpSeek, x.f.Name()); err != nil {
+		return 0, err
+	}
+	return x.f.Seek(offset, whence)
+}
+
+func (x *injFile) Stat() (os.FileInfo, error) {
+	if err := x.i.run(OpStat, x.f.Name()); err != nil {
+		return nil, err
+	}
+	return x.f.Stat()
+}
+
+func (x *injFile) Truncate(size int64) error {
+	if err := x.i.run(OpTruncate, x.f.Name()); err != nil {
+		return err
+	}
+	return x.f.Truncate(size)
+}
+
+func (x *injFile) Name() string { return x.f.Name() }

@@ -7,10 +7,10 @@ import (
 	"hash/crc32"
 	"io/fs"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
 
+	"repro/internal/faultfs"
 	"repro/internal/meta"
 )
 
@@ -41,7 +41,7 @@ func Replay(dir string, shards int) (*meta.DB, int64, error) {
 func ReplayUpTo(dir string, shards int, upTo int64) (*meta.DB, int64, error) {
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
-		st, err := replay(dir, shards, false, upTo)
+		st, err := replayFS(faultfs.OS, dir, shards, false, upTo)
 		if err == nil {
 			return st.db, st.lastLSN, nil
 		}
@@ -55,15 +55,16 @@ func ReplayUpTo(dir string, shards int, upTo int64) (*meta.DB, int64, error) {
 	return nil, 0, lastErr
 }
 
-// replay reads dir.  With repair set, a torn final record is truncated off
-// the last segment and leftover temporary snapshot files are removed, so a
-// Writer can resume appending at a clean tail.  Records beyond upTo are
-// scanned (the continuity checks still run) but not applied.
-func replay(dir string, shards int, repair bool, upTo int64) (replayState, error) {
+// replayFS reads dir through vfs.  With repair set, a torn final record is
+// truncated off the last segment and leftover temporary snapshot files are
+// removed, so a Writer can resume appending at a clean tail.  Records
+// beyond upTo are scanned (the continuity checks still run) but not
+// applied.
+func replayFS(vfs faultfs.FS, dir string, shards int, repair bool, upTo int64) (replayState, error) {
 	if shards <= 0 {
 		shards = meta.DefaultShards
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := vfs.ReadDir(dir)
 	if err != nil {
 		return replayState{}, fmt.Errorf("journal: %w", err)
 	}
@@ -89,7 +90,7 @@ func replay(dir string, shards int, repair bool, upTo int64) (replayState, error
 		if repair && filepath.Ext(e.Name()) == ".tmp" {
 			// A crash mid-snapshot leaves its temporary file behind; it was
 			// never renamed into place, so it holds nothing recovery wants.
-			os.Remove(filepath.Join(dir, e.Name()))
+			vfs.Remove(filepath.Join(dir, e.Name()))
 		}
 	}
 	sort.Slice(snapLSNs, func(i, j int) bool { return snapLSNs[i] > snapLSNs[j] })
@@ -117,7 +118,7 @@ func replay(dir string, shards int, repair bool, upTo int64) (replayState, error
 	if len(snapLSNs) > 0 {
 		st.snapLSN = snapLSNs[0]
 		path := filepath.Join(dir, snapshotName(st.snapLSN))
-		f, err := os.Open(path)
+		f, err := vfs.Open(path)
 		if err != nil {
 			return replayState{}, fmt.Errorf("journal: %w", err)
 		}
@@ -154,7 +155,7 @@ func replay(dir string, shards int, repair bool, upTo int64) (replayState, error
 				"journal: gap in record stream: segment %s starts at lsn %d, want %d",
 				filepath.Base(sg.path), sg.start, next)
 		}
-		n, err := replaySegment(&st, sg.path, sg.start, last, repair, upTo)
+		n, err := replaySegment(vfs, &st, sg.path, sg.start, last, repair, upTo)
 		if err != nil {
 			return replayState{}, err
 		}
@@ -171,8 +172,8 @@ func replay(dir string, shards int, repair bool, upTo int64) (replayState, error
 // snapshot and returns the LSN the stream continues at in the next
 // segment.  On the last segment a torn tail stops the replay (and, with
 // repair, is truncated off the file); anywhere else it is corruption.
-func replaySegment(st *replayState, path string, start int64, last, repair bool, upTo int64) (int64, error) {
-	data, err := os.ReadFile(path)
+func replaySegment(vfs faultfs.FS, st *replayState, path string, start int64, last, repair bool, upTo int64) (int64, error) {
+	data, err := vfs.ReadFile(path)
 	if err != nil {
 		return 0, fmt.Errorf("journal: %w", err)
 	}
@@ -195,7 +196,7 @@ func replaySegment(st *replayState, path string, start int64, last, repair bool,
 			}
 		}
 		if repair {
-			if err := os.Truncate(path, int64(off)); err != nil {
+			if err := vfs.Truncate(path, int64(off)); err != nil {
 				return false, fmt.Errorf("journal: truncate torn tail of %s: %w", name, err)
 			}
 		}

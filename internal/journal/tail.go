@@ -7,10 +7,10 @@ import (
 	"hash/crc32"
 	"io"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"sort"
 
+	"repro/internal/faultfs"
 	"repro/internal/meta"
 )
 
@@ -31,6 +31,12 @@ const (
 	// FollowMark reports the commit watermark when the tail catches up —
 	// the follower's "you have seen everything committed so far" signal.
 	FollowMark
+	// FollowHealth reports that the journal behind this tail degraded: the
+	// watermark this stream is parked at is final — the primary refuses
+	// writes until the disk fault is resolved — and Reason says why.  It is
+	// delivered at most once per tail, only when caught up, so a follower
+	// never mistakes a wedged primary for a merely idle one.
+	FollowHealth
 )
 
 // FollowEvent is one step of a journal tail.
@@ -45,8 +51,11 @@ type FollowEvent struct {
 	SnapLSN  int64
 	Snapshot []byte
 
-	// Watermark is set for FollowMark.
+	// Watermark is set for FollowMark and FollowHealth.
 	Watermark int64
+
+	// Reason is set for FollowHealth: the degraded journal's sticky error.
+	Reason string
 }
 
 // Tailer reads a live journal from a given position: retained history from
@@ -61,13 +70,14 @@ type FollowEvent struct {
 // segment handle; it does not unblock a concurrent Next (close the stop
 // channel for that).
 type Tailer struct {
-	w        *Writer
-	next     int64 // LSN of the next record to deliver
-	hdrTerm  int64 // newest segment-header term seen; headers must never regress
-	f        *os.File
-	buf      []byte
-	scratch  []byte
-	sentMark bool
+	w          *Writer
+	next       int64 // LSN of the next record to deliver
+	hdrTerm    int64 // newest segment-header term seen; headers must never regress
+	f          faultfs.File
+	buf        []byte
+	scratch    []byte
+	sentMark   bool
+	sentHealth bool // the one FollowHealth event has been delivered
 }
 
 // NewTailer starts a tail that delivers every committed record with LSN
@@ -100,7 +110,25 @@ func (t *Tailer) Next(stop <-chan struct{}) (FollowEvent, error) {
 				t.sentMark = true
 				return FollowEvent{Kind: FollowMark, Watermark: wm}, nil
 			}
-			if _, ok := t.w.waitCommitted(t.next-1, stop); !ok {
+			// A degraded journal's watermark is final: report it once so a
+			// parked follower learns the primary stopped accepting writes
+			// instead of waiting forever, then keep blocking — the stream
+			// stays open in case the watermark was raced just before the
+			// fault, and closes on stop like any idle tail.
+			if !t.sentHealth {
+				select {
+				case <-t.w.healthChan():
+					t.sentHealth = true
+					_, reason := t.w.Health()
+					return FollowEvent{Kind: FollowHealth, Watermark: wm, Reason: reason}, nil
+				default:
+				}
+			}
+			var health <-chan struct{}
+			if !t.sentHealth {
+				health = t.w.healthChan()
+			}
+			if _, ok := t.w.waitCommitted(t.next-1, stop, health); !ok {
 				return FollowEvent{}, ErrTailStopped
 			}
 			continue
@@ -133,7 +161,7 @@ func (t *Tailer) Next(stop <-chan struct{}) (FollowEvent, error) {
 // retried until it is consistent.
 func (t *Tailer) locate() (FollowEvent, bool, error) {
 	for attempt := 0; attempt < 20; attempt++ {
-		entries, err := os.ReadDir(t.w.dir)
+		entries, err := t.w.fs.ReadDir(t.w.dir)
 		if err != nil {
 			return FollowEvent{}, false, fmt.Errorf("journal: tail: %w", err)
 		}
@@ -163,7 +191,7 @@ func (t *Tailer) locate() (FollowEvent, bool, error) {
 				return FollowEvent{}, false, fmt.Errorf(
 					"journal: tail: no segment or snapshot covers lsn %d", t.next)
 			}
-			doc, err := os.ReadFile(filepath.Join(t.w.dir, snapshotName(snaps[0])))
+			doc, err := t.w.fs.ReadFile(filepath.Join(t.w.dir, snapshotName(snaps[0])))
 			if err != nil {
 				if errors.Is(err, fs.ErrNotExist) {
 					continue // compaction replaced it; re-list
@@ -175,7 +203,7 @@ func (t *Tailer) locate() (FollowEvent, bool, error) {
 			t.buf = t.buf[:0]
 			return FollowEvent{Kind: FollowSnapshot, SnapLSN: lsn, Snapshot: doc}, false, nil
 		}
-		f, err := os.Open(filepath.Join(t.w.dir, segmentName(seg)))
+		f, err := t.w.fs.Open(filepath.Join(t.w.dir, segmentName(seg)))
 		if err != nil {
 			if errors.Is(err, fs.ErrNotExist) {
 				continue // compacted away underneath us; re-list

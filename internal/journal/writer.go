@@ -2,6 +2,7 @@ package journal
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -10,8 +11,10 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/meta"
 )
 
@@ -40,6 +43,12 @@ type Options struct {
 	// per-commit fsync is the dominant latency cost.  Snapshots are always
 	// fsynced before they are renamed into place.
 	Fsync bool
+
+	// FS is the filesystem the journal performs every open, write, sync,
+	// rename and remove through; nil means the real one (faultfs.OS).
+	// Tests substitute a faultfs.Injector to drive the journal through
+	// deterministic disk faults — ENOSPC, failed fsync, wedged writes.
+	FS faultfs.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -51,6 +60,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SnapshotEvery == 0 {
 		o.SnapshotEvery = 4096
+	}
+	if o.FS == nil {
+		o.FS = faultfs.OS
 	}
 	return o
 }
@@ -75,6 +87,7 @@ const bufFlushBytes = 1 << 20
 type Writer struct {
 	dir      string
 	opt      Options
+	fs       faultfs.FS
 	db       *meta.DB
 	follower bool // opened by OpenFollower: records arrive pre-numbered via ApplyAppend
 
@@ -85,14 +98,21 @@ type Writer struct {
 	flushMu sync.Mutex
 
 	mu       sync.Mutex
-	seg      *os.File
+	seg      faultfs.File
 	segSize  int64
 	segFirst int64 // first LSN the open segment can contain (its name)
 	buf      []byte
 	scratch  []byte // reused payload-encode buffer; guarded by mu
 	pending  int64  // records buffered since the last flush
-	ioErr    error  // first write failure; sticky, surfaced by Commit
+	ioErr    error  // first sticky I/O failure — the degraded state's reason
 	closed   bool
+
+	// hlCh is closed exactly once, when the first sticky I/O error flips
+	// the journal into the degraded state — the health signal tailers
+	// block on so a parked follower stream learns the primary stopped
+	// accepting writes instead of waiting forever for a watermark that
+	// will never advance.
+	hlCh chan struct{}
 
 	lastLSN   atomic.Int64 // newest assigned record number
 	snapLSN   atomic.Int64 // LSN covered by the newest snapshot
@@ -162,19 +182,21 @@ func OpenFollower(dir string, opt Options) (*Writer, *meta.DB, error) {
 
 func open(dir string, opt Options, follower bool) (*Writer, *meta.DB, error) {
 	opt = opt.withDefaults()
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	if err := opt.FS.MkdirAll(dir, 0o777); err != nil {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
-	st, err := replay(dir, opt.Shards, true, math.MaxInt64)
+	st, err := replayFS(opt.FS, dir, opt.Shards, true, math.MaxInt64)
 	if err != nil {
 		return nil, nil, err
 	}
 	w := &Writer{
 		dir:      dir,
 		opt:      opt,
+		fs:       opt.FS,
 		db:       st.db,
 		follower: follower,
 		wmCh:     make(chan struct{}),
+		hlCh:     make(chan struct{}),
 		snapCh:   make(chan struct{}, 1),
 		quit:     make(chan struct{}),
 	}
@@ -195,7 +217,7 @@ func open(dir string, opt Options, follower bool) (*Writer, *meta.DB, error) {
 // openTail opens the newest segment for appending, creating the first one
 // in an empty journal.  A tail torn down to less than the magic is reset.
 func (w *Writer) openTail() error {
-	entries, err := os.ReadDir(w.dir)
+	entries, err := w.fs.ReadDir(w.dir)
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
@@ -210,7 +232,7 @@ func (w *Writer) openTail() error {
 		return w.newSegmentLocked()
 	}
 	path := filepath.Join(w.dir, tail)
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o666)
+	f, err := w.fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o666)
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
@@ -247,7 +269,7 @@ func (w *Writer) newSegmentLocked() error {
 		w.seg = nil
 	}
 	path := filepath.Join(w.dir, segmentName(w.lastLSN.Load()+1))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+	f, err := w.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
@@ -340,8 +362,11 @@ func (w *Writer) advanceWatermark(lsn int64) {
 
 // waitCommitted blocks until the commit watermark exceeds after, the stop
 // channel closes, or the writer closes.  It returns the watermark and
-// whether waiting may continue (false on stop/close).
-func (w *Writer) waitCommitted(after int64, stop <-chan struct{}) (int64, bool) {
+// whether waiting may continue (false on stop/close).  A non-nil health
+// channel additionally wakes the wait (returning true) when it closes —
+// the degraded-journal signal; the caller must pass nil once it has
+// consumed that signal, or a closed channel would spin the wait.
+func (w *Writer) waitCommitted(after int64, stop, health <-chan struct{}) (int64, bool) {
 	for {
 		w.wmMu.Lock()
 		ch := w.wmCh
@@ -351,6 +376,8 @@ func (w *Writer) waitCommitted(after int64, stop <-chan struct{}) (int64, bool) 
 		}
 		select {
 		case <-ch:
+		case <-health:
+			return w.watermark.Load(), true
 		case <-stop:
 			return w.watermark.Load(), false
 		case <-w.quit:
@@ -384,29 +411,71 @@ func (w *Writer) Record(r meta.Record) int64 {
 	return r.LSN
 }
 
-// writeBufLocked writes the buffered records through to the segment
-// file.  Callers hold w.mu.  The first I/O failure is recorded and the
-// journal stops accepting writes — a half written frame at the tail is
-// exactly the torn-record case recovery already truncates, so the log
-// stays valid up to the failure point.
-func (w *Writer) writeBufLocked() {
+// writeBufLocked writes the buffered records through to the segment file
+// and reports the write error without deciding its fate — Commit owns the
+// degrade-or-retry decision.  Callers hold w.mu.  On failure the
+// unwritten suffix of the buffer is retained so a retry (the ENOSPC
+// free-space-and-try-again path) continues exactly where the short write
+// stopped: a half-written frame at the tail is the torn-record case
+// recovery already truncates, and completing it keeps the log seamless.
+func (w *Writer) writeBufLocked() error {
 	if w.ioErr != nil || len(w.buf) == 0 {
 		w.buf = w.buf[:0]
 		w.pending = 0
-		return
+		return nil
 	}
 	if w.seg == nil {
-		w.ioErr = fmt.Errorf("journal: writer is closed")
-		return
+		return errors.New("writer is closed")
 	}
 	n, err := w.seg.Write(w.buf)
 	w.segSize += int64(n)
+	if err != nil {
+		w.buf = append(w.buf[:0], w.buf[n:]...)
+		return err
+	}
 	w.sinceSnap.Add(w.pending)
 	w.buf = w.buf[:0]
 	w.pending = 0
-	if err != nil {
-		w.ioErr = fmt.Errorf("journal: append: %w", err)
+	return nil
+}
+
+// failLocked records the first sticky I/O failure, flipping the journal
+// into the degraded state: writes are refused with this reason from now
+// on, while reads and the already-durable history stay servable.  The
+// health channel is closed exactly once so watchers (the follower tailer,
+// the server's ROLE verb) learn of the flip without polling.  Callers
+// hold w.mu.
+func (w *Writer) failLocked(err error) {
+	if w.ioErr != nil || err == nil {
+		return
 	}
+	w.ioErr = err
+	close(w.hlCh)
+}
+
+// Health reports whether the journal is accepting writes.  A degraded
+// journal (healthy == false) carries its first sticky I/O failure as the
+// reason; the degraded contract keeps MVCC reads serving and the log
+// valid through the commit watermark, but refuses every new write.
+func (w *Writer) Health() (healthy bool, reason string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.ioErr == nil {
+		return true, ""
+	}
+	return false, w.ioErr.Error()
+}
+
+// healthChan returns the channel closed when the journal degrades.
+func (w *Writer) healthChan() <-chan struct{} { return w.hlCh }
+
+// emergencyFree tries to reclaim disk space after an ENOSPC append by
+// compacting the log behind the newest snapshot — the one recovery source
+// that makes every older segment and snapshot disposable.  Called with
+// flushMu held and w.mu released; compaction only touches files recovery
+// tolerates losing, so a crash mid-free is safe.
+func (w *Writer) emergencyFree() {
+	w.compact(w.snapLSN.Load())
 }
 
 // Commit writes every buffered record through to the operating system.
@@ -427,7 +496,20 @@ func (w *Writer) writeBufLocked() {
 func (w *Writer) Commit() error {
 	w.flushMu.Lock()
 	w.mu.Lock()
-	w.writeBufLocked()
+	werr := w.writeBufLocked()
+	if werr != nil && errors.Is(werr, syscall.ENOSPC) && w.ioErr == nil {
+		// Full disk: before degrading, compact away everything the newest
+		// snapshot already covers and retry the append once.  The retained
+		// buffer suffix resumes exactly where the short write stopped, so
+		// a successful retry leaves the log seamless.
+		w.mu.Unlock()
+		w.emergencyFree()
+		w.mu.Lock()
+		werr = w.writeBufLocked()
+	}
+	if werr != nil {
+		w.failLocked(fmt.Errorf("journal: append: %w", werr))
+	}
 	seg := w.seg
 	lsn := w.lastLSN.Load()
 	needSync := w.opt.Fsync && w.ioErr == nil && seg != nil
@@ -437,12 +519,12 @@ func (w *Writer) Commit() error {
 		if serr := seg.Sync(); serr != nil {
 			syncOK = false
 			w.mu.Lock()
-			if w.seg == seg && w.ioErr == nil {
+			if w.seg == seg {
 				// A sync failure on a segment that was retired underneath
 				// us (snapshot re-bootstrap swapped the log) is moot — its
 				// records were superseded wholesale; on the live segment it
 				// is a real durability failure and sticks.
-				w.ioErr = fmt.Errorf("journal: fsync: %w", serr)
+				w.failLocked(fmt.Errorf("journal: fsync: %w", serr))
 			}
 			w.mu.Unlock()
 		}
@@ -457,7 +539,7 @@ func (w *Writer) Commit() error {
 	// are named by first containable LSN) and trip the O_EXCL create.
 	if w.ioErr == nil && w.seg != nil && w.segSize >= w.opt.SegmentBytes && w.lastLSN.Load()+1 > w.segFirst {
 		if err := w.newSegmentLocked(); err != nil {
-			w.ioErr = err
+			w.failLocked(err)
 		}
 	}
 	err := w.ioErr
@@ -558,7 +640,7 @@ func (w *Writer) BootstrapSnapshot(lsn int64, doc []byte) error {
 		return fmt.Errorf("journal: bootstrap snapshot: %w", err)
 	}
 
-	f, err := os.CreateTemp(w.dir, "snapshot-*.tmp")
+	f, err := w.fs.CreateTemp(w.dir, "snapshot-*.tmp")
 	if err != nil {
 		return fmt.Errorf("journal: bootstrap snapshot: %w", err)
 	}
@@ -576,7 +658,7 @@ func (w *Writer) BootstrapSnapshot(lsn int64, doc []byte) error {
 	w.pending = 0
 	w.lastLSN.Store(lsn)
 	if err := w.newSegmentLocked(); err != nil {
-		w.ioErr = err
+		w.failLocked(err)
 		w.mu.Unlock()
 		return err
 	}
@@ -587,13 +669,13 @@ func (w *Writer) BootstrapSnapshot(lsn int64, doc []byte) error {
 
 	// Old segments hold LSNs below the new base and would read as a gap;
 	// they are dead history now that the snapshot is in place.
-	if entries, err := os.ReadDir(w.dir); err == nil {
+	if entries, err := w.fs.ReadDir(w.dir); err == nil {
 		for _, e := range entries {
 			if s, ok := parseSeqName(e.Name(), "journal-", ".log"); ok && s != lsn+1 {
-				os.Remove(filepath.Join(w.dir, e.Name()))
+				w.fs.Remove(filepath.Join(w.dir, e.Name()))
 			}
 			if s, ok := parseSeqName(e.Name(), "snapshot-", ".json"); ok && s != lsn {
-				os.Remove(filepath.Join(w.dir, e.Name()))
+				w.fs.Remove(filepath.Join(w.dir, e.Name()))
 			}
 		}
 	}
@@ -685,7 +767,7 @@ func (w *Writer) Snapshot() error {
 	w.snapMu.Lock()
 	defer w.snapMu.Unlock()
 
-	f, err := os.CreateTemp(w.dir, "snapshot-*.tmp")
+	f, err := w.fs.CreateTemp(w.dir, "snapshot-*.tmp")
 	if err != nil {
 		return fmt.Errorf("journal: snapshot: %w", err)
 	}
@@ -703,14 +785,14 @@ func (w *Writer) Snapshot() error {
 	w.applyMu.Unlock()
 	if err != nil {
 		f.Close()
-		os.Remove(tmp)
+		w.fs.Remove(tmp)
 		return fmt.Errorf("journal: snapshot: %w", err)
 	}
 	defer v.Close()
 	if lsn <= w.snapLSN.Load() {
 		// Nothing newer than the snapshot already on disk.
 		f.Close()
-		os.Remove(tmp)
+		w.fs.Remove(tmp)
 		return nil
 	}
 	err = v.SaveTo(f)
@@ -738,7 +820,7 @@ func (w *Writer) Snapshot() error {
 // removed and nothing is installed.  Both snapshot producers (Snapshot
 // and BootstrapSnapshot) install through here, so crash-safety fixes to
 // the sequence apply to both.
-func (w *Writer) sealSnapshot(f *os.File, werr error, lsn int64) error {
+func (w *Writer) sealSnapshot(f faultfs.File, werr error, lsn int64) error {
 	tmp := f.Name()
 	err := werr
 	if err == nil {
@@ -748,10 +830,10 @@ func (w *Writer) sealSnapshot(f *os.File, werr error, lsn int64) error {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp, filepath.Join(w.dir, snapshotName(lsn)))
+		err = w.fs.Rename(tmp, filepath.Join(w.dir, snapshotName(lsn)))
 	}
 	if err != nil {
-		os.Remove(tmp)
+		w.fs.Remove(tmp)
 		return fmt.Errorf("journal: snapshot: %w", err)
 	}
 	return nil
@@ -763,7 +845,7 @@ func (w *Writer) sealSnapshot(f *os.File, werr error, lsn int64) error {
 // races harmlessly with rotation: a segment created concurrently starts
 // past lsn and is never considered.
 func (w *Writer) compact(lsn int64) {
-	entries, err := os.ReadDir(w.dir)
+	entries, err := w.fs.ReadDir(w.dir)
 	if err != nil {
 		return // compaction is best-effort; recovery tolerates extra files
 	}
@@ -773,13 +855,13 @@ func (w *Writer) compact(lsn int64) {
 			starts = append(starts, s)
 		}
 		if s, ok := parseSeqName(e.Name(), "snapshot-", ".json"); ok && s < lsn {
-			os.Remove(filepath.Join(w.dir, e.Name()))
+			w.fs.Remove(filepath.Join(w.dir, e.Name()))
 		}
 	}
 	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
 	for i := 0; i+1 < len(starts); i++ {
 		if starts[i+1] <= lsn+1 {
-			os.Remove(filepath.Join(w.dir, segmentName(starts[i])))
+			w.fs.Remove(filepath.Join(w.dir, segmentName(starts[i])))
 		}
 	}
 }
@@ -804,10 +886,15 @@ func (w *Writer) snapshotLoop() {
 			}
 		}
 		if err := w.Snapshot(); err != nil {
-			w.mu.Lock()
-			if w.ioErr == nil {
-				w.ioErr = err
+			// A full disk is not yet fatal: the append path frees space by
+			// compacting behind the last good snapshot and the trigger
+			// stays armed, so the snapshot retries once space returns.
+			// Anything else is a durability failure and degrades the node.
+			if errors.Is(err, syscall.ENOSPC) {
+				continue
 			}
+			w.mu.Lock()
+			w.failLocked(err)
 			w.mu.Unlock()
 		}
 	}

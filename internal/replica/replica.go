@@ -87,6 +87,13 @@ func (s *Source) ServeFollow(from, fromTerm int64, stop <-chan struct{}, send fu
 			}
 		case journal.FollowMark:
 			err = send(fmt.Sprintf("%s %d", wire.FollowFrameWatermark, ev.Watermark))
+		case journal.FollowHealth:
+			// The primary's journal degraded: tell the caught-up follower
+			// its parked watermark is final until the disk fault clears.
+			// Reasons travel as one space-folded token so the line stays
+			// trivially tokenizable.
+			err = send(fmt.Sprintf("%s degraded %s", wire.FollowFrameHealth,
+				wire.Quote(strings.ReplaceAll(ev.Reason, " ", "_"))))
 		}
 		if err != nil {
 			return err
@@ -121,6 +128,8 @@ type Follower struct {
 	conn        *server.Client
 	err         error // terminal replication error; nil while healthy
 	advCh       chan struct{}
+
+	upHealth atomic.Value // string: "" unknown/ok, else the upstream's degraded reason
 
 	stats struct {
 		connects   atomic.Int64 // successful dials
@@ -223,6 +232,16 @@ func (f *Follower) Stats() FollowerStats {
 		Records:    f.stats.records.Load(),
 		Acks:       f.stats.acks.Load(),
 	}
+}
+
+// UpstreamHealth reports what the primary last said about its own journal:
+// ok is false (with the primary's reason) after a health frame announced
+// upstream degradation, and flips back to true the moment records flow
+// again — a recovered or replaced primary clears the flag by making
+// progress, not by an explicit all-clear frame.
+func (f *Follower) UpstreamHealth() (ok bool, reason string) {
+	r, _ := f.upHealth.Load().(string)
+	return r == "", r
 }
 
 // Writer exposes the follower's own journal writer — the chaining handle:
@@ -501,6 +520,7 @@ func (f *Follower) apply(fr server.FollowFrame) error {
 		if err := f.w.ApplyAppend(*fr.Rec); err != nil {
 			return terminalError{err}
 		}
+		f.upHealth.Store("") // records flowing again: upstream recovered
 		f.stats.records.Add(1)
 		f.mu.Lock()
 		f.applied = fr.Rec.LSN
@@ -545,6 +565,16 @@ func (f *Follower) apply(fr server.FollowFrame) error {
 		f.wakeLocked()
 		f.mu.Unlock()
 		f.sendAck(applied)
+
+	case fr.Health:
+		// Upstream degraded: the parked watermark is final until its disk
+		// fault clears.  Remember why, for this node's own ROLE health and
+		// operators asking the replica what happened to its primary.
+		reason := fr.HealthReason
+		if reason == "" {
+			reason = "upstream degraded"
+		}
+		f.upHealth.Store(reason)
 	}
 	return nil
 }

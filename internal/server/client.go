@@ -23,15 +23,63 @@ type Client struct {
 
 	// User attributes subsequent requests to a designer.
 	User string
+
+	// Timeout bounds each request/response round-trip (and the FOLLOW
+	// handshake) when positive: a hung server surfaces as ErrTimeout
+	// instead of blocking the caller forever.  It deliberately does not
+	// bound the reads between follow-stream frames — an idle primary
+	// commits nothing, and that silence is healthy.
+	Timeout time.Duration
 }
+
+// ErrTimeout marks an I/O deadline expiry on a client operation — the
+// hung-server case, distinguishable from a refused or broken connection.
+var ErrTimeout = errors.New("client: operation timed out")
 
 // Dial connects to a project server.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	return DialTimeout(addr, 5*time.Second, 0)
+}
+
+// DialTimeout connects to a project server with an explicit dial timeout
+// and a per-operation I/O timeout (0 disables the latter, matching Dial).
+func DialTimeout(addr string, dial, op time.Duration) (*Client, error) {
+	if dial <= 0 {
+		dial = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, dial)
 	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return nil, fmt.Errorf("%w: dial %s: %v", ErrTimeout, addr, err)
+		}
 		return nil, fmt.Errorf("client: %w", err)
 	}
-	return &Client{conn: conn, r: bufio.NewReaderSize(conn, 64*1024), w: bufio.NewWriter(conn)}, nil
+	return &Client{conn: conn, r: bufio.NewReaderSize(conn, 64*1024), w: bufio.NewWriter(conn), Timeout: op}, nil
+}
+
+// arm sets the connection deadline one operation ahead; disarm clears it
+// so a deliberately long-lived wait (the follow stream) is not cut short.
+func (c *Client) arm() {
+	if c.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.Timeout))
+	}
+}
+
+func (c *Client) disarm() {
+	if c.Timeout > 0 {
+		c.conn.SetDeadline(time.Time{})
+	}
+}
+
+// wrapTimeout converts a deadline expiry into the typed ErrTimeout while
+// passing every other error through untouched.
+func wrapTimeout(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	return err
 }
 
 // Close terminates the connection politely.
@@ -91,7 +139,7 @@ func readProtocolLine(r *bufio.Reader) (string, error) {
 func (c *Client) readLine() (string, error) {
 	line, err := readProtocolLine(c.r)
 	if err != nil && err != io.EOF {
-		return "", fmt.Errorf("client: %w", err)
+		return "", fmt.Errorf("client: %w", wrapTimeout(err))
 	}
 	return line, err
 }
@@ -101,11 +149,13 @@ func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
 	if req.User == "" {
 		req.User = c.User
 	}
+	c.arm()
+	defer c.disarm()
 	if _, err := c.w.WriteString(req.Encode() + "\n"); err != nil {
-		return wire.Response{}, fmt.Errorf("client: send: %w", err)
+		return wire.Response{}, fmt.Errorf("client: send: %w", wrapTimeout(err))
 	}
 	if err := c.w.Flush(); err != nil {
-		return wire.Response{}, fmt.Errorf("client: send: %w", err)
+		return wire.Response{}, fmt.Errorf("client: send: %w", wrapTimeout(err))
 	}
 	line, err := c.readLine()
 	if err != nil {
@@ -321,6 +371,12 @@ type FollowFrame struct {
 	// record the primary has committed up to Watermark.
 	Mark      bool
 	Watermark int64
+
+	// Health is true on a health frame: the upstream journal degraded and
+	// refuses writes, so the last watermark is final until its disk fault
+	// is resolved.  HealthReason carries the upstream's sticky error.
+	Health       bool
+	HealthReason string
 }
 
 // ErrFollowRefused marks a FOLLOW the server rejected outright (not a
@@ -357,13 +413,19 @@ func (c *Client) FollowFrom(after, term int64, fn func(FollowFrame) error) error
 	if term > 0 {
 		args = append(args, strconv.FormatInt(term, 10))
 	}
+	// The handshake is a bounded round-trip and gets the deadline; the
+	// stream after it may legitimately sit idle forever and must not.
+	c.arm()
 	if _, err := c.w.WriteString(wire.Request{Verb: wire.VerbFollow, Args: args}.Encode() + "\n"); err != nil {
-		return fmt.Errorf("client: send: %w", err)
+		c.disarm()
+		return fmt.Errorf("client: send: %w", wrapTimeout(err))
 	}
 	if err := c.w.Flush(); err != nil {
-		return fmt.Errorf("client: send: %w", err)
+		c.disarm()
+		return fmt.Errorf("client: send: %w", wrapTimeout(err))
 	}
 	line, err := c.readLine()
+	c.disarm()
 	if err != nil {
 		return fmt.Errorf("client: recv: %w", err)
 	}
@@ -441,6 +503,13 @@ func (c *Client) FollowFrom(after, term int64, fn func(FollowFrame) error) error
 			frame.Mark = true
 			frame.Watermark = lsn
 
+		case wire.FollowFrameHealth:
+			if len(fields) < 2 {
+				return fmt.Errorf("client: follow stream: bad health frame %q", content)
+			}
+			frame.Health = true
+			frame.HealthReason = strings.Join(fields[2:], " ")
+
 		case wire.FollowFrameError:
 			return fmt.Errorf("client: %s: %w", strings.Join(fields[1:], " "), ErrFollowStream)
 
@@ -475,10 +544,12 @@ type RoleInfo struct {
 	Term      int64
 	Applied   int64
 	Watermark int64
+	Health    string // "ok" or "degraded" ("" from a server predating health)
+	Reason    string // degraded reason, spaces folded to underscores on the wire
 }
 
-// Role queries the server's replication role, election term, applied LSN
-// and commit watermark.
+// Role queries the server's replication role, election term, applied LSN,
+// commit watermark and health.
 func (c *Client) Role() (RoleInfo, error) {
 	resp, err := c.do(wire.VerbRole)
 	if err != nil {
@@ -493,19 +564,23 @@ func (c *Client) Role() (RoleInfo, error) {
 		switch k {
 		case "role":
 			info.Role = v
-			continue
-		}
-		n, err := strconv.ParseInt(v, 10, 64)
-		if err != nil {
-			return RoleInfo{}, fmt.Errorf("client: ROLE: bad field %q in %q", f, resp.Detail)
-		}
-		switch k {
-		case "term":
-			info.Term = n
-		case "applied":
-			info.Applied = n
-		case "watermark":
-			info.Watermark = n
+		case "health":
+			info.Health = v
+		case "reason":
+			info.Reason = v
+		case "term", "applied", "watermark":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return RoleInfo{}, fmt.Errorf("client: ROLE: bad field %q in %q", f, resp.Detail)
+			}
+			switch k {
+			case "term":
+				info.Term = n
+			case "applied":
+				info.Applied = n
+			case "watermark":
+				info.Watermark = n
+			}
 		}
 	}
 	if info.Role == "" || info.Term == 0 {

@@ -9,10 +9,14 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"log"
+	"math/rand/v2"
 	"net"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bpl"
@@ -48,10 +52,70 @@ type Server struct {
 
 	quorum *quorum
 
+	limits   Limits
+	inflight chan struct{} // admission semaphore; nil = unlimited
+	logf     func(format string, args ...any)
+
+	// testHookHandle, when set by an in-package test, runs at the top of
+	// every handled request — the seam overload tests use to park a
+	// request inside its in-flight slot.
+	testHookHandle func(wire.Request)
+
 	async    bool
 	wake     chan struct{}
 	quit     chan struct{}
 	drainErr error
+}
+
+// Limits bounds the server's exposure to slow, stuck or excessive
+// clients.  The zero value means unlimited connections and in-flight
+// requests, no deadlines, and the default BATCH bound — the historical
+// behaviour, minus unbounded BATCH.
+type Limits struct {
+	// MaxConns caps concurrent connections; past it, new connections are
+	// shed with an explicit "overloaded" error line, never silently
+	// dropped.  0 means unlimited.
+	MaxConns int
+
+	// MaxInflight caps concurrently-executing requests across all
+	// connections (FOLLOW streams are exempt — they are subscriptions,
+	// bounded by MaxConns).  Excess requests are refused with
+	// "overloaded", not queued: the client knows immediately and can back
+	// off.  0 means unlimited.
+	MaxInflight int
+
+	// MaxBatchItems caps items in one BATCH request; 0 means
+	// DefaultMaxBatchItems.  A bound always applies: one request must not
+	// expand into unbounded queued work.
+	MaxBatchItems int
+
+	// IdleTimeout closes a connection whose next request does not arrive
+	// in time.  It does not apply to FOLLOW connections, which are
+	// legitimately silent between commits.  0 means no deadline.
+	IdleTimeout time.Duration
+
+	// WriteTimeout bounds each write to the client, so a stalled consumer
+	// of a large REPORT or a follow stream kills its own connection
+	// instead of parking a handler goroutine forever.  0 means no
+	// deadline.
+	WriteTimeout time.Duration
+}
+
+// DefaultMaxBatchItems bounds BATCH when Limits leaves it unset.
+const DefaultMaxBatchItems = 4096
+
+// WithLimits applies connection, admission and deadline bounds.
+func WithLimits(l Limits) Option { return func(s *Server) { s.limits = l } }
+
+// WithLogger routes the server's diagnostics (handler panics, accept
+// backoff) through logf; the default is the standard library's
+// log.Printf.
+func WithLogger(logf func(format string, args ...any)) Option {
+	return func(s *Server) {
+		if logf != nil {
+			s.logf = logf
+		}
+	}
 }
 
 // FollowSource produces the primary-side replication stream for one
@@ -156,15 +220,40 @@ func New(eng *engine.Engine, opts ...Option) *Server {
 		conns: make(map[net.Conn]bool),
 		wake:  make(chan struct{}, 1),
 		quit:  make(chan struct{}),
+		logf:  log.Printf,
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.limits.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, s.limits.MaxInflight)
 	}
 	if s.async {
 		s.wg.Add(1)
 		go s.drainLoop()
 	}
 	return s
+}
+
+// admit reserves an in-flight execution slot, returning its release and
+// whether the request may run.  Saturation sheds immediately rather than
+// queueing: an explicit "overloaded" travels back to the client while the
+// server's actual work stays bounded.
+func (s *Server) admit() (release func(), ok bool) {
+	if s.inflight == nil {
+		return func() {}, true
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return func() { <-s.inflight }, true
+	default:
+		return nil, false
+	}
+}
+
+// overloadedResp is the explicit shed response of the admission gates.
+func overloadedResp(what string) wire.Response {
+	return wire.Response{OK: false, Detail: "overloaded: " + what}
 }
 
 // drainLoop is the background event processor of async mode.
@@ -223,13 +312,18 @@ func (s *Server) getReadOnly() ReadFollower {
 }
 
 // commitJournal flushes the journal, if one is attached — called by
-// mutating verbs whose changes do not pass through a drain.
+// mutating verbs whose changes do not pass through a drain.  A failure
+// here is the journal-io degraded contract speaking: the prefix tells the
+// client its write was refused by the disk, not the protocol.
 func (s *Server) commitJournal() error {
 	j := s.getJournal()
 	if j == nil {
 		return nil
 	}
-	return j.Commit()
+	if err := j.Commit(); err != nil {
+		return fmt.Errorf("journal-io: %v", err)
+	}
+	return nil
 }
 
 // ackGate blocks a just-committed write until the configured quorum of
@@ -272,16 +366,49 @@ func (s *Server) Listen(addr string) (string, error) {
 
 func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
+	const backoffMin, backoffMax = 5 * time.Millisecond, time.Second
+	backoff := backoffMin
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			// A transient accept failure (EMFILE under connection pressure
+			// is the classic) must not tight-loop the CPU or, worse, kill
+			// the accept loop and silently stop the server.  Back off with
+			// jitter and retry; anything else means the listener is gone.
+			if te, ok := err.(interface{ Temporary() bool }); ok && te.Temporary() {
+				d := backoff + rand.N(backoff)
+				s.logf("server: accept: %v (retrying in %v)", err, d)
+				select {
+				case <-s.quit:
+					return
+				case <-time.After(d):
+				}
+				if backoff < backoffMax {
+					backoff *= 2
+				}
+				continue
+			}
 			return // listener closed
 		}
+		backoff = backoffMin
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			conn.Close()
 			return
+		}
+		if s.limits.MaxConns > 0 && len(s.conns) >= s.limits.MaxConns {
+			// Shed, loudly: the one line tells the client this is load, not
+			// a network failure, so its retry policy can be deliberate.
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+				fmt.Fprintf(conn, "%s\n", overloadedResp(fmt.Sprintf("connection limit %d reached", s.limits.MaxConns)).Encode())
+				conn.Close()
+			}()
+			continue
 		}
 		s.conns[conn] = true
 		s.mu.Unlock()
@@ -324,17 +451,58 @@ func (s *Server) dropConn(c net.Conn) {
 	c.Close()
 }
 
+// timeoutConn applies the configured idle/write deadlines around every
+// Read and Write, so one stalled peer kills its own connection instead of
+// parking a handler goroutine (and its buffers) forever.
+type timeoutConn struct {
+	net.Conn
+	idle, write time.Duration
+	noIdle      atomic.Bool
+}
+
+func (c *timeoutConn) Read(p []byte) (int, error) {
+	if c.idle > 0 && !c.noIdle.Load() {
+		c.Conn.SetReadDeadline(time.Now().Add(c.idle))
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *timeoutConn) Write(p []byte) (int, error) {
+	if c.write > 0 {
+		c.Conn.SetWriteDeadline(time.Now().Add(c.write))
+	}
+	return c.Conn.Write(p)
+}
+
+// disableIdle lifts the idle read deadline for connection modes that are
+// legitimately silent for long stretches — the FOLLOW ack reader, whose
+// follower only speaks when records flow.
+func (c *timeoutConn) disableIdle() {
+	c.noIdle.Store(true)
+	c.Conn.SetReadDeadline(time.Time{})
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.dropConn(conn)
-	r := bufio.NewReaderSize(conn, 64*1024)
-	w := bufio.NewWriter(conn)
+	// A panicking handler must cost exactly its own connection, never the
+	// node: the panic is logged with its stack and the connection closes,
+	// while every other client — and the journal — carries on.
+	defer func() {
+		if p := recover(); p != nil {
+			s.logf("server: panic in connection handler: %v\n%s", p, debug.Stack())
+		}
+	}()
+	tc := &timeoutConn{Conn: conn, idle: s.limits.IdleTimeout, write: s.limits.WriteTimeout}
+	r := bufio.NewReaderSize(tc, 64*1024)
+	w := bufio.NewWriter(tc)
 	for {
 		line, err := readProtocolLine(r)
 		if err != nil {
-			// Transport end, oversized line, or a final fragment torn off
-			// mid-send.  A fragment is never executed: a truncated request
-			// can parse as a valid, different request, and on a journaled
-			// primary the wrong mutation would be committed and replicated.
+			// Transport end, idle deadline, oversized line, or a final
+			// fragment torn off mid-send.  A fragment is never executed: a
+			// truncated request can parse as a valid, different request,
+			// and on a journaled primary the wrong mutation would be
+			// committed and replicated.
 			return
 		}
 		if strings.TrimSpace(line) == "" {
@@ -350,17 +518,34 @@ func (s *Server) serveConn(conn net.Conn) {
 			case wire.VerbFollow:
 				// FOLLOW dedicates the connection to the record stream;
 				// when it returns, the conversation is over either way.
+				// The stream is a subscription, not a request: it takes no
+				// in-flight slot (MaxConns bounds it) and may sit idle
+				// between commits without tripping the idle deadline.
+				tc.disableIdle()
 				s.serveFollow(r, w, req)
 				return
 			case wire.VerbReport, wire.VerbGap:
 				// Streamed: rows are flushed to the socket as they are
 				// evaluated instead of buffering the whole body.
-				if !s.streamReport(w, req) {
+				release, admitted := s.admit()
+				if !admitted {
+					resp = overloadedResp("too many in-flight requests")
+					break
+				}
+				alive := s.streamReport(w, req)
+				release()
+				if !alive {
 					return
 				}
 				continue
 			default:
+				release, admitted := s.admit()
+				if !admitted {
+					resp = overloadedResp("too many in-flight requests")
+					break
+				}
 				resp, quit = s.handle(req)
+				release()
 			}
 		}
 		if _, err := w.WriteString(resp.Encode() + "\n"); err != nil {
@@ -591,16 +776,28 @@ func (s *Server) Handle(req wire.Request) wire.Response {
 }
 
 func (s *Server) handle(req wire.Request) (wire.Response, bool) {
+	if s.testHookHandle != nil {
+		s.testHookHandle(req)
+	}
 	fail := func(format string, args ...any) (wire.Response, bool) {
 		return wire.Response{OK: false, Detail: fmt.Sprintf(format, args...)}, false
 	}
 	ok := func(format string, args ...any) (wire.Response, bool) {
 		return wire.Response{OK: true, Detail: fmt.Sprintf(format, args...)}, false
 	}
-	if ro := s.getReadOnly(); ro != nil {
-		switch req.Verb {
-		case wire.VerbPost, wire.VerbBatch, wire.VerbCreate, wire.VerbLink, wire.VerbSnapshot:
+	switch req.Verb {
+	case wire.VerbPost, wire.VerbBatch, wire.VerbCreate, wire.VerbLink, wire.VerbSnapshot:
+		if ro := s.getReadOnly(); ro != nil {
 			return fail("read-only follower: %s refused (write to the primary)", req.Verb)
+		}
+		// The degraded-mode contract: once the journal has hit a sticky
+		// I/O failure, every write is refused up front with the reason —
+		// never accepted-then-lost, never silently un-acked — while reads
+		// keep serving below.
+		if j := s.getJournal(); j != nil {
+			if healthy, reason := j.Health(); !healthy {
+				return fail("journal-io: %s (node degraded: writes refused, reads still served)", reason)
+			}
 		}
 	}
 	switch req.Verb {
@@ -619,16 +816,18 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 
 	case wire.VerbRole:
 		// One line a failover driver can act on: who am I, which election
-		// term, how far has my history reached.
+		// term, how far has my history reached, and is my disk (or my
+		// upstream's) still accepting writes.
 		switch ro, j := s.getReadOnly(), s.getJournal(); {
 		case ro != nil:
-			return ok("role=follower term=%d applied=%d watermark=%d",
-				ro.Term(), ro.AppliedLSN(), ro.Watermark())
+			return ok("role=follower term=%d applied=%d watermark=%d%s",
+				ro.Term(), ro.AppliedLSN(), ro.Watermark(), followerHealthFields(ro))
 		case j != nil:
-			return ok("role=primary term=%d applied=%d watermark=%d",
-				j.Term(), j.LastLSN(), j.CommittedLSN())
+			health, reason := j.Health()
+			return ok("role=primary term=%d applied=%d watermark=%d%s",
+				j.Term(), j.LastLSN(), j.CommittedLSN(), healthFields(health, reason))
 		default:
-			return ok("role=primary term=1 applied=0 watermark=0")
+			return ok("role=primary term=1 applied=0 watermark=0 health=ok")
 		}
 
 	case wire.VerbPromote:
@@ -726,6 +925,15 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 		// queued.
 		if len(req.Args) == 0 {
 			return fail("BATCH wants at least one <event dir oid [args...]> item")
+		}
+		maxItems := s.limits.MaxBatchItems
+		if maxItems <= 0 {
+			maxItems = DefaultMaxBatchItems
+		}
+		if len(req.Args) > maxItems {
+			// Bounded intake: one request must not expand into unbounded
+			// queued work.  Nothing was posted — the client can split.
+			return fail("BATCH: %d items exceeds the %d-item bound (split the batch)", len(req.Args), maxItems)
 		}
 		body := make([]string, 0, len(req.Args))
 		posted := 0
@@ -974,4 +1182,39 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 	default:
 		return fail("unknown verb %q", req.Verb)
 	}
+}
+
+// healthFields renders the ROLE health suffix.  The reason is folded to
+// one space-free token so the line stays trivially field-splittable.
+func healthFields(healthy bool, reason string) string {
+	if healthy {
+		return " health=ok"
+	}
+	return " health=degraded reason=" + healthToken(reason)
+}
+
+// followerHealthFields derives a follower's health suffix: its own
+// replication loop failing terminally, or its upstream reporting a
+// degraded journal, both surface here.  The checks are optional
+// interfaces so any ReadFollower keeps working.
+func followerHealthFields(ro ReadFollower) string {
+	if e, ok := ro.(interface{ Err() error }); ok {
+		if err := e.Err(); err != nil {
+			return " health=degraded reason=" + healthToken("replication: "+err.Error())
+		}
+	}
+	if u, ok := ro.(interface{ UpstreamHealth() (bool, string) }); ok {
+		if upOK, reason := u.UpstreamHealth(); !upOK {
+			return " health=degraded reason=" + healthToken("upstream: "+reason)
+		}
+	}
+	return " health=ok"
+}
+
+func healthToken(reason string) string {
+	reason = strings.TrimSpace(reason)
+	if reason == "" {
+		reason = "unknown"
+	}
+	return strings.ReplaceAll(reason, " ", "_")
 }

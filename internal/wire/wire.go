@@ -79,6 +79,12 @@ const (
 	FollowFrameRecord    = "record"
 	FollowFrameWatermark = "watermark"
 	FollowFrameError     = "error"
+
+	// FollowFrameHealth — "health degraded <reason>" — tells a caught-up
+	// follower its upstream flipped to the degraded state: the preceding
+	// watermark is final until the primary's disk fault is resolved.  The
+	// stream stays open; the frame is informational, not terminal.
+	FollowFrameHealth = "health"
 )
 
 // EncodeFollowRecord renders one journal record as a follow-stream body

@@ -2,6 +2,7 @@ package wrapper
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/meta"
 	"repro/internal/server"
@@ -22,6 +23,18 @@ type Remote struct {
 // NewRemote binds a connected client and a local tool suite.
 func NewRemote(c *server.Client, suite *tools.Suite) *Remote {
 	return &Remote{Client: c, Suite: suite}
+}
+
+// DialRemote connects to a project server with dial and per-operation
+// timeouts, so a wrapper on a designer's machine fails a hung server fast
+// (as server.ErrTimeout) instead of blocking a tool invocation forever.
+// op 0 disables per-operation deadlines.
+func DialRemote(addr string, suite *tools.Suite, dial, op time.Duration) (*Remote, error) {
+	c, err := server.DialTimeout(addr, dial, op)
+	if err != nil {
+		return nil, fmt.Errorf("wrapper: %w", err)
+	}
+	return &Remote{Client: c, Suite: suite}, nil
 }
 
 // RequireUpToDate performs the permission query of section 3.3 remotely.
