@@ -1,0 +1,298 @@
+// Command loadgen is the open-loop load harness for damocles: it drives
+// a declarative mixed-op scenario (hierarchy check-ins, report/gap
+// storms against pinned LSNs, workspace churn, mid-traffic blueprint
+// swaps) against a real server — spawned here or already running — at a
+// fixed or ramping arrival rate, measures per-op-class latency from the
+// intended arrival times (coordinated omission is measured, not hidden),
+// samples replication lag, and emits LOAD_<n>.json next to the BENCH
+// files.  With -chaos it SIGKILLs the primary mid-run, promotes a
+// follower through the real CLI, re-points the survivors, and audits
+// zero acked-write loss plus the SLO recovery time.  See docs/LOAD.md.
+//
+// Usage:
+//
+//	loadgen -spawn -followers 2 -ack 1 -preset mixed -chaos -out LOAD_1.json
+//	loadgen -addr 127.0.0.1:7077 -preset smoke
+//	loadgen -scenario my.json -spawn
+//	loadgen -gate -base LOAD_base.json -pr LOAD_pr.json -limit 40
+//	loadgen -facts
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/load"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "drive an already-running primary at this address")
+		followers = flag.String("followers", "", "comma-separated follower addresses (with -addr), or a count (with -spawn)")
+		spawn     = flag.Bool("spawn", false, "spawn a fresh cluster (primary + followers) for the run")
+		bin       = flag.String("bin", "", "damocles binary for -spawn (default: go build ./cmd/damocles)")
+		ack       = flag.Int("ack", 0, "quorum acks for the spawned primary (damocles -ack)")
+		fsync     = flag.Bool("fsync", false, "fsync per commit on spawned nodes")
+		preset    = flag.String("preset", "", "built-in scenario: smoke, mixed, soak")
+		scenario  = flag.String("scenario", "", "JSON scenario spec file (overrides -preset)")
+		rate      = flag.Float64("rate", 0, "override the scenario arrival rate (ops/sec)")
+		duration  = flag.Duration("duration", 0, "override the scenario duration")
+		workers   = flag.Int("workers", 0, "override the scenario virtual-user count")
+		out       = flag.String("out", "", "output path (default: next free LOAD_<n>.json in the working dir)")
+		chaos     = flag.Bool("chaos", false, "kill the primary mid-run and audit the failover (needs -spawn and followers)")
+		killAfter = flag.Duration("kill-after", 0, "offset of the chaos kill (default: half the scenario duration)")
+		sloHard   = flag.Bool("slo-enforce", false, "exit non-zero on SLO ceiling violations")
+		quiet     = flag.Bool("q", false, "suppress progress logging")
+
+		gate  = flag.Bool("gate", false, "gate mode: compare -pr against -base instead of running load")
+		base  = flag.String("base", "", "gate mode: baseline LOAD json")
+		pr    = flag.String("pr", "", "gate mode: candidate LOAD json")
+		limit = flag.Float64("limit", 40, "gate mode: allowed p99 regression percent")
+
+		facts = flag.Bool("facts", false, "print the runner facts JSON (gomaxprocs/numcpu/affinity) and exit")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	if *facts {
+		data, _ := json.Marshal(load.RunnerFacts())
+		fmt.Println(string(data))
+		return
+	}
+	if *gate {
+		os.Exit(runGate(*base, *pr, *limit))
+	}
+
+	spec, err := resolveScenario(*preset, *scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *rate > 0 {
+		spec.Rate = *rate
+	}
+	if *duration > 0 {
+		spec.Duration = load.Dur{D: *duration}
+	}
+	if *workers > 0 {
+		spec.Workers = *workers
+	}
+
+	var (
+		cluster  *load.Cluster
+		primary  string
+		folAddrs []string
+	)
+	switch {
+	case *spawn:
+		b := *bin
+		if b == "" {
+			logf("building damocles...")
+			b, err = load.BuildDamocles("")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer os.Remove(b)
+		}
+		n := 0
+		if *followers != "" {
+			n, err = strconv.Atoi(*followers)
+			if err != nil {
+				log.Fatalf("loadgen: -spawn wants a follower count, got %q", *followers)
+			}
+		}
+		cluster, err = load.StartCluster(b, load.ClusterOpts{
+			Followers: n, Ack: *ack, Fsync: *fsync, Logf: logf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cluster.Close()
+		primary = cluster.Primary.Addr
+		folAddrs = cluster.FollowerAddrs()
+	case *addr != "":
+		primary = *addr
+		if *followers != "" {
+			folAddrs = strings.Split(*followers, ",")
+		}
+	default:
+		log.Fatal("loadgen: need -addr or -spawn (try -spawn -preset smoke)")
+	}
+
+	r := &load.Runner{Spec: spec, Primary: primary, Followers: folAddrs, Logf: logf}
+	if *chaos {
+		if cluster == nil || len(folAddrs) == 0 {
+			log.Fatal("loadgen: -chaos needs -spawn and at least one follower")
+		}
+		ka := *killAfter
+		if ka <= 0 {
+			ka = spec.Duration.D / 2
+		}
+		r.Chaos = &load.ChaosPlan{Cluster: cluster, KillAfter: ka}
+		logf("chaos armed: primary dies at +%v", ka)
+	}
+
+	res, err := r.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	path, index := outPath(*out)
+	res.Index = index
+	resStamp(res, index)
+	if err := res.WriteJSON(path); err != nil {
+		log.Fatal(err)
+	}
+	printSummary(res, path)
+
+	if res.Chaos != nil && res.Chaos.Enabled {
+		if res.Chaos.NewPrimary == "" {
+			log.Fatal("loadgen: chaos failover did not complete")
+		}
+		if res.Chaos.AckedLost > 0 {
+			log.Fatalf("loadgen: %d ACKED WRITES LOST in failover", res.Chaos.AckedLost)
+		}
+	}
+	if *sloHard && len(res.SLOViolations) > 0 {
+		log.Fatalf("loadgen: SLO violations: %s", strings.Join(res.SLOViolations, "; "))
+	}
+}
+
+func resolveScenario(preset, file string) (load.Scenario, error) {
+	if file != "" {
+		return load.LoadScenario(file)
+	}
+	if preset == "" {
+		preset = "smoke"
+	}
+	return load.Preset(preset)
+}
+
+// resStamp is split out so the stamp happens after Run (git state is
+// read here, not inside the measurement window).
+func resStamp(res *load.Result, index int) { res.Stamp(index) }
+
+var loadFileRE = regexp.MustCompile(`^LOAD_(\d+)\.json$`)
+
+// outPath resolves the output file: an explicit -out (index parsed from
+// its name when it matches LOAD_<n>.json), or the next free index in
+// the working directory.
+func outPath(out string) (string, int) {
+	if out != "" {
+		if m := loadFileRE.FindStringSubmatch(filepath.Base(out)); m != nil {
+			n, _ := strconv.Atoi(m[1])
+			return out, n
+		}
+		return out, 0
+	}
+	max := 0
+	entries, _ := os.ReadDir(".")
+	for _, e := range entries {
+		if m := loadFileRE.FindStringSubmatch(e.Name()); m != nil {
+			if n, _ := strconv.Atoi(m[1]); n > max {
+				max = n
+			}
+		}
+	}
+	return fmt.Sprintf("LOAD_%d.json", max+1), max + 1
+}
+
+func printSummary(res *load.Result, path string) {
+	fmt.Printf("scenario %s: %d arrivals, %d completed, %d dropped, %d errors in %.1fs\n",
+		res.Name, res.Arrivals, res.Completed, res.Dropped, res.ErrorsAll, res.WallS)
+	for _, class := range sortedClasses(res) {
+		op := res.Ops[class]
+		fmt.Printf("  %-8s n=%-6d err=%-4d p50=%7.2fms p99=%7.2fms p99.9=%7.2fms max=%7.1fms %.0f ops/s\n",
+			class, op.Count, op.Errors, op.P50Ms, op.P99Ms, op.P999Ms, op.MaxMs, op.Throughput)
+	}
+	if rep := res.Replication; rep != nil && rep.Samples > 0 {
+		fmt.Printf("  replication: follower lag p50=%d p99=%d max=%d LSNs, journal lag p99=%d (n=%d)\n",
+			rep.FollowerLagP50, rep.FollowerLagP99, rep.FollowerLagMax, rep.JournalLagP99, rep.Samples)
+	}
+	if ch := res.Chaos; ch != nil && ch.Enabled {
+		fmt.Printf("  chaos: kill@%.0fms failover=%.0fms outage=%.0fms acked=%d lost=%d slo-recovery=%.0fms recovered=%v converged=%v\n",
+			ch.KillAtMs, ch.FailoverMs, ch.OutageMs, ch.AckedWrites, ch.AckedLost, ch.SLORecoveryMs, ch.Recovered, ch.Converged)
+	}
+	for _, v := range res.SLOViolations {
+		fmt.Printf("  SLO VIOLATION: %s\n", v)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func sortedClasses(res *load.Result) []string {
+	classes := make([]string, 0, len(res.Ops))
+	for c := range res.Ops {
+		classes = append(classes, c)
+	}
+	for i := 1; i < len(classes); i++ {
+		for j := i; j > 0 && classes[j] < classes[j-1]; j-- {
+			classes[j], classes[j-1] = classes[j-1], classes[j]
+		}
+	}
+	return classes
+}
+
+// runGate compares a candidate run against a baseline run from the same
+// machine: for every op class present in both with enough samples, the
+// candidate p99 must stay within limit percent of the baseline (and
+// regressions under an absolute 2ms floor never fail — scheduler jitter
+// on tiny latencies is not a regression).  Returns the process exit code.
+func runGate(basePath, prPath string, limitPct float64) int {
+	if basePath == "" || prPath == "" {
+		log.Print("loadgen: -gate wants -base and -pr")
+		return 2
+	}
+	baseRes, err := load.ReadResult(basePath)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	prRes, err := load.ReadResult(prPath)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	const minSamples = 50
+	const absFloorMs = 2.0
+	failed := false
+	checked := 0
+	for _, class := range sortedClasses(baseRes) {
+		b, p := baseRes.Ops[class], prRes.Ops[class]
+		if p == nil || b.Count < minSamples || p.Count < minSamples {
+			continue
+		}
+		checked++
+		allowed := b.P99Ms * (1 + limitPct/100)
+		verdict := "ok"
+		if p.P99Ms > allowed && p.P99Ms-b.P99Ms > absFloorMs {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-8s p99 base=%7.2fms pr=%7.2fms allowed=%7.2fms %s\n",
+			class, b.P99Ms, p.P99Ms, allowed, verdict)
+	}
+	if prRes.Dropped > baseRes.Dropped && prRes.Dropped > prRes.Arrivals/100 {
+		fmt.Printf("drops    base=%d pr=%d (>1%% of arrivals) REGRESSION\n", baseRes.Dropped, prRes.Dropped)
+		failed = true
+	}
+	if checked == 0 {
+		log.Print("loadgen: gate compared no op classes (sample counts too low?)")
+		return 2
+	}
+	if failed {
+		fmt.Println("load gate: FAIL")
+		return 1
+	}
+	fmt.Println("load gate: PASS")
+	return 0
+}

@@ -1,0 +1,361 @@
+package load
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Proc is one spawned damocles process with its scanned stderr, so the
+// harness can wait for log lines (the bound address, applied positions)
+// and drive real-process chaos: SIGKILL, SIGSTOP partitions, restarts.
+type Proc struct {
+	Cmd  *exec.Cmd
+	Addr string
+	Dir  string // journal directory
+	Args []string
+
+	mu    sync.Mutex
+	lines []string
+	eof   bool
+}
+
+var servingLineRE = regexp.MustCompile(`serving on (\S+)`)
+
+// spawnProc launches bin with args and scans its stderr.
+func spawnProc(bin string, args []string) (*Proc, error) {
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("load: start %s: %w", bin, err)
+	}
+	p := &Proc{Cmd: cmd, Args: args}
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			p.mu.Lock()
+			p.lines = append(p.lines, sc.Text())
+			p.mu.Unlock()
+		}
+		p.mu.Lock()
+		p.eof = true
+		p.mu.Unlock()
+	}()
+	return p, nil
+}
+
+// waitFor polls the scanned stderr for the first match of re, returning
+// its submatches (nil on timeout or process exit).
+func (p *Proc) waitFor(re *regexp.Regexp, timeout time.Duration) []string {
+	deadline := time.Now().Add(timeout)
+	seen := 0
+	for {
+		p.mu.Lock()
+		for ; seen < len(p.lines); seen++ {
+			if m := re.FindStringSubmatch(p.lines[seen]); m != nil {
+				p.mu.Unlock()
+				return m
+			}
+		}
+		eof := p.eof
+		p.mu.Unlock()
+		if eof || time.Now().After(deadline) {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Output returns the accumulated stderr, for diagnostics.
+func (p *Proc) Output() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := ""
+	for _, l := range p.lines {
+		out += l + "\n"
+	}
+	return out
+}
+
+// Kill SIGKILLs the process and reaps it.
+func (p *Proc) Kill() {
+	if p.Cmd.Process != nil && p.Cmd.ProcessState == nil {
+		p.Cmd.Process.Kill()
+		p.Cmd.Wait()
+	}
+}
+
+// Terminate SIGTERMs the process (graceful shutdown) and reaps it.
+func (p *Proc) Terminate() error {
+	if p.Cmd.Process == nil || p.Cmd.ProcessState != nil {
+		return nil
+	}
+	if err := p.Cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	return p.Cmd.Wait()
+}
+
+// Pause SIGSTOPs the process — the harness's network-partition stand-in:
+// a paused follower stops draining its stream and falls behind without
+// its connection dying.
+func (p *Proc) Pause() error { return p.Cmd.Process.Signal(syscall.SIGSTOP) }
+
+// Resume SIGCONTs a paused process.
+func (p *Proc) Resume() error { return p.Cmd.Process.Signal(syscall.SIGCONT) }
+
+// ClusterOpts configures StartCluster.
+type ClusterOpts struct {
+	// Followers is the read-replica count (0: primary only).
+	Followers int
+
+	// Ack gates primary writes on this many follower watermarks
+	// (damocles -ack); 0 disables the quorum gate.
+	Ack int
+
+	// Fsync forces per-commit fsync on every node.
+	Fsync bool
+
+	// BaseDir holds the per-node journal directories (a temp dir when
+	// empty; Close removes it only when the harness created it).
+	BaseDir string
+
+	// Blueprint is an optional -blueprint file path shared by all nodes.
+	Blueprint string
+
+	// Logf receives harness progress lines (nil: silent).
+	Logf func(format string, args ...any)
+}
+
+// Cluster is a real damocles fleet under harness control: one primary,
+// N followers, all spawned from the same binary with their own journal
+// directories — the substrate the chaos mode drives.
+type Cluster struct {
+	Bin       string
+	Primary   *Proc
+	Followers []*Proc
+	Opts      ClusterOpts
+
+	ownsDir bool
+	logf    func(format string, args ...any)
+}
+
+// StartCluster spawns a journaled primary plus opts.Followers followers
+// and waits until every node serves.
+func StartCluster(bin string, opts ClusterOpts) (*Cluster, error) {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	c := &Cluster{Bin: bin, Opts: opts, logf: logf}
+	if opts.BaseDir == "" {
+		dir, err := os.MkdirTemp("", "loadgen-cluster-")
+		if err != nil {
+			return nil, err
+		}
+		opts.BaseDir = dir
+		c.Opts.BaseDir = dir
+		c.ownsDir = true
+	}
+	pdir := filepath.Join(opts.BaseDir, "primary")
+	args := []string{"-addr", "127.0.0.1:0", "-journal", pdir}
+	if opts.Ack > 0 {
+		args = append(args, "-ack", strconv.Itoa(opts.Ack))
+	}
+	if opts.Fsync {
+		args = append(args, "-fsync")
+	}
+	if opts.Blueprint != "" {
+		args = append(args, "-blueprint", opts.Blueprint)
+	}
+	prim, err := c.startServing(args)
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("load: primary: %w", err)
+	}
+	prim.Dir = pdir
+	c.Primary = prim
+	logf("primary serving on %s (journal %s)", prim.Addr, pdir)
+	for i := 0; i < opts.Followers; i++ {
+		fdir := filepath.Join(opts.BaseDir, fmt.Sprintf("follower%d", i))
+		fargs := []string{"-addr", "127.0.0.1:0", "-journal", fdir, "-follow", prim.Addr}
+		if opts.Fsync {
+			fargs = append(fargs, "-fsync")
+		}
+		if opts.Blueprint != "" {
+			fargs = append(fargs, "-blueprint", opts.Blueprint)
+		}
+		fol, err := c.startServing(fargs)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("load: follower %d: %w", i, err)
+		}
+		fol.Dir = fdir
+		c.Followers = append(c.Followers, fol)
+		logf("follower %d serving on %s (journal %s)", i, fol.Addr, fdir)
+	}
+	return c, nil
+}
+
+func (c *Cluster) startServing(args []string) (*Proc, error) {
+	p, err := spawnProc(c.Bin, args)
+	if err != nil {
+		return nil, err
+	}
+	m := p.waitFor(servingLineRE, 20*time.Second)
+	if m == nil {
+		p.Kill()
+		return nil, fmt.Errorf("node did not start serving:\n%s", p.Output())
+	}
+	p.Addr = m[1]
+	return p, nil
+}
+
+// FollowerAddrs lists the follower serving addresses.
+func (c *Cluster) FollowerAddrs() []string {
+	addrs := make([]string, len(c.Followers))
+	for i, f := range c.Followers {
+		addrs[i] = f.Addr
+	}
+	return addrs
+}
+
+// Close kills every node and removes the harness-owned base directory.
+func (c *Cluster) Close() {
+	if c.Primary != nil {
+		c.Primary.Kill()
+	}
+	for _, f := range c.Followers {
+		f.Kill()
+	}
+	if c.ownsDir {
+		os.RemoveAll(c.Opts.BaseDir)
+	}
+}
+
+// KillPrimary SIGKILLs the primary mid-traffic — the chaos opening move.
+func (c *Cluster) KillPrimary() {
+	c.logf("chaos: SIGKILL primary %s", c.Primary.Addr)
+	c.Primary.Kill()
+}
+
+// appliedOf asks a node's ROLE for its applied LSN (-1 when unreachable).
+func appliedOf(addr string) int64 {
+	cl, err := server.DialTimeout(addr, 2*time.Second, 2*time.Second)
+	if err != nil {
+		return -1
+	}
+	defer cl.Hangup()
+	ri, err := cl.Role()
+	if err != nil {
+		return -1
+	}
+	return ri.Applied
+}
+
+// Failover promotes the most-advanced follower through the real CLI
+// (damocles -promote) and re-points every surviving follower at it by
+// restarting their processes with -follow — the operator's documented
+// drill, driven programmatically.  It returns the new primary's address.
+func (c *Cluster) Failover() (string, error) {
+	if len(c.Followers) == 0 {
+		return "", fmt.Errorf("load: failover needs at least one follower")
+	}
+	// Let the follower applied positions settle: the streams may still be
+	// draining frames received before the kill.
+	var last []int64
+	for settle := 0; settle < 3; {
+		cur := make([]int64, len(c.Followers))
+		for i, f := range c.Followers {
+			cur[i] = appliedOf(f.Addr)
+		}
+		if last != nil && equalLSNs(cur, last) {
+			settle++
+		} else {
+			settle = 0
+		}
+		last = cur
+		time.Sleep(50 * time.Millisecond)
+	}
+	winner := 0
+	for i, lsn := range last {
+		if lsn > last[winner] {
+			winner = i
+		}
+	}
+	w := c.Followers[winner]
+	c.logf("chaos: promoting follower %d (%s, applied %d) via CLI", winner, w.Addr, last[winner])
+	out, err := exec.Command(c.Bin, "-promote", w.Addr).CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("load: damocles -promote %s: %v\n%s", w.Addr, err, out)
+	}
+	// The promoted node is the new primary; re-point the survivors by
+	// restarting them against it (graceful stop → -follow new primary,
+	// resuming from their persisted applied positions).
+	newPrimary := w
+	survivors := make([]*Proc, 0, len(c.Followers)-1)
+	for i, f := range c.Followers {
+		if i == winner {
+			continue
+		}
+		c.logf("chaos: re-pointing follower %s at %s", f.Addr, newPrimary.Addr)
+		if err := f.Terminate(); err != nil {
+			f.Kill()
+		}
+		fargs := []string{"-addr", "127.0.0.1:0", "-journal", f.Dir, "-follow", newPrimary.Addr}
+		if c.Opts.Fsync {
+			fargs = append(fargs, "-fsync")
+		}
+		if c.Opts.Blueprint != "" {
+			fargs = append(fargs, "-blueprint", c.Opts.Blueprint)
+		}
+		nf, err := c.startServing(fargs)
+		if err != nil {
+			return "", fmt.Errorf("load: re-point %s: %w", f.Dir, err)
+		}
+		nf.Dir = f.Dir
+		survivors = append(survivors, nf)
+	}
+	c.Primary = newPrimary
+	c.Followers = survivors
+	return newPrimary.Addr, nil
+}
+
+func equalLSNs(a, b []int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildDamocles compiles the daemon into dir (or a temp dir when empty)
+// and returns the binary path — the harness's self-provisioning path for
+// `loadgen -spawn` without a prebuilt -bin.
+func BuildDamocles(dir string) (string, error) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	bin := filepath.Join(dir, fmt.Sprintf("damocles-load-%d", os.Getpid()))
+	// Build by import path, not directory, so this works from any cwd
+	// inside the module (tests run in their package directory).
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/damocles")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("load: go build repro/cmd/damocles: %v\n%s", err, out)
+	}
+	return bin, nil
+}

@@ -1,0 +1,137 @@
+package load
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestBucketMapping pins the bucket geometry: indices are monotone in
+// the value, every value is bounded above by its bucket max, and the
+// bucket max maps back into the same bucket.
+func TestBucketMapping(t *testing.T) {
+	prev := -1
+	for _, v := range []uint64{0, 1, 63, 64, 127, 128, 129, 1 << 20, 1<<20 + 1, 1 << 40, 1<<62 - 1} {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex(%d)=%d below earlier index %d", v, i, prev)
+		}
+		prev = i
+		if ub := bucketMax(i); ub < v {
+			t.Errorf("bucketMax(%d)=%d < value %d", i, ub, v)
+		}
+		if back := bucketIndex(bucketMax(i)); back != i {
+			t.Errorf("bucketMax(%d)=%d maps to bucket %d", i, bucketMax(i), back)
+		}
+	}
+	// Exhaustive round trip over every bucket.
+	for i := 0; i < histBuckets-1; i++ {
+		if back := bucketIndex(bucketMax(i)); back != i {
+			t.Fatalf("bucket %d: max %d maps back to %d", i, bucketMax(i), back)
+		}
+	}
+}
+
+// TestHistogramQuantileBounds is the accuracy contract: the estimate
+// never understates the exact quantile and overstates it by at most the
+// 1/2^histSubBits sub-bucket resolution.
+func TestHistogramQuantileBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	values := make([]uint64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~9 decades, the realistic latency shape.
+		v := uint64(1) << uint(rng.Intn(30))
+		v += uint64(rng.Int63n(int64(v)))
+		values = append(values, v)
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	for _, q := range []float64{0.01, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0} {
+		rank := int(q*float64(len(values))+0.5) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		exact := values[rank]
+		got := uint64(h.Quantile(q))
+		if got < exact {
+			t.Errorf("q=%v: estimate %d understates exact %d", q, got, exact)
+		}
+		bound := exact + exact>>histSubBits + 1
+		if got > bound {
+			t.Errorf("q=%v: estimate %d exceeds resolution bound %d (exact %d)", q, got, bound, exact)
+		}
+	}
+	if h.Max() != time.Duration(values[len(values)-1]) {
+		t.Errorf("Max=%v, exact %d", h.Max(), values[len(values)-1])
+	}
+	if h.Min() != time.Duration(values[0]) {
+		t.Errorf("Min=%v, exact %d", h.Min(), values[0])
+	}
+}
+
+// TestHistogramMergeAssociativity is the mergeability contract: folding
+// per-worker histograms in any order and any grouping is bit-identical.
+func TestHistogramMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	parts := make([]*Histogram, 4)
+	for i := range parts {
+		parts[i] = &Histogram{}
+		for j := 0; j < 1000+rng.Intn(1000); j++ {
+			parts[i].Record(time.Duration(rng.Int63n(int64(10 * time.Second))))
+		}
+	}
+	// ((a+b)+c)+d
+	left := &Histogram{}
+	for _, p := range parts {
+		left.Merge(p)
+	}
+	// a+((b+c)+d) in reversed order
+	inner := &Histogram{}
+	for i := len(parts) - 1; i >= 1; i-- {
+		inner.Merge(parts[i])
+	}
+	right := &Histogram{}
+	right.Merge(parts[0])
+	right.Merge(inner)
+	if !reflect.DeepEqual(left, right) {
+		t.Fatalf("merge grouping/order changed the histogram:\nleft  %v\nright %v", left, right)
+	}
+	var total uint64
+	for _, p := range parts {
+		total += p.Count()
+	}
+	if left.Count() != total {
+		t.Errorf("merged count %d, parts sum %d", left.Count(), total)
+	}
+	// Merging an empty histogram is the identity.
+	before := *left
+	left.Merge(&Histogram{})
+	left.Merge(nil)
+	if !reflect.DeepEqual(&before, left) {
+		t.Error("merging empty/nil changed the histogram")
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must read as zero")
+	}
+	h.Record(-5 * time.Second) // clamps to 0
+	h.Record(time.Millisecond)
+	if h.Count() != 2 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Min() != 0 {
+		t.Errorf("negative record did not clamp: min %v", h.Min())
+	}
+	if got := h.Quantile(1); got != time.Millisecond {
+		t.Errorf("p100 %v", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("q=0 returned %v, want min", got)
+	}
+}

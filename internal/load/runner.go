@@ -1,0 +1,692 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/meta"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+const (
+	dialTimeout  = 3 * time.Second
+	opTimeout    = 5 * time.Second
+	lagInterval  = 200 * time.Millisecond
+	outageProbe  = 50 * time.Millisecond
+	outageBudget = 30 * time.Second
+)
+
+// ChaosPlan arms the chaos mode: at KillAfter into the run the harness
+// SIGKILLs the cluster's primary mid-traffic, promotes the most-advanced
+// follower through the real CLI, re-points the survivors, and audits the
+// fallout — zero acked-write loss and the SLO recovery time.
+type ChaosPlan struct {
+	Cluster   *Cluster
+	KillAfter time.Duration
+}
+
+// Runner executes one Scenario against a damocles primary (and optional
+// follower fleet) and produces a Result.
+type Runner struct {
+	Spec      Scenario
+	Primary   string
+	Followers []string
+
+	// Logf receives progress lines (nil: silent).
+	Logf func(format string, args ...any)
+
+	// Chaos, when set, arms the mid-run failover (requires the cluster
+	// handle so real processes can be killed and promoted).
+	Chaos *ChaosPlan
+
+	mix      mixTable
+	pool     []meta.Key
+	bpSrc    string
+	pickRand *rand.Rand   // dispatcher goroutine only
+	primAddr atomic.Value // string: current primary address
+	folAddrs atomic.Value // []string: current follower addresses
+	lastLSN  atomic.Int64 // recently observed primary applied LSN
+
+	ackedMu sync.Mutex
+	acked   []string // churn block names the cluster acknowledged
+
+	sampMu       sync.Mutex
+	writeSamples []writeSample // chaos mode only
+}
+
+// writeSample is one write-class op outcome retained for the post-hoc
+// SLO-recovery computation: intended offset, measured latency, success.
+type writeSample struct {
+	due time.Duration
+	lat time.Duration
+	ok  bool
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+func (r *Runner) curPrimary() string { return r.primAddr.Load().(string) }
+
+func (r *Runner) curFollowers() []string { return r.folAddrs.Load().([]string) }
+
+// readAddr picks the node worker id's reads go to: round-robin across
+// the follower fleet when FollowerReads is set, the primary otherwise.
+func (r *Runner) readAddr(id int) string {
+	if r.Spec.FollowerReads {
+		if fs := r.curFollowers(); len(fs) > 0 {
+			return fs[id%len(fs)]
+		}
+	}
+	return r.curPrimary()
+}
+
+// errKind classifies an op error for the error-kind ledger.  The
+// transport kinds ("timeout", "transport", "dial") are connection-fatal:
+// the worker drops its connection and redials — against the new primary
+// if a failover re-pointed the fleet meanwhile.
+func errKind(err error) string {
+	if err == nil {
+		return ""
+	}
+	s := err.Error()
+	switch {
+	case strings.Contains(s, "operation timed out"):
+		return "timeout"
+	case strings.Contains(s, "overloaded"):
+		return "overloaded"
+	case strings.Contains(s, "quorum"):
+		return "quorum"
+	case strings.Contains(s, "read-only"), strings.Contains(s, "degraded"):
+		return "refused"
+	case strings.Contains(s, "dial"):
+		return "dial"
+	case strings.Contains(s, "send:"), strings.Contains(s, "recv:"),
+		strings.Contains(s, "connection closed"), strings.Contains(s, "EOF"),
+		strings.Contains(s, "broken pipe"), strings.Contains(s, "reset"):
+		return "transport"
+	default:
+		return "op"
+	}
+}
+
+func connFatal(kind string) bool {
+	return kind == "timeout" || kind == "transport" || kind == "dial"
+}
+
+// workerResult is one virtual user's accounting, merged after the run.
+type workerResult struct {
+	hists    map[string]*Histogram
+	errs     map[string]int64
+	errKinds map[string]int64
+}
+
+// worker is one virtual user: a pair of cached connections (write →
+// primary, read → its follower) executing tickets from the open-loop
+// queue.  Workers never pace arrivals — a slow op here shows up as
+// queueing delay on later tickets, which is exactly what the
+// intended-arrival latency measurement charges.
+type worker struct {
+	r        *Runner
+	id       int
+	rng      *rand.Rand
+	churnSeq int
+
+	wcl, rcl     *server.Client
+	wAddr, rAddr string
+
+	res workerResult
+}
+
+func (w *worker) client(write bool) (*server.Client, error) {
+	var want string
+	if write {
+		want = w.r.curPrimary()
+	} else {
+		want = w.r.readAddr(w.id)
+	}
+	cached, addr := w.rcl, w.rAddr
+	if write {
+		cached, addr = w.wcl, w.wAddr
+	}
+	if cached != nil && addr == want {
+		return cached, nil
+	}
+	if cached != nil {
+		cached.Hangup()
+	}
+	cl, err := server.DialTimeout(want, dialTimeout, opTimeout)
+	if write {
+		w.wcl, w.wAddr = cl, want
+	} else {
+		w.rcl, w.rAddr = cl, want
+	}
+	return cl, err
+}
+
+func (w *worker) dropConn(write bool) {
+	if write {
+		if w.wcl != nil {
+			w.wcl.Hangup()
+		}
+		w.wcl = nil
+	} else {
+		if w.rcl != nil {
+			w.rcl.Hangup()
+		}
+		w.rcl = nil
+	}
+}
+
+func (w *worker) poolKey() meta.Key {
+	return w.r.pool[w.rng.Intn(len(w.r.pool))]
+}
+
+// execute runs one ticket and returns the op error (nil on success).
+func (w *worker) execute(t opTicket) error {
+	write := t.class == OpCheckin || t.class == OpChurn || t.class == OpSwap
+	cl, err := w.client(write)
+	if err != nil {
+		return err
+	}
+	switch t.class {
+	case OpCheckin:
+		items := make([]wire.BatchItem, w.r.Spec.Batch)
+		for i := range items {
+			items[i] = wire.BatchItem{Event: "ckin", Dir: "down", OID: w.poolKey().String()}
+		}
+		_, err = cl.PostBatch(items)
+	case OpChurn:
+		name := fmt.Sprintf("ld-w%02d-%06d", w.id, w.churnSeq)
+		var k meta.Key
+		k, err = cl.Create(name, "HDL_model")
+		if err == nil {
+			w.churnSeq++
+			w.r.recordAcked(name)
+			err = cl.Link("derive", k, w.poolKey())
+		}
+	case OpSwap:
+		err = cl.SwapBlueprint(w.r.bpSrc)
+	case OpReport:
+		_, err = cl.Report()
+	case OpStorm:
+		lsn := w.r.lastLSN.Load()
+		switch {
+		case lsn <= 0:
+			_, err = cl.Report()
+		case w.rng.Intn(2) == 0:
+			_, err = cl.ReportAt(lsn)
+		default:
+			_, err = cl.GapAt(lsn)
+		}
+	case OpState:
+		_, err = cl.State(w.poolKey())
+	}
+	return err
+}
+
+// run drains tickets until the queue closes.
+func (w *worker) run(epoch time.Time, queue <-chan opTicket) {
+	for t := range queue {
+		start := epoch.Add(t.due)
+		err := w.execute(t)
+		lat := time.Since(start)
+		if err == nil {
+			h := w.res.hists[t.class]
+			if h == nil {
+				h = &Histogram{}
+				w.res.hists[t.class] = h
+			}
+			h.Record(lat)
+		} else {
+			w.res.errs[t.class]++
+			kind := errKind(err)
+			w.res.errKinds[kind]++
+			if connFatal(kind) {
+				w.dropConn(t.class == OpCheckin || t.class == OpChurn || t.class == OpSwap)
+				// Back off a beat so a dead primary doesn't turn the
+				// worker into a dial hot-loop; queued tickets still keep
+				// their intended times, so the outage stays measured.
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+		if isWriteClass(t.class) && w.r.Chaos != nil {
+			w.r.recordWrite(writeSample{due: t.due, lat: lat, ok: err == nil})
+		}
+	}
+	if w.wcl != nil {
+		w.wcl.Hangup()
+	}
+	if w.rcl != nil {
+		w.rcl.Hangup()
+	}
+}
+
+func (r *Runner) recordAcked(name string) {
+	r.ackedMu.Lock()
+	r.acked = append(r.acked, name)
+	r.ackedMu.Unlock()
+}
+
+func (r *Runner) recordWrite(s writeSample) {
+	r.sampMu.Lock()
+	r.writeSamples = append(r.writeSamples, s)
+	r.sampMu.Unlock()
+}
+
+// lagCollector accumulates replication-lag samples (LSN units) taken
+// while traffic runs.
+type lagCollector struct {
+	mu       sync.Mutex
+	follower Histogram
+	journal  Histogram
+	samples  int
+}
+
+func (l *lagCollector) record(journalLag, followerLag int64, haveFollower bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.samples++
+	if journalLag >= 0 {
+		l.journal.Record(time.Duration(journalLag))
+	}
+	if haveFollower && followerLag >= 0 {
+		l.follower.Record(time.Duration(followerLag))
+	}
+}
+
+func (l *lagCollector) stats() *ReplicationStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.samples == 0 {
+		return nil
+	}
+	return &ReplicationStats{
+		Samples:        l.samples,
+		FollowerLagP50: int64(l.follower.Quantile(0.50)),
+		FollowerLagP99: int64(l.follower.Quantile(0.99)),
+		FollowerLagMax: int64(l.follower.Max()),
+		JournalLagP99:  int64(l.journal.Quantile(0.99)),
+		JournalLagMax:  int64(l.journal.Max()),
+	}
+}
+
+// sample polls the primary's LSN/ROLE (feeding the storm pin) and each
+// follower's applied position until done closes.  During a failover the
+// polls error and the window simply has no samples — lag is measured,
+// not interpolated.
+func (r *Runner) sample(done <-chan struct{}, lag *lagCollector) {
+	tick := time.NewTicker(lagInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+		}
+		prim := r.curPrimary()
+		cl, err := server.DialTimeout(prim, time.Second, 2*time.Second)
+		if err != nil {
+			continue
+		}
+		ri, err := cl.Role()
+		cl.Hangup()
+		if err != nil {
+			continue
+		}
+		r.lastLSN.Store(ri.Applied)
+		journalLag := int64(-1)
+		if ri.Watermark >= 0 && ri.Applied >= ri.Watermark {
+			journalLag = ri.Applied - ri.Watermark
+		}
+		worst := int64(-1)
+		have := false
+		for _, addr := range r.curFollowers() {
+			if applied := appliedOf(addr); applied >= 0 && ri.Applied >= applied {
+				have = true
+				if lagv := ri.Applied - applied; lagv > worst {
+					worst = lagv
+				}
+			}
+		}
+		lag.record(journalLag, worst, have)
+	}
+}
+
+// runChaos executes the armed ChaosPlan and fills the timing half of the
+// ChaosResult; the write-loss audit happens after traffic ends.
+func (r *Runner) runChaos(epoch time.Time) *ChaosResult {
+	p := r.Chaos
+	res := &ChaosResult{Enabled: true}
+	time.Sleep(time.Until(epoch.Add(p.KillAfter)))
+	p.Cluster.KillPrimary()
+	killT := time.Now()
+	res.KillAtMs = ms(killT.Sub(epoch))
+	newAddr, err := p.Cluster.Failover()
+	if err != nil {
+		r.logf("chaos: failover failed: %v", err)
+		return res
+	}
+	res.NewPrimary = newAddr
+	res.FailoverMs = ms(time.Since(killT))
+	r.primAddr.Store(newAddr)
+	r.folAddrs.Store(p.Cluster.FollowerAddrs())
+	r.logf("chaos: new primary %s after %.0fms, probing for first acked write", newAddr, res.FailoverMs)
+	deadline := time.Now().Add(outageBudget)
+	for probe := 0; time.Now().Before(deadline); probe++ {
+		cl, err := server.DialTimeout(newAddr, time.Second, 2*time.Second)
+		if err == nil {
+			_, err = cl.Create(fmt.Sprintf("chaos-probe-%d", probe), "HDL_model")
+			cl.Hangup()
+			if err == nil {
+				res.OutageMs = ms(time.Since(killT))
+				r.logf("chaos: writes flowing again %.0fms after kill", res.OutageMs)
+				return res
+			}
+		}
+		time.Sleep(outageProbe)
+	}
+	r.logf("chaos: no acked write within %v of the kill", outageBudget)
+	res.OutageMs = ms(outageBudget)
+	return res
+}
+
+// writeSLOCeiling is the p99 ceiling applied to write ops for the
+// recovery computation: the strictest declared write-class ceiling, or
+// 500ms when the scenario declares none.
+func (s Scenario) writeSLOCeiling() float64 {
+	ceiling := 0.0
+	if s.SLO != nil {
+		for class, v := range s.SLO.P99Ms {
+			if isWriteClass(class) && (ceiling == 0 || v < ceiling) {
+				ceiling = v
+			}
+		}
+	}
+	if ceiling == 0 {
+		ceiling = 500
+	}
+	return ceiling
+}
+
+// computeRecovery derives the SLO recovery span from the retained write
+// samples: the completion offset of the last write violating the ceiling
+// (errors count as violations), measured from the kill.  recovered is
+// false when violations persist into the final second of the window —
+// there is no post-violation evidence of health.
+func computeRecovery(samples []writeSample, killOff, wall time.Duration, ceilingMs float64) (recMs float64, recovered bool) {
+	lastViol := killOff
+	for _, s := range samples {
+		done := s.due + s.lat
+		if done < killOff {
+			continue
+		}
+		if !s.ok || ms(s.lat) > ceilingMs {
+			if done > lastViol {
+				lastViol = done
+			}
+		}
+	}
+	return ms(lastViol - killOff), lastViol < wall-time.Second
+}
+
+// Run executes the scenario and returns the measured Result.  The
+// cluster (local spawn or remote address) must already be serving.
+func (r *Runner) Run() (*Result, error) {
+	spec := r.Spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	r.Spec = spec
+	sched, err := scheduleFor(spec)
+	if err != nil {
+		return nil, err
+	}
+	r.mix = newMixTable(spec.Mix)
+	r.primAddr.Store(r.Primary)
+	r.folAddrs.Store(append([]string{}, r.Followers...))
+
+	if err := r.setup(); err != nil {
+		return nil, err
+	}
+
+	queue := make(chan opTicket, spec.Backlog)
+	resCh := make(chan *workerResult, spec.Workers)
+	var wg sync.WaitGroup
+	// A short lead keeps arrival 0 from starting life already late.
+	epoch := time.Now().Add(50 * time.Millisecond)
+	for i := 0; i < spec.Workers; i++ {
+		wg.Add(1)
+		w := &worker{
+			r:   r,
+			id:  i,
+			rng: rand.New(rand.NewSource(spec.Seed + int64(i)*7919)),
+			res: workerResult{
+				hists:    map[string]*Histogram{},
+				errs:     map[string]int64{},
+				errKinds: map[string]int64{},
+			},
+		}
+		go func() {
+			defer wg.Done()
+			w.run(epoch, queue)
+			resCh <- &w.res
+		}()
+	}
+
+	var lag lagCollector
+	samplerDone := make(chan struct{})
+	go r.sample(samplerDone, &lag)
+
+	var chaos *ChaosResult
+	chaosDone := make(chan struct{})
+	if r.Chaos != nil {
+		go func() {
+			chaos = r.runChaos(epoch)
+			close(chaosDone)
+		}()
+	} else {
+		close(chaosDone)
+	}
+
+	r.logf("run %q: %d arrivals over %v (%d workers, backlog %d)",
+		spec.Name, sched.Arrivals(), sched.Span(), spec.Workers, spec.Backlog)
+	st := openLoop(epoch, sched, func(int) string {
+		return r.mix.pick(r.pickRand.Intn(r.mix.total))
+	}, queue, nil)
+	close(queue)
+	wg.Wait()
+	wall := time.Since(epoch)
+	close(samplerDone)
+	<-chaosDone
+	close(resCh)
+
+	res := &Result{
+		Name:       spec.Name,
+		Spec:       spec,
+		WallS:      wall.Seconds(),
+		Arrivals:   int64(sched.Arrivals()),
+		Dispatched: st.Dispatched,
+		Dropped:    st.Dropped,
+		Ops:        map[string]*OpResult{},
+		ErrorKinds: map[string]int64{},
+	}
+	merged := map[string]*Histogram{}
+	errs := map[string]int64{}
+	for wr := range resCh {
+		for class, h := range wr.hists {
+			if merged[class] == nil {
+				merged[class] = &Histogram{}
+			}
+			merged[class].Merge(h)
+		}
+		for class, n := range wr.errs {
+			errs[class] += n
+		}
+		for kind, n := range wr.errKinds {
+			res.ErrorKinds[kind] += n
+		}
+	}
+	classes := map[string]bool{}
+	for c := range merged {
+		classes[c] = true
+	}
+	for c := range errs {
+		classes[c] = true
+	}
+	for class := range classes {
+		h := merged[class]
+		if h == nil {
+			h = &Histogram{}
+		}
+		op := opResultFrom(h, errs[class], wall)
+		res.Ops[class] = op
+		res.Completed += op.Count + op.Errors
+		res.ErrorsAll += op.Errors
+	}
+	res.Replication = lag.stats()
+	res.Chaos = chaos
+
+	r.audit(res, chaos, wall)
+	return res, nil
+}
+
+// setup dials the primary, creates the OID pool, captures the blueprint
+// source for swap ops, and seeds the dispatcher RNG.
+func (r *Runner) setup() error {
+	cl, err := server.DialTimeout(r.Primary, dialTimeout, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("load: setup dial %s: %w", r.Primary, err)
+	}
+	defer cl.Hangup()
+	r.pool = r.pool[:0]
+	for i := 0; i < r.Spec.Blocks; i++ {
+		k, err := cl.Create(fmt.Sprintf("ldblk%02d", i), "HDL_model")
+		if err != nil {
+			return fmt.Errorf("load: setup pool create: %w", err)
+		}
+		r.pool = append(r.pool, k)
+	}
+	if r.Spec.Mix[OpSwap] > 0 {
+		src, err := cl.Blueprint()
+		if err != nil {
+			return fmt.Errorf("load: setup blueprint fetch: %w", err)
+		}
+		r.bpSrc = src
+	}
+	r.pickRand = rand.New(rand.NewSource(r.Spec.Seed))
+	return nil
+}
+
+// audit runs the end-of-run verifications against the (possibly new)
+// primary: server counter snapshot, the chaos acked-write ledger, the
+// follower convergence check, and the SLO verdicts.
+func (r *Runner) audit(res *Result, chaos *ChaosResult, wall time.Duration) {
+	prim := r.curPrimary()
+	fc, err := server.DialTimeout(prim, dialTimeout, 30*time.Second)
+	if err != nil {
+		r.logf("audit: dial %s: %v", prim, err)
+		return
+	}
+	defer fc.Hangup()
+	fc.Sync()
+	if kv, err := fc.StatsKV(); err == nil {
+		res.Server = kv
+	} else {
+		r.logf("audit: STATS: %v", err)
+	}
+
+	if chaos != nil && chaos.NewPrimary != "" {
+		r.ackedMu.Lock()
+		acked := append([]string{}, r.acked...)
+		r.ackedMu.Unlock()
+		chaos.AckedWrites = int64(len(acked))
+		rows, err := fc.Report()
+		if err != nil {
+			r.logf("audit: final REPORT: %v", err)
+		} else {
+			have := map[string]bool{}
+			for _, row := range rows {
+				have[strings.SplitN(row, ",", 2)[0]] = true
+			}
+			for _, name := range acked {
+				if !have[name] {
+					chaos.AckedLost++
+					r.logf("audit: ACKED WRITE LOST: %s", name)
+				}
+			}
+		}
+		ceiling := r.Spec.writeSLOCeiling()
+		r.sampMu.Lock()
+		samples := append([]writeSample{}, r.writeSamples...)
+		r.sampMu.Unlock()
+		killOff := time.Duration(chaos.KillAtMs * float64(time.Millisecond))
+		chaos.SLORecoveryMs, chaos.Recovered = computeRecovery(samples, killOff, wall, ceiling)
+		chaos.Converged = r.checkConverged(fc)
+	}
+
+	if r.Spec.SLO != nil {
+		for class, ceiling := range r.Spec.SLO.P99Ms {
+			op := res.Ops[class]
+			if op == nil || op.Count < 20 {
+				continue
+			}
+			if op.P99Ms > ceiling {
+				res.SLOViolations = append(res.SLOViolations,
+					fmt.Sprintf("%s: p99 %.1fms > ceiling %.1fms", class, op.P99Ms, ceiling))
+			}
+		}
+		if chaos != nil && r.Spec.SLO.RecoveryMs > 0 && chaos.SLORecoveryMs > r.Spec.SLO.RecoveryMs {
+			res.SLOViolations = append(res.SLOViolations,
+				fmt.Sprintf("chaos: SLO recovery %.0fms > budget %.0fms", chaos.SLORecoveryMs, r.Spec.SLO.RecoveryMs))
+		}
+	}
+	if chaos != nil && chaos.AckedLost > 0 {
+		res.SLOViolations = append(res.SLOViolations,
+			fmt.Sprintf("chaos: %d acked writes lost", chaos.AckedLost))
+	}
+	sort.Strings(res.SLOViolations)
+}
+
+// checkConverged compares a surviving follower's REPORT at the final LSN
+// to the new primary's — byte-identical rows mean the fleet converged.
+func (r *Runner) checkConverged(fc *server.Client) bool {
+	fols := r.curFollowers()
+	if len(fols) == 0 {
+		return true
+	}
+	finalLSN, err := fc.LSN()
+	if err != nil {
+		return false
+	}
+	want, err := fc.ReportAt(finalLSN)
+	if err != nil {
+		return false
+	}
+	cl, err := server.DialTimeout(fols[0], dialTimeout, 30*time.Second)
+	if err != nil {
+		return false
+	}
+	defer cl.Hangup()
+	got, err := cl.ReportAt(finalLSN)
+	if err != nil {
+		return false
+	}
+	if len(want) != len(got) {
+		return false
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,131 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bpl"
+	"repro/internal/engine"
+	"repro/internal/meta"
+	"repro/internal/server"
+)
+
+// TestRunnerInProcess drives a small mixed scenario against an
+// in-process server end to end: every class executes, nothing drops,
+// nothing errors, and the emitted result document is self-consistent.
+func TestRunnerInProcess(t *testing.T) {
+	bp, err := bpl.Parse(bpl.EDTCExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(meta.NewDB(), bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	spec := Scenario{
+		Name:     "inproc",
+		Seed:     7,
+		Rate:     80,
+		Duration: Dur{2 * time.Second},
+		Workers:  4,
+		Blocks:   8,
+		Batch:    3,
+		Mix: map[string]int{
+			OpCheckin: 30, OpReport: 10, OpStorm: 15,
+			OpChurn: 25, OpSwap: 5, OpState: 15,
+		},
+	}
+	r := &Runner{Spec: spec, Primary: addr, Logf: t.Logf}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 0 || res.ErrorsAll != 0 {
+		t.Fatalf("dropped=%d errors=%d (kinds %v)", res.Dropped, res.ErrorsAll, res.ErrorKinds)
+	}
+	if res.Completed != res.Arrivals {
+		t.Fatalf("completed %d of %d arrivals", res.Completed, res.Arrivals)
+	}
+	var total int64
+	for class, op := range res.Ops {
+		if op.Count == 0 {
+			t.Errorf("class %q never ran", class)
+		}
+		if op.Count > 0 && op.P50Ms <= 0 {
+			t.Errorf("class %q: zero p50 with %d samples", class, op.Count)
+		}
+		if op.P99Ms < op.P50Ms {
+			t.Errorf("class %q: p99 %v < p50 %v", class, op.P99Ms, op.P50Ms)
+		}
+		total += op.Count
+	}
+	if total != res.Completed {
+		t.Errorf("per-class counts sum %d != completed %d", total, res.Completed)
+	}
+	if res.Server["oids"] != int64(spec.Blocks)+res.Ops[OpChurn].Count {
+		t.Errorf("server oids=%d, expected pool %d + churn %d",
+			res.Server["oids"], spec.Blocks, res.Ops[OpChurn].Count)
+	}
+	// The swap ops really re-installed the blueprint (same source, so
+	// semantics are unchanged — but the path executed).
+	if res.Ops[OpSwap].Count == 0 {
+		t.Error("no blueprint swaps executed")
+	}
+}
+
+// TestRunnerSpawnedCluster exercises the process harness: spawn a real
+// journaled primary with one follower, run a short write-heavy load
+// with follower reads, and check replication lag was observed.  Skipped
+// in -short mode (it builds and forks real processes).
+func TestRunnerSpawnedCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	bin, err := BuildDamocles(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := StartCluster(bin, ClusterOpts{Followers: 1, Ack: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	spec := Scenario{
+		Name:          "cluster-smoke",
+		Seed:          3,
+		Rate:          60,
+		Duration:      Dur{2 * time.Second},
+		Workers:       4,
+		Blocks:        8,
+		Batch:         3,
+		Mix:           map[string]int{OpCheckin: 40, OpStorm: 30, OpChurn: 30},
+		FollowerReads: true,
+	}
+	r := &Runner{
+		Spec:      spec,
+		Primary:   cluster.Primary.Addr,
+		Followers: cluster.FollowerAddrs(),
+		Logf:      t.Logf,
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrorsAll != 0 {
+		t.Fatalf("errors=%d kinds=%v", res.ErrorsAll, res.ErrorKinds)
+	}
+	if res.Replication == nil || res.Replication.Samples == 0 {
+		t.Fatal("no replication lag samples collected")
+	}
+	if res.Ops[OpStorm].Count == 0 {
+		t.Fatal("no storm reads executed")
+	}
+}

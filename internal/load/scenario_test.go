@@ -1,0 +1,159 @@
+package load
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseScenario(t *testing.T) {
+	spec := `{
+	  "name": "ci-mix",
+	  "seed": 42,
+	  "rate": 120,
+	  "ramp_to": 240,
+	  "duration": "15s",
+	  "workers": 6,
+	  "mix": {"checkin": 30, "storm": 20, "state": 50},
+	  "slo": {"p99_ms": {"state": 250}, "recovery_ms": 8000}
+	}`
+	s, err := ParseScenario([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Duration.D != 15*time.Second {
+		t.Errorf("duration %v", s.Duration.D)
+	}
+	if s.RampTo != 240 || s.Workers != 6 || s.Seed != 42 {
+		t.Errorf("fields: %+v", s)
+	}
+	if s.SLO == nil || s.SLO.P99Ms["state"] != 250 || s.SLO.RecoveryMs != 8000 {
+		t.Errorf("slo: %+v", s.SLO)
+	}
+	// Round trip through JSON keeps the human-readable duration form.
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"duration":"15s"`) {
+		t.Errorf("duration not marshalled as a string: %s", data)
+	}
+	back, err := ParseScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Duration.D != s.Duration.D || back.Rate != s.Rate {
+		t.Errorf("round trip drifted: %+v", back)
+	}
+}
+
+func TestParseScenarioRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown class": `{"name":"x","rate":10,"duration":"1s","mix":{"frobnicate":1}}`,
+		"no weights":    `{"name":"x","rate":10,"duration":"1s","mix":{"state":0}}`,
+		"zero rate":     `{"name":"x","rate":0,"duration":"1s","mix":{"state":1}}`,
+		"bad duration":  `{"name":"x","rate":10,"duration":"soon","mix":{"state":1}}`,
+	}
+	for label, spec := range cases {
+		if _, err := ParseScenario([]byte(spec)); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+}
+
+func TestScenarioDefaults(t *testing.T) {
+	s := Scenario{Name: "d", Rate: 500, Duration: Dur{time.Second}, Mix: map[string]int{OpState: 1}}
+	d := s.withDefaults()
+	if d.Workers != 8 || d.Blocks != 24 || d.Batch != 8 {
+		t.Errorf("defaults: %+v", d)
+	}
+	if d.Backlog != 2000 { // 4 × peak rate
+		t.Errorf("backlog %d", d.Backlog)
+	}
+	low := Scenario{Name: "l", Rate: 10, Duration: Dur{time.Second}, Mix: map[string]int{OpState: 1}}.withDefaults()
+	if low.Backlog != 1024 { // floor
+		t.Errorf("backlog floor %d", low.Backlog)
+	}
+}
+
+// TestMixTableDeterminism: the same seed yields the same op sequence —
+// runs are reproducible — and the picks respect the declared weights.
+func TestMixTableDeterminism(t *testing.T) {
+	mix := map[string]int{OpCheckin: 30, OpReport: 10, OpChurn: 60}
+	tab := newMixTable(mix)
+	seq := func() []string {
+		rng := rand.New(rand.NewSource(99))
+		out := make([]string, 5000)
+		for i := range out {
+			out[i] = tab.pick(rng.Intn(tab.total))
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	counts := map[string]int{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pick %d diverged: %s vs %s", i, a[i], b[i])
+		}
+		counts[a[i]]++
+	}
+	for class, w := range mix {
+		want := float64(w) / 100 * float64(len(a))
+		got := float64(counts[class])
+		if got < want*0.85 || got > want*1.15 {
+			t.Errorf("%s: %v picks, weight says ~%v", class, got, want)
+		}
+	}
+	if tab.pick(0) != OpCheckin { // sorted classes: checkin, churn, report
+		t.Errorf("first pick %q", tab.pick(0))
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range []string{"smoke", "mixed", "soak"} {
+		s, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.withDefaults().validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", name, err)
+		}
+		if s.Name != name {
+			t.Errorf("preset %s named %q", name, s.Name)
+		}
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestComputeRecovery(t *testing.T) {
+	kill := 5 * time.Second
+	wall := 10 * time.Second
+	samples := []writeSample{
+		{due: time.Second, lat: 2 * time.Millisecond, ok: true},                // pre-kill, ignored
+		{due: 4900 * time.Millisecond, lat: 400 * time.Millisecond, ok: false}, // in-flight at kill, fails
+		{due: 5100 * time.Millisecond, lat: 900 * time.Millisecond, ok: true},  // slow during outage
+		{due: 6500 * time.Millisecond, lat: 3 * time.Millisecond, ok: true},    // recovered
+		{due: 9 * time.Second, lat: 2 * time.Millisecond, ok: true},            // still fine
+	}
+	rec, ok := computeRecovery(samples, kill, wall, 500)
+	if !ok {
+		t.Fatal("should be recovered")
+	}
+	// Last violation completes at 5.1s+0.9s = 6.0s → 1000ms after the kill.
+	if rec != 1000 {
+		t.Errorf("recovery %vms", rec)
+	}
+	// A violation running into the final second means not recovered.
+	tail := append(samples, writeSample{due: 9800 * time.Millisecond, lat: 600 * time.Millisecond, ok: true})
+	if _, ok := computeRecovery(tail, kill, wall, 500); ok {
+		t.Error("tail violation reported as recovered")
+	}
+	// No violations at all: zero recovery time.
+	if rec, ok := computeRecovery(samples[:1], kill, wall, 500); rec != 0 || !ok {
+		t.Errorf("clean run: rec=%v ok=%v", rec, ok)
+	}
+}

@@ -1,0 +1,145 @@
+package load
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFixedRateSchedule(t *testing.T) {
+	s := FixedRate{Rate: 100, D: 2 * time.Second}
+	if got := s.Arrivals(); got != 200 {
+		t.Fatalf("arrivals %d", got)
+	}
+	if s.At(0) != 0 {
+		t.Errorf("At(0)=%v", s.At(0))
+	}
+	prev := time.Duration(-1)
+	for i := 0; i < s.Arrivals(); i++ {
+		at := s.At(i)
+		if at <= prev {
+			t.Fatalf("At not increasing at %d: %v <= %v", i, at, prev)
+		}
+		if at >= s.Span() {
+			t.Fatalf("At(%d)=%v past span %v", i, at, s.Span())
+		}
+		prev = at
+	}
+}
+
+func TestRampSchedule(t *testing.T) {
+	r := Ramp{From: 50, To: 150, D: 4 * time.Second}
+	if got := r.Arrivals(); got != 400 { // (50+150)/2 * 4
+		t.Fatalf("arrivals %d", got)
+	}
+	d := r.D.Seconds()
+	prev := time.Duration(-1)
+	for i := 0; i < r.Arrivals(); i++ {
+		at := r.At(i)
+		if at <= prev {
+			t.Fatalf("At not increasing at %d: %v <= %v", i, at, prev)
+		}
+		prev = at
+		// Round trip: the cumulative arrival count at the intended time
+		// recovers the index.
+		ts := at.Seconds()
+		n := r.From*ts + (r.To-r.From)*ts*ts/(2*d)
+		if math.Abs(n-float64(i)) > 1e-6 {
+			t.Fatalf("N(At(%d)) = %v", i, n)
+		}
+	}
+	if last := r.At(r.Arrivals() - 1); last >= r.D {
+		t.Errorf("last arrival %v past span %v", last, r.D)
+	}
+	// A flat ramp degrades to the fixed-rate solution.
+	flat := Ramp{From: 100, To: 100, D: time.Second}
+	if at := flat.At(50); math.Abs(at.Seconds()-0.5) > 1e-9 {
+		t.Errorf("flat ramp At(50)=%v", at)
+	}
+}
+
+// TestOpenLoopNoCoordinatedOmission is the harness's reason to exist:
+// with every virtual user artificially stalled far past the arrival
+// interval, the dispatcher must keep the clock (finish on schedule),
+// account for every arrival as dispatched-or-dropped, and the measured
+// latencies — taken from the INTENDED arrival times — must surface the
+// queueing delay a closed-loop generator would silently absorb.
+func TestOpenLoopNoCoordinatedOmission(t *testing.T) {
+	const (
+		rate    = 200.0
+		span    = time.Second
+		stall   = 50 * time.Millisecond // per-op service time, 2 workers: capacity 40/s << 200/s
+		workers = 2
+		backlog = 16
+	)
+	sched := FixedRate{Rate: rate, D: span}
+	queue := make(chan opTicket, backlog)
+	var hist Histogram
+	var mu sync.Mutex
+	var completed atomic.Int64
+	epoch := time.Now().Add(20 * time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range queue {
+				time.Sleep(stall) // the wedged handler
+				lat := time.Since(epoch.Add(tk.due))
+				mu.Lock()
+				hist.Record(lat)
+				mu.Unlock()
+				completed.Add(1)
+			}
+		}()
+	}
+	start := time.Now()
+	st := openLoop(epoch, sched, func(int) string { return OpState }, queue, nil)
+	dispatchWall := time.Since(start)
+	close(queue)
+	wg.Wait()
+
+	if st.Dispatched+st.Dropped != int64(sched.Arrivals()) {
+		t.Fatalf("accounting leak: %d dispatched + %d dropped != %d arrivals",
+			st.Dispatched, st.Dropped, sched.Arrivals())
+	}
+	if st.Dropped == 0 {
+		t.Fatal("a saturated run must surface drops, got none")
+	}
+	if completed.Load() != st.Dispatched {
+		t.Fatalf("completed %d != dispatched %d", completed.Load(), st.Dispatched)
+	}
+	// The clock never stalls: the dispatcher finishes within the span
+	// plus scheduling slack, no matter how wedged the workers are.
+	if maxWall := span + span/2; dispatchWall > maxWall {
+		t.Errorf("dispatcher stalled with the workers: wall %v > %v", dispatchWall, maxWall)
+	}
+	// Queueing delay is charged to the ops: with a full backlog ahead of
+	// every op, median latency must far exceed the 50ms service time.  A
+	// coordinated-omission-blind generator would report ~stall here.
+	if p50 := hist.Quantile(0.50); p50 < 2*stall {
+		t.Errorf("p50 %v does not surface queueing (service time %v)", p50, stall)
+	}
+}
+
+func TestScheduleForScenario(t *testing.T) {
+	fixed, err := scheduleFor(Scenario{Name: "f", Rate: 10, Duration: Dur{time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fixed.(FixedRate); !ok {
+		t.Fatalf("want FixedRate, got %T", fixed)
+	}
+	ramp, err := scheduleFor(Scenario{Name: "r", Rate: 10, RampTo: 100, Duration: Dur{time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ramp.(Ramp); !ok {
+		t.Fatalf("want Ramp, got %T", ramp)
+	}
+	if _, err := scheduleFor(Scenario{Name: "bad", Rate: 0, Duration: Dur{time.Second}}); err == nil {
+		t.Error("zero rate accepted")
+	}
+}

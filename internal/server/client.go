@@ -630,6 +630,39 @@ func (c *Client) Stats() (string, error) {
 	return resp.Detail, nil
 }
 
+// StatsKV retrieves the server statistics parsed into a counter map —
+// the engine counters plus the shed/refusal counters, so a load
+// generator can reconcile its client-side error accounting against the
+// server's own tallies.
+func (c *Client) StatsKV() (map[string]int64, error) {
+	detail, err := c.Stats()
+	if err != nil {
+		return nil, err
+	}
+	kv := map[string]int64{}
+	for _, f := range strings.Fields(detail) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			continue
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("client: STATS: bad field %q in %q", f, detail)
+		}
+		kv[k] = n
+	}
+	return kv, nil
+}
+
+// SwapBlueprint installs a new blueprint on a live server (BPSWAP): the
+// source is parsed, analyzed and atomically swapped in while events keep
+// flowing.  The swap is node-local configuration — it is not journaled
+// and does not replicate to followers.
+func (c *Client) SwapBlueprint(source string) error {
+	_, err := c.do(wire.VerbBPSwap, source)
+	return err
+}
+
 // Latest asks the server for the newest version of (block, view).
 func (c *Client) Latest(block, view string) (meta.Key, error) {
 	resp, err := c.do(wire.VerbLatest, block, view)

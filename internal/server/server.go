@@ -65,6 +65,48 @@ type Server struct {
 	wake     chan struct{}
 	quit     chan struct{}
 	drainErr error
+
+	counters Counters
+}
+
+// Counters are the server's shed/refusal tallies, exported through
+// STATS so a load generator's client-side error accounting can be
+// reconciled exactly against what the server says it refused.  All
+// fields are atomics; read them via Stats' snapshot or CountersSnapshot.
+type Counters struct {
+	// ConnsShed counts connections refused at accept time by the
+	// MaxConns gate.
+	ConnsShed atomic.Int64
+
+	// InflightShed counts requests refused by the MaxInflight gate.
+	InflightShed atomic.Int64
+
+	// ReadOnlyRefused counts mutating verbs refused because this node is
+	// a read-only follower.
+	ReadOnlyRefused atomic.Int64
+
+	// DegradedRefused counts writes refused by the journal-io degraded
+	// contract.
+	DegradedRefused atomic.Int64
+
+	// BatchOversize counts BATCH requests refused for exceeding the
+	// item bound.
+	BatchOversize atomic.Int64
+
+	// Panics counts connection handlers lost to a recovered panic.
+	Panics atomic.Int64
+}
+
+// CountersSnapshot reads the refusal counters as plain values.
+func (s *Server) CountersSnapshot() map[string]int64 {
+	return map[string]int64{
+		"conns_shed":       s.counters.ConnsShed.Load(),
+		"inflight_shed":    s.counters.InflightShed.Load(),
+		"readonly_refused": s.counters.ReadOnlyRefused.Load(),
+		"degraded_refused": s.counters.DegradedRefused.Load(),
+		"batch_oversize":   s.counters.BatchOversize.Load(),
+		"panics":           s.counters.Panics.Load(),
+	}
 }
 
 // Limits bounds the server's exposure to slow, stuck or excessive
@@ -401,6 +443,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			// Shed, loudly: the one line tells the client this is load, not
 			// a network failure, so its retry policy can be deliberate.
 			s.mu.Unlock()
+			s.counters.ConnsShed.Add(1)
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
@@ -489,6 +532,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	// while every other client — and the journal — carries on.
 	defer func() {
 		if p := recover(); p != nil {
+			s.counters.Panics.Add(1)
 			s.logf("server: panic in connection handler: %v\n%s", p, debug.Stack())
 		}
 	}()
@@ -529,6 +573,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				// evaluated instead of buffering the whole body.
 				release, admitted := s.admit()
 				if !admitted {
+					s.counters.InflightShed.Add(1)
 					resp = overloadedResp("too many in-flight requests")
 					break
 				}
@@ -541,6 +586,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			default:
 				release, admitted := s.admit()
 				if !admitted {
+					s.counters.InflightShed.Add(1)
 					resp = overloadedResp("too many in-flight requests")
 					break
 				}
@@ -786,8 +832,9 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 		return wire.Response{OK: true, Detail: fmt.Sprintf(format, args...)}, false
 	}
 	switch req.Verb {
-	case wire.VerbPost, wire.VerbBatch, wire.VerbCreate, wire.VerbLink, wire.VerbSnapshot:
+	case wire.VerbPost, wire.VerbBatch, wire.VerbCreate, wire.VerbLink, wire.VerbSnapshot, wire.VerbBPSwap:
 		if ro := s.getReadOnly(); ro != nil {
+			s.counters.ReadOnlyRefused.Add(1)
 			return fail("read-only follower: %s refused (write to the primary)", req.Verb)
 		}
 		// The degraded-mode contract: once the journal has hit a sticky
@@ -796,6 +843,7 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 		// keep serving below.
 		if j := s.getJournal(); j != nil {
 			if healthy, reason := j.Health(); !healthy {
+				s.counters.DegradedRefused.Add(1)
 				return fail("journal-io: %s (node degraded: writes refused, reads still served)", reason)
 			}
 		}
@@ -933,6 +981,7 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 		if len(req.Args) > maxItems {
 			// Bounded intake: one request must not expand into unbounded
 			// queued work.  Nothing was posted — the client can split.
+			s.counters.BatchOversize.Add(1)
 			return fail("BATCH: %d items exceeds the %d-item bound (split the batch)", len(req.Args), maxItems)
 		}
 		body := make([]string, 0, len(req.Args))
@@ -1104,8 +1153,12 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 	case wire.VerbStats:
 		es := s.eng.Stats()
 		ds := s.eng.DB().Stats()
-		return ok("oids=%d links=%d posted=%d deliveries=%d propagations=%d rules=%d execs=%d",
-			ds.OIDs, ds.Links, es.Posted, es.Deliveries, es.Propagations, es.RulesFired, es.Execs)
+		c := &s.counters
+		return ok("oids=%d links=%d posted=%d deliveries=%d propagations=%d rules=%d execs=%d"+
+			" conns_shed=%d inflight_shed=%d readonly_refused=%d degraded_refused=%d batch_oversize=%d panics=%d",
+			ds.OIDs, ds.Links, es.Posted, es.Deliveries, es.Propagations, es.RulesFired, es.Execs,
+			c.ConnsShed.Load(), c.InflightShed.Load(), c.ReadOnlyRefused.Load(),
+			c.DegradedRefused.Load(), c.BatchOversize.Load(), c.Panics.Load())
 
 	case wire.VerbLatest:
 		if len(req.Args) != 2 {
@@ -1178,6 +1231,23 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 		src := bpl.Print(s.eng.Blueprint())
 		body := strings.Split(strings.TrimRight(src, "\n"), "\n")
 		return wire.Response{OK: true, Detail: s.eng.Blueprint().Name, Body: body}, false
+
+	case wire.VerbBPSwap:
+		// Swap the live blueprint: parse, analyze and atomically install
+		// the new policy while events keep flowing.  The swap is node
+		// configuration, not project data — it is NOT journaled and does
+		// not replicate; each node carries its own policy (docs/LOAD.md).
+		if len(req.Args) != 1 {
+			return fail("BPSWAP wants exactly one <source> arg")
+		}
+		bp, err := bpl.Parse(req.Args[0])
+		if err != nil {
+			return fail("BPSWAP: %v", err)
+		}
+		if err := s.eng.SetBlueprint(bp); err != nil {
+			return fail("BPSWAP: %v", err)
+		}
+		return ok("blueprint %s installed (%d views)", bp.Name, len(bp.Views))
 
 	default:
 		return fail("unknown verb %q", req.Verb)

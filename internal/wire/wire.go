@@ -44,6 +44,7 @@ const (
 	VerbLSN       = "LSN"       // LSN — report the journal/applied log position
 	VerbRole      = "ROLE"      // ROLE — role, term, applied LSN and commit watermark in one line
 	VerbPromote   = "PROMOTE"   // PROMOTE — flip a read-only follower into a primary (term bump)
+	VerbBPSwap    = "BPSWAP"    // BPSWAP <source> — swap the live blueprint (one quoted arg, newlines escaped)
 )
 
 // AckPrefix opens the one upstream line a follower may write on a FOLLOW

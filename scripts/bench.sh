@@ -47,6 +47,9 @@ fi
   printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
   printf '  "go": "%s",\n' "$(go version | sed 's/"/\\"/g')"
   printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  # Runner facts (GOMAXPROCS, visible CPUs, affinity-mask size) so a
+  # reader comparing BENCH files across machines sees the quota truth.
+  printf '  "runner": %s,\n' "$(go run ./cmd/loadgen -facts)"
   printf '  "benchmarks": [\n'
   awk -v keepcpu="$CPU" '
     /^Benchmark/ {

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Gates a PR's loadgen run against its base branch's run from the same
+# machine: per-op-class p99 must stay within LIMIT percent of the
+# baseline (regressions under an absolute 2ms floor never fail — tiny
+# latencies jitter), and drops must not newly exceed 1% of arrivals.
+# The comparison itself lives in `loadgen -gate`; this is the CI-facing
+# wrapper in the benchgate.sh mold.
+#
+#   scripts/loadgate.sh LOAD_base.json LOAD_pr.json [limit-pct]
+#
+# A missing baseline file is a pass with a notice: the base branch
+# predates cmd/loadgen (first introduction) or its run was skipped.
+set -euo pipefail
+
+BASE="${1:?usage: loadgate.sh LOAD_base.json LOAD_pr.json [limit-pct]}"
+PR="${2:?usage: loadgate.sh LOAD_base.json LOAD_pr.json [limit-pct]}"
+LIMIT="${3:-40}"
+
+if [ ! -f "$BASE" ]; then
+  echo "loadgate: no baseline at $BASE (base predates loadgen?) — skipping gate"
+  exit 0
+fi
+BASE="$(cd "$(dirname "$BASE")" && pwd)/$(basename "$BASE")"
+PR="$(cd "$(dirname "$PR")" && pwd)/$(basename "$PR")"
+
+cd "$(dirname "$0")/.."
+exec go run ./cmd/loadgen -gate -base "$BASE" -pr "$PR" -limit "$LIMIT"

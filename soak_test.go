@@ -1,15 +1,22 @@
 package repro
 
-// Soak test: a long random design-team workload over TCP with periodic
-// state queries, snapshots and a final persistence round trip — the
-// whole system under sustained realistic load.  Skipped with -short.
+// Soak test: the "soak" load scenario — sustained mixed open-loop
+// traffic (check-in batches, report/gap storms, workspace churn,
+// blueprint swaps) driven by the internal/load harness against an
+// in-process server, then the full invariant audit: exact
+// client/server accounting reconciliation, unbroken version chains,
+// and a persistence round trip.  The workload is the same declarative
+// spec cmd/loadgen runs (load.Preset("soak")), so the soak and the
+// harness cannot drift apart.  Skipped with -short.
 
 import (
 	"bytes"
-	"fmt"
 	"testing"
 
-	"repro/internal/flow"
+	"repro/internal/cli"
+	"repro/internal/engine"
+	"repro/internal/load"
+	"repro/internal/meta"
 	"repro/internal/server"
 	"repro/internal/state"
 )
@@ -18,57 +25,78 @@ func TestSoakWorkloadWithServer(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped in -short mode")
 	}
-	sess, _, err := flow.NewEDTCSession(20240612)
+	bp, err := cli.LoadBlueprint("")
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := server.New(sess.Eng)
+	eng, err := engine.New(meta.NewDB(), bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
 
-	c, err := server.Dial(addr)
+	spec, err := load.Preset("soak")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer c.Close()
+	r := &load.Runner{Spec: spec, Primary: addr, Logf: t.Logf}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
 
-	const rounds = 10
-	for round := 0; round < rounds; round++ {
-		st, err := flow.Workload{
-			Seed: int64(round), Blocks: 5, Steps: 150, EditDefectRate: 30,
-		}.Run(sess)
-		if err != nil {
-			t.Fatalf("round %d: %v", round, err)
-		}
-		if st.Edits == 0 {
-			t.Fatalf("round %d did nothing: %v", round, st)
-		}
-		// Remote queries stay consistent with in-process state.
-		gapRemote, err := c.Gap()
-		if err != nil {
-			t.Fatalf("round %d gap: %v", round, err)
-		}
-		gapLocal := state.Gap(sess.Eng.DB(), sess.Eng.Blueprint())
-		if len(gapRemote) != len(gapLocal) {
-			t.Fatalf("round %d: remote gap %d != local %d", round, len(gapRemote), len(gapLocal))
-		}
-		// Periodic snapshot.
-		if _, err := c.Snapshot(fmt.Sprintf("round%d", round), "*"); err != nil {
-			t.Fatalf("round %d snapshot: %v", round, err)
+	// The open-loop contract: every intended arrival was dispatched (the
+	// backlog never overflowed) and every dispatched op completed.
+	if res.Dropped != 0 {
+		t.Errorf("dropped %d arrivals", res.Dropped)
+	}
+	if res.Dispatched != res.Arrivals {
+		t.Errorf("dispatched %d of %d arrivals", res.Dispatched, res.Arrivals)
+	}
+	if res.Completed != res.Dispatched {
+		t.Errorf("completed %d of %d dispatched", res.Completed, res.Dispatched)
+	}
+	if res.ErrorsAll != 0 {
+		t.Fatalf("soak saw %d op errors (kinds: %v)", res.ErrorsAll, res.ErrorKinds)
+	}
+	for _, class := range []string{load.OpCheckin, load.OpChurn, load.OpReport, load.OpStorm, load.OpState, load.OpSwap} {
+		op := res.Ops[class]
+		if op == nil || op.Count == 0 {
+			t.Errorf("op class %q never ran", class)
 		}
 	}
 
-	db := sess.Eng.DB()
+	// Exact accounting reconciliation, loadgen-side vs server-side: the
+	// pool plus one OID per churn op is every OID the server should hold,
+	// one link per churn op is every link, and none of the shed/refusal
+	// counters may have fired on an unloaded-enough in-process run.
+	churn := res.Ops[load.OpChurn].Count
+	if want := int64(res.Spec.Blocks) + churn; res.Server["oids"] != want {
+		t.Errorf("server oids=%d, loadgen accounting says %d (pool %d + churn %d)",
+			res.Server["oids"], want, res.Spec.Blocks, churn)
+	}
+	if res.Server["links"] != churn {
+		t.Errorf("server links=%d, churn created %d", res.Server["links"], churn)
+	}
+	for _, counter := range []string{"conns_shed", "inflight_shed", "readonly_refused", "degraded_refused", "batch_oversize", "panics"} {
+		if v, ok := res.Server[counter]; !ok {
+			t.Errorf("STATS missing counter %q", counter)
+		} else if v != 0 {
+			t.Errorf("server %s=%d on a clean soak", counter, v)
+		}
+	}
+	// Every checkin batch posts exactly Batch events.
+	if want := res.Ops[load.OpCheckin].Count * int64(res.Spec.Batch); res.Server["posted"] < want {
+		t.Errorf("server posted=%d < %d checkin events", res.Server["posted"], want)
+	}
+
+	db := eng.DB()
 	stats := db.Stats()
-	if stats.OIDs < 50 {
-		t.Errorf("soak produced only %d OIDs", stats.OIDs)
-	}
-	if stats.Configurations != rounds {
-		t.Errorf("configurations = %d", stats.Configurations)
-	}
 	// No chain ever skips or repeats versions (pruning never ran here).
 	for _, bv := range db.BlockViews() {
 		vs := db.Versions(bv.Block, bv.View)
@@ -79,7 +107,7 @@ func TestSoakWorkloadWithServer(t *testing.T) {
 		}
 	}
 	// Engine accounting is self-consistent.
-	es := sess.Eng.Stats()
+	es := eng.Stats()
 	if es.Deliveries < es.Posted {
 		t.Errorf("deliveries %d < posted %d", es.Deliveries, es.Posted)
 	}
@@ -99,8 +127,8 @@ func TestSoakWorkloadWithServer(t *testing.T) {
 	if db2.Stats() != stats {
 		t.Errorf("reload stats differ: %+v vs %+v", db2.Stats(), stats)
 	}
-	rep1 := state.Report(db, sess.Eng.Blueprint())
-	rep2 := state.Report(db2, sess.Eng.Blueprint())
+	rep1 := state.Report(db, eng.Blueprint())
+	rep2 := state.Report(db2, eng.Blueprint())
 	if len(rep1) != len(rep2) {
 		t.Fatalf("report sizes differ: %d vs %d", len(rep1), len(rep2))
 	}
