@@ -12,6 +12,13 @@
 //	dquery [-addr host:port] snapshot <name> <root-oid|*>
 //	dquery [-addr host:port] dot <flow|state>
 //	dquery [-addr host:port] links <block,view,version>
+//	dquery [-addr host:port] query [<lsn>] <reach|deps|equiv> <oid> [use|all|type:t1,t2,...]
+//	dquery [-addr host:port] query [<lsn>] resolve <configuration>
+//
+// query runs a graph query pinned at a journal LSN (omitted or 0 = the
+// server's current state).  A read-only follower serves it too, first
+// waiting until it has applied the LSN — the output at a given position is
+// byte-identical on every node that has reached it.
 //
 // With -journal, dquery needs no running server: it recovers the database
 // from the journal directory read-only (newest snapshot plus record tail,
@@ -49,7 +56,7 @@ func main() {
 	bpFile := flag.String("blueprint", "", "policy file for offline state evaluation (default: built-in EDTC example)")
 	follow := flag.Bool("follow", false, "stream the server's journal records to stdout (optional arg: start after this lsn)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dquery [-addr host:port | -journal dir] <state|report|gap|stats|blueprint|snapshot|dot|links> [args]\n")
+		fmt.Fprintf(os.Stderr, "usage: dquery [-addr host:port | -journal dir] <state|report|gap|stats|blueprint|snapshot|dot|links|query> [args]\n")
 		fmt.Fprintf(os.Stderr, "       dquery [-addr host:port] -follow [from-lsn]\n")
 		flag.PrintDefaults()
 	}

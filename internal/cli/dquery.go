@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 
 	"repro/internal/meta"
 	"repro/internal/server"
@@ -89,6 +90,31 @@ func DQuery(out io.Writer, c *server.Client, args []string) error {
 			return err
 		}
 		fmt.Fprint(out, doc)
+		return nil
+	case "query":
+		// query [<lsn>] <reach|deps|equiv|resolve> <args...> — graph query
+		// pinned at an LSN (omitted or 0 = current state).  Works against a
+		// primary or a read-only follower; the follower waits until it has
+		// applied the LSN, so the output matches the primary's at the same
+		// position.
+		rest := args[1:]
+		var lsn int64
+		if len(rest) > 0 {
+			if n, err := strconv.ParseInt(rest[0], 10, 64); err == nil {
+				lsn = n
+				rest = rest[1:]
+			}
+		}
+		if len(rest) == 0 {
+			return fmt.Errorf("query wants [<lsn>] <reach|deps|equiv|resolve> <args...>")
+		}
+		lines, err := c.QueryAt(lsn, rest[0], rest[1:]...)
+		if err != nil {
+			return err
+		}
+		for _, l := range lines {
+			fmt.Fprintln(out, l)
+		}
 		return nil
 	case "links":
 		if len(args) != 2 {

@@ -229,6 +229,20 @@ func (w *worker) execute(t opTicket) error {
 		}
 	case OpState:
 		_, err = cl.State(w.poolKey())
+	case OpQuery:
+		// A graph query pinned at the last observed primary LSN (0 before
+		// the first write acks — the server serves its current state), on
+		// the read connection: a follower waits until it has applied the
+		// position, same as the storm reads.
+		lsn := w.r.lastLSN.Load()
+		if lsn < 0 {
+			lsn = 0
+		}
+		if w.rng.Intn(2) == 0 {
+			_, err = cl.QueryAt(lsn, "reach", w.poolKey().String(), "all")
+		} else {
+			_, err = cl.QueryAt(lsn, "deps", w.poolKey().String())
+		}
 	}
 	return err
 }

@@ -38,6 +38,11 @@ const (
 
 	// OpState reads one OID's state — the cheap point read.
 	OpState = "state"
+
+	// OpQuery runs a graph query (QUERY <lsn> reach) pinned to a recently
+	// observed primary LSN, against a follower when FollowerReads is set —
+	// the MVCC reachability-index read path.
+	OpQuery = "query"
 )
 
 // writeClasses are the op classes whose acknowledgements the chaos mode
@@ -163,7 +168,7 @@ func (s Scenario) validate() error {
 	total := 0
 	for class, w := range s.Mix {
 		switch class {
-		case OpCheckin, OpReport, OpStorm, OpChurn, OpSwap, OpState:
+		case OpCheckin, OpReport, OpStorm, OpChurn, OpSwap, OpState, OpQuery:
 		default:
 			return fmt.Errorf("load: scenario %q: unknown op class %q", s.Name, class)
 		}
@@ -250,8 +255,8 @@ func Preset(name string) (Scenario, error) {
 			Blocks:   16,
 			Batch:    4,
 			Mix: map[string]int{
-				OpCheckin: 30, OpReport: 10, OpStorm: 20,
-				OpChurn: 20, OpState: 20,
+				OpCheckin: 30, OpReport: 10, OpStorm: 15,
+				OpChurn: 20, OpState: 20, OpQuery: 5,
 			},
 			FollowerReads: true,
 			SLO:           &SLO{P99Ms: map[string]float64{OpState: 250, OpStorm: 400}},
@@ -266,8 +271,8 @@ func Preset(name string) (Scenario, error) {
 			Blocks:   32,
 			Batch:    8,
 			Mix: map[string]int{
-				OpCheckin: 28, OpReport: 7, OpStorm: 20,
-				OpChurn: 25, OpSwap: 2, OpState: 18,
+				OpCheckin: 28, OpReport: 7, OpStorm: 15,
+				OpChurn: 25, OpSwap: 2, OpState: 18, OpQuery: 5,
 			},
 			FollowerReads: true,
 			SLO: &SLO{

@@ -1,5 +1,7 @@
 package meta
 
+import "sync"
+
 // Block connectivity tracking for the engine's parallel wave scheduler.
 //
 // Two event waves may drain concurrently only if they cannot touch a common
@@ -136,5 +138,64 @@ func (db *DB) RebuildComponents() {
 	// generation revalidate against the rebuilt partition.
 	db.compGen.Add(1)
 	db.compChurn.Store(0)
+	// With MVCC on, audit the versioned adjacency index against the live
+	// maps and re-publish any diverged posting — the same safety-net role
+	// the exact union-find pass above plays for the merge-only partition.
+	// Incremental maintenance keeps the index exact, so the scan normally
+	// publishes nothing.
+	tok := db.beginMut("", 0, nil)
+	if tok.on {
+		for _, sh := range db.shards {
+			h := sh.hist.Load()
+			for k, refs := range sh.outLinks {
+				if !adjCurrent(&h.out, k, refs) {
+					db.histAdjPush(sh, k, tok.s, true)
+				}
+			}
+			for k, refs := range sh.inLinks {
+				if !adjCurrent(&h.in, k, refs) {
+					db.histAdjPush(sh, k, tok.s, false)
+				}
+			}
+			// Postings whose key has no live refs anymore must read empty.
+			h.out.Range(func(ki, _ any) bool {
+				k := ki.(Key)
+				if len(sh.outLinks[k]) == 0 && !adjCurrent(&h.out, k, nil) {
+					db.histAdjPush(sh, k, tok.s, true)
+				}
+				return true
+			})
+			h.in.Range(func(ki, _ any) bool {
+				k := ki.(Key)
+				if len(sh.inLinks[k]) == 0 && !adjCurrent(&h.in, k, nil) {
+					db.histAdjPush(sh, k, tok.s, false)
+				}
+				return true
+			})
+		}
+	}
+	db.endMut(tok)
 	db.unlockAll()
+}
+
+// adjCurrent reports whether the head of an adjacency posting matches the
+// live ref list exactly (same link objects, same order).
+func adjCurrent(m *sync.Map, k Key, refs []linkRef) bool {
+	hi, ok := m.Load(k)
+	if !ok {
+		return len(refs) == 0
+	}
+	x := hi.(*hist[[]*Link]).at(1 << 62)
+	if x == nil || x.del {
+		return len(refs) == 0
+	}
+	if len(x.val) != len(refs) {
+		return false
+	}
+	for i, r := range refs {
+		if x.val[i] != r.l {
+			return false
+		}
+	}
+	return true
 }

@@ -368,8 +368,16 @@ type ResolvedConfiguration struct {
 	MissingLinks []LinkID
 }
 
-// Resolve materializes a stored configuration.
+// Resolve materializes a stored configuration.  With MVCC enabled the
+// clone-heavy materialization runs against a pinned view and holds no lock
+// at all; without it, a large resolve read-locks the control plane and
+// every shard and stripe for its duration.
 func (db *DB) Resolve(name string) (*ResolvedConfiguration, error) {
+	if db.mvcc.on.Load() {
+		v := db.ReadView()
+		defer v.Close()
+		return v.Resolve(name)
+	}
 	db.ctl.RLock()
 	defer db.ctl.RUnlock()
 	c, ok := db.configs[name]

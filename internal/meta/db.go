@@ -47,11 +47,12 @@ import (
 //
 // Whole-database reads have two tiers.  With MVCC enabled (mvcc.go —
 // automatic on journaled and follower databases), Save, the Snapshot*
-// configuration builders and the state streams read from LSN-pinned
-// lock-free views and never pause writers.  Without it, they and the
-// remaining graph walks (Reachable, Dependents, Equivalents, Resolve)
-// read-lock every shard and stripe for their duration; PruneVersions
-// write-locks everything either way.
+// configuration builders, the state streams, and the graph walks
+// (Reachable, Dependents, Equivalents, Resolve — see graphview.go for the
+// versioned reachability index behind them) read from LSN-pinned
+// lock-free views and never pause writers.  Without it, they read-lock
+// every shard and stripe for their duration; PruneVersions write-locks
+// everything either way.
 type DB struct {
 	shards []*dbShard
 	mask   uint32
@@ -380,6 +381,8 @@ func (db *DB) PruneVersions(block, view string, keep int) (int, error) {
 	}
 	drop := chain[:len(chain)-keep]
 	var removedLinks []LinkID
+	outTouched := make(map[Key]bool)
+	inTouched := make(map[Key]bool)
 	for _, v := range drop {
 		k := Key{Block: block, View: view, Version: v}
 		// Remove incident links first.
@@ -393,6 +396,8 @@ func (db *DB) PruneVersions(block, view string, keep int) (int, error) {
 			fs, ts := db.shardOf(l.From), db.shardOf(l.To)
 			fs.outLinks[l.From] = removeRef(fs.outLinks[l.From], r.id)
 			ts.inLinks[l.To] = removeRef(ts.inLinks[l.To], r.id)
+			outTouched[l.From] = true
+			inTouched[l.To] = true
 			removedLinks = append(removedLinks, r.id)
 			if len(l.Propagates) > 0 {
 				db.compChurn.Add(1)
@@ -401,6 +406,8 @@ func (db *DB) PruneVersions(block, view string, keep int) (int, error) {
 		delete(sh.outLinks, k)
 		delete(sh.inLinks, k)
 		delete(sh.oids, k)
+		outTouched[k] = true
+		inTouched[k] = true
 	}
 	sh.chains[bv] = append([]int(nil), chain[len(chain)-keep:]...)
 	tok := db.beginMut(OpPrune, 0, func() []string {
@@ -412,6 +419,12 @@ func (db *DB) PruneVersions(block, view string, keep int) (int, error) {
 		}
 		for _, id := range removedLinks {
 			db.histLinkPushLocked(id, tok.s, nil)
+		}
+		for k := range outTouched {
+			db.histAdjPush(db.shardOf(k), k, tok.s, true)
+		}
+		for k := range inTouched {
+			db.histAdjPush(db.shardOf(k), k, tok.s, false)
 		}
 		db.histChainPush(sh, bv, tok.s)
 	}
@@ -675,6 +688,8 @@ func (db *DB) AddLink(class LinkClass, from, to Key, template string, propagates
 		stripe.mu.Lock()
 		db.histLinkPushLocked(l.ID, tok.s, l)
 		stripe.mu.Unlock()
+		db.histAdjPush(sf, from, tok.s, true)
+		db.histAdjPush(st, to, tok.s, false)
 	}
 	db.endMut(tok)
 	return l.ID, nil
@@ -733,6 +748,8 @@ func (db *DB) DeleteLink(id LinkID) error {
 		})
 		if tok.on {
 			db.histLinkPushLocked(id, tok.s, nil)
+			db.histAdjPush(sf, l.From, tok.s, true)
+			db.histAdjPush(st, l.To, tok.s, false)
 		}
 		db.endMut(tok)
 		stripe.mu.Unlock()
@@ -815,6 +832,18 @@ func (db *DB) RetargetLink(id LinkID, oldEnd, newEnd Key) error {
 		})
 		if tok.on {
 			db.histLinkPushLocked(id, tok.s, moved)
+			// Three postings change: the list the link left, the list it
+			// joined, and the unmoved end's list (its refs now carry the
+			// replacement object).
+			if oldEnd == from {
+				db.histAdjPush(os, oldEnd, tok.s, true)
+				db.histAdjPush(ns, newEnd, tok.s, true)
+				db.histAdjPush(db.shardOf(to), to, tok.s, false)
+			} else {
+				db.histAdjPush(os, oldEnd, tok.s, false)
+				db.histAdjPush(ns, newEnd, tok.s, false)
+				db.histAdjPush(db.shardOf(from), from, tok.s, true)
+			}
 		}
 		db.endMut(tok)
 		stripe.mu.Unlock()
@@ -915,6 +944,8 @@ func (db *DB) replaceLink(id LinkID, mutate func(nl *Link), record func(nl *Link
 		}
 		if tok.on {
 			db.histLinkPushLocked(id, tok.s, nl)
+			db.histAdjPush(sf, l.From, tok.s, true)
+			db.histAdjPush(st, l.To, tok.s, false)
 		}
 		db.endMut(tok)
 		stripe.mu.Unlock()

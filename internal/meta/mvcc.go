@@ -116,9 +116,18 @@ type oidVal struct {
 // shardHist holds one shard's version histories.  The containers are
 // replaced wholesale on RestoreFrom (snapshot re-bootstrap), so views
 // capture the pointers at pin time and stay consistent across a re-base.
+//
+// out and in are the versioned reachability index: per-key adjacency
+// postings, one immutable []*Link per stamp at which the key's incident
+// link set changed.  Graph walks at a view resolve each visited key with
+// one index lookup instead of scanning every link stripe, so a closure
+// query costs O(closure), not O(graph).  Link objects are immutable, so
+// the postings share them with the stripe histories.
 type shardHist struct {
 	oids   sync.Map // Key -> *hist[oidVal]
 	chains sync.Map // BlockView -> *hist[[]int]
+	out    sync.Map // Key -> *hist[[]*Link] (links with From == key)
+	in     sync.Map // Key -> *hist[[]*Link] (links with To == key)
 }
 
 // stripeHist holds one link stripe's version histories.
@@ -378,6 +387,20 @@ func (db *DB) genesisLocked(s int64) {
 			chh.push(s, append([]int(nil), chain...), false)
 			h.chains.Store(bv, chh)
 		}
+		for k, refs := range sh.outLinks {
+			if len(refs) > 0 {
+				ah := &hist[[]*Link]{}
+				ah.push(s, refLinks(refs), false)
+				h.out.Store(k, ah)
+			}
+		}
+		for k, refs := range sh.inLinks {
+			if len(refs) > 0 {
+				ah := &hist[[]*Link]{}
+				ah.push(s, refLinks(refs), false)
+				h.in.Store(k, ah)
+			}
+		}
 		sh.hist.Store(h)
 	}
 	for _, st := range db.stripes {
@@ -454,6 +477,43 @@ func (db *DB) histChainPush(sh *dbShard, bv BlockView, s int64) {
 		hi, _ = h.chains.LoadOrStore(bv, &hist[[]int]{})
 	}
 	hi.(*hist[[]int]).push(s, append([]int(nil), sh.chains[bv]...), false)
+}
+
+// refLinks snapshots an adjacency ref list as an immutable link slice
+// (nil when empty, so an empty posting reads like an absent one).
+func refLinks(refs []linkRef) []*Link {
+	if len(refs) == 0 {
+		return nil
+	}
+	out := make([]*Link, len(refs))
+	for i, r := range refs {
+		out[i] = r.l
+	}
+	return out
+}
+
+// histAdjPush publishes the current adjacency posting of k — the
+// reachability index's incremental update.  Every link mutation calls it
+// for each endpoint whose incident set (or a member object) changed,
+// while holding that endpoint's shard lock, so a view walk resolves
+// adjacency with one lookup instead of a whole-graph link scan.  An empty
+// posting is pushed as a tombstone: "no links" and "never had links" read
+// identically, and reclamation can drop dead postings.
+func (db *DB) histAdjPush(sh *dbShard, k Key, s int64, out bool) {
+	h := sh.hist.Load()
+	m, refs := &h.in, sh.inLinks[k]
+	if out {
+		m, refs = &h.out, sh.outLinks[k]
+	}
+	hi, ok := m.Load(k)
+	if !ok {
+		if len(refs) == 0 {
+			return // nothing indexed and nothing to index
+		}
+		hi, _ = m.LoadOrStore(k, &hist[[]*Link]{})
+	}
+	links := refLinks(refs)
+	hi.(*hist[[]*Link]).push(s, links, links == nil)
 }
 
 // histLinkPushLocked publishes a link version (nil = deleted).  Callers
@@ -831,6 +891,18 @@ func (db *DB) ReclaimVersions() {
 		h.chains.Range(func(key, hv any) bool {
 			if hv.(*hist[[]int]).trim(floor) {
 				h.chains.Delete(key)
+			}
+			return true
+		})
+		h.out.Range(func(key, hv any) bool {
+			if hv.(*hist[[]*Link]).trim(floor) {
+				h.out.Delete(key)
+			}
+			return true
+		})
+		h.in.Range(func(key, hv any) bool {
+			if hv.(*hist[[]*Link]).trim(floor) {
+				h.in.Delete(key)
 			}
 			return true
 		})

@@ -7,10 +7,14 @@ import "sort"
 // level state package builds on.
 //
 // The Select*/Latest* scans visit shards one at a time (per-shard
-// consistent, not a whole-database snapshot); the graph walks (Reachable,
-// Dependents, Equivalents) read-lock every shard and stripe in the
+// consistent, not a whole-database snapshot).  The graph walks (Reachable,
+// Dependents, Equivalents) have two tiers: with MVCC enabled they pin a
+// lock-free ReadView and resolve adjacency through the versioned
+// reachability index (graphview.go) without touching a single shard or
+// stripe lock; without it they read-lock every shard and stripe in the
 // canonical ascending order so a cross-shard link walk sees one consistent
-// graph.
+// graph.  All four walks (including Resolve) return nil for a root that
+// does not exist.
 
 // SelectOIDs returns deep copies of every OID accepted by pred, sorted by
 // key.
@@ -116,6 +120,11 @@ func (db *DB) Reachable(root Key, follow FollowFunc) []Key {
 	if follow == nil {
 		follow = FollowUseLinks
 	}
+	if db.mvcc.on.Load() {
+		v := db.ReadView()
+		defer v.Close()
+		return v.Reachable(root, follow)
+	}
 	db.rlockAll()
 	defer db.runlockAll()
 	if _, ok := db.shardOf(root).oids[root]; !ok {
@@ -142,13 +151,22 @@ func (db *DB) Reachable(root Key, follow FollowFunc) []Key {
 
 // Dependents returns the downstream closure of root: every OID reachable by
 // repeatedly following admitted links From→To.  This is the set of data
-// invalidated when root changes.  root itself is excluded.
+// invalidated when root changes.  root itself is excluded; a root that does
+// not exist returns nil, matching Reachable and Equivalents.
 func (db *DB) Dependents(root Key, follow FollowFunc) []Key {
 	if follow == nil {
 		follow = FollowAllLinks
 	}
+	if db.mvcc.on.Load() {
+		v := db.ReadView()
+		defer v.Close()
+		return v.Dependents(root, follow)
+	}
 	db.rlockAll()
 	defer db.runlockAll()
+	if _, ok := db.shardOf(root).oids[root]; !ok {
+		return nil
+	}
 	visited := map[Key]bool{root: true}
 	queue := []Key{root}
 	var out []Key
@@ -173,6 +191,11 @@ func (db *DB) Dependents(root Key, follow FollowFunc) []Key {
 // version server, which the paper's link types reference.  Links are
 // followed in both directions; k itself is included.
 func (db *DB) Equivalents(k Key) []Key {
+	if db.mvcc.on.Load() {
+		v := db.ReadView()
+		defer v.Close()
+		return v.Equivalents(k)
+	}
 	db.rlockAll()
 	defer db.runlockAll()
 	if _, ok := db.shardOf(k).oids[k]; !ok {

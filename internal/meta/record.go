@@ -591,6 +591,8 @@ func (db *DB) insertLinkObject(l *Link) error {
 		stripe.mu.Lock()
 		db.histLinkPushLocked(l.ID, tok.s, l)
 		stripe.mu.Unlock()
+		db.histAdjPush(sf, l.From, tok.s, true)
+		db.histAdjPush(st, l.To, tok.s, false)
 	}
 	db.endMut(tok)
 	return nil

@@ -343,6 +343,21 @@ func (c *Client) GapAt(lsn int64) ([]string, error) {
 	return resp.Body, nil
 }
 
+// QueryAt runs a graph query pinned at the given journal LSN (0 = the
+// server's current state).  kind is reach, deps, equiv or resolve; args
+// are the kind's operands (an OID, optionally followed by a follow spec
+// — use, all or type:t1,t2,... — for reach/deps; a configuration name
+// for resolve).  On a follower the server first waits until the replica
+// has applied the position, so the body at a given LSN is byte-identical
+// on every node that has reached it.
+func (c *Client) QueryAt(lsn int64, kind string, args ...string) ([]string, error) {
+	resp, err := c.do(wire.VerbQuery, append([]string{strconv.FormatInt(lsn, 10), kind}, args...)...)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
 // LSN reports the server's journal position: the last journaled LSN on a
 // primary, the applied LSN on a follower.
 func (c *Client) LSN() (int64, error) {

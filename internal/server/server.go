@@ -670,6 +670,153 @@ func (s *Server) reportGate(req wire.Request) (*meta.View, *wire.Response) {
 	return v, nil
 }
 
+// handleQuery serves QUERY <lsn> <reach|deps|equiv|resolve> <args...>:
+// time-travel graph queries pinned at an LSN (0 = the current state).
+// Primaries and read-only followers serve it alike — the LSN gate is the
+// REPORT/GAP one (a follower blocks until it has applied the position), so
+// the body at a given LSN is byte-identical on every node that has reached
+// it.  reach/deps take an optional follow spec: "use" (hierarchy links),
+// "all" (every link), or "type:t1,t2,..." (use links plus derive links of
+// the named types); reach defaults to use, deps to all, matching the DB
+// methods.  With MVCC on, the walk runs on the pinned view through the
+// versioned reachability index and takes zero shard locks.
+func (s *Server) handleQuery(req wire.Request) wire.Response {
+	fail := func(format string, a ...any) wire.Response {
+		return wire.Response{OK: false, Detail: fmt.Sprintf(format, a...)}
+	}
+	if len(req.Args) < 2 {
+		return fail("QUERY wants <lsn> <reach|deps|equiv|resolve> <args...>")
+	}
+	lsn, err := strconv.ParseInt(req.Args[0], 10, 64)
+	if err != nil || lsn < 0 {
+		return fail("QUERY: bad lsn %q", req.Args[0])
+	}
+	gateReq := wire.Request{Verb: req.Verb}
+	if lsn > 0 {
+		gateReq.Args = []string{req.Args[0]}
+	}
+	v, resp := s.reportGate(gateReq)
+	if resp != nil {
+		return *resp
+	}
+	defer v.Close() // nil-safe
+	db := s.eng.DB()
+	kind, args := req.Args[1], req.Args[2:]
+	switch kind {
+	case "reach", "deps":
+		if len(args) < 1 || len(args) > 2 {
+			return fail("QUERY %s wants <oid> [use|all|type:t1,t2,...]", kind)
+		}
+		root, err := meta.ParseKey(args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		var follow meta.FollowFunc
+		if len(args) == 2 {
+			if follow, err = parseFollowSpec(args[1]); err != nil {
+				return fail("%v", err)
+			}
+		}
+		var exists bool
+		var keys []meta.Key
+		if v != nil {
+			exists = v.HasOID(root)
+			if kind == "reach" {
+				keys = v.Reachable(root, follow)
+			} else {
+				keys = v.Dependents(root, follow)
+			}
+		} else {
+			exists = db.HasOID(root)
+			if kind == "reach" {
+				keys = db.Reachable(root, follow)
+			} else {
+				keys = db.Dependents(root, follow)
+			}
+		}
+		if !exists {
+			return fail("oid %v: not found", root)
+		}
+		return keysResponse(keys)
+	case "equiv":
+		if len(args) != 1 {
+			return fail("QUERY equiv wants <oid>")
+		}
+		k, err := meta.ParseKey(args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		var exists bool
+		var keys []meta.Key
+		if v != nil {
+			exists = v.HasOID(k)
+			keys = v.Equivalents(k)
+		} else {
+			exists = db.HasOID(k)
+			keys = db.Equivalents(k)
+		}
+		if !exists {
+			return fail("oid %v: not found", k)
+		}
+		return keysResponse(keys)
+	case "resolve":
+		if len(args) != 1 {
+			return fail("QUERY resolve wants <configuration>")
+		}
+		var r *meta.ResolvedConfiguration
+		if v != nil {
+			r, err = v.Resolve(args[0])
+		} else {
+			r, err = db.Resolve(args[0])
+		}
+		if err != nil {
+			return fail("%v", err)
+		}
+		body := []string{fmt.Sprintf("config %s %d", wire.Quote(r.Config.Name), r.Config.Seq)}
+		for _, o := range r.OIDs {
+			body = append(body, "oid "+o.Key.String())
+		}
+		for _, l := range r.Links {
+			body = append(body, fmt.Sprintf("link %d %s %s %s", l.ID, l.Class, l.From, l.To))
+		}
+		for _, k := range r.MissingOIDs {
+			body = append(body, "missing-oid "+k.String())
+		}
+		for _, id := range r.MissingLinks {
+			body = append(body, fmt.Sprintf("missing-link %d", id))
+		}
+		return wire.Response{OK: true,
+			Detail: fmt.Sprintf("%d oids %d links %d missing",
+				len(r.OIDs), len(r.Links), len(r.MissingOIDs)+len(r.MissingLinks)),
+			Body: body}
+	default:
+		return fail("QUERY: unknown kind %q (want reach, deps, equiv or resolve)", kind)
+	}
+}
+
+func keysResponse(keys []meta.Key) wire.Response {
+	body := make([]string, len(keys))
+	for i, k := range keys {
+		body[i] = k.String()
+	}
+	return wire.Response{OK: true, Detail: fmt.Sprintf("%d keys", len(keys)), Body: body}
+}
+
+// parseFollowSpec maps the wire follow spec of QUERY reach/deps onto a
+// FollowFunc.
+func parseFollowSpec(spec string) (meta.FollowFunc, error) {
+	switch {
+	case spec == "use":
+		return meta.FollowUseLinks, nil
+	case spec == "all":
+		return meta.FollowAllLinks, nil
+	case strings.HasPrefix(spec, "type:"):
+		types := strings.Split(strings.TrimPrefix(spec, "type:"), ",")
+		return meta.FollowType(types...), nil
+	}
+	return nil, fmt.Errorf("bad follow spec %q (want use, all or type:t1,t2,...)", spec)
+}
+
 // streamReport serves REPORT/GAP over a live connection, writing and
 // flushing each "|" body row as it is evaluated — a report over a large
 // database starts arriving immediately and never materializes as one
@@ -1122,6 +1269,9 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 			state.StreamSorted(s.eng.DB(), s.eng.Blueprint(), row)
 		}
 		return wire.Response{OK: true, Detail: fmt.Sprintf("%d rows", len(body)), Body: body}, false
+
+	case wire.VerbQuery:
+		return s.handleQuery(req), false
 
 	case wire.VerbSnapshot:
 		if len(req.Args) != 2 {

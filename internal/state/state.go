@@ -378,9 +378,19 @@ func DiffConfigurations(db *meta.DB, oldName, newName string) (Diff, error) {
 // Blocked computes the transitive impact of an out-of-date OID: every
 // downstream OID whose chain of links admits the outofdate event.  This is
 // the query a project administrator runs before deciding whether to loosen
-// the BluePrint.
+// the BluePrint.  With MVCC enabled the walk runs on a pinned view (zero
+// shard locks — Dependents branches internally); BlockedView evaluates the
+// same query at an already-pinned view, keeping a report evaluation on one
+// consistent LSN end to end.
 func Blocked(db *meta.DB, origin meta.Key, event string) []meta.Key {
 	return db.Dependents(origin, func(l *meta.Link) bool {
+		return l.CanPropagate(event)
+	})
+}
+
+// BlockedView is Blocked evaluated at a pinned view.
+func BlockedView(v *meta.View, origin meta.Key, event string) []meta.Key {
+	return v.Dependents(origin, func(l *meta.Link) bool {
 		return l.CanPropagate(event)
 	})
 }

@@ -45,6 +45,7 @@ const (
 	VerbRole      = "ROLE"      // ROLE — role, term, applied LSN and commit watermark in one line
 	VerbPromote   = "PROMOTE"   // PROMOTE — flip a read-only follower into a primary (term bump)
 	VerbBPSwap    = "BPSWAP"    // BPSWAP <source> — swap the live blueprint (one quoted arg, newlines escaped)
+	VerbQuery     = "QUERY"     // QUERY <lsn> <reach|deps|equiv|resolve> <args...> — graph query pinned at an LSN (0 = current)
 )
 
 // AckPrefix opens the one upstream line a follower may write on a FOLLOW

@@ -23,9 +23,10 @@ CPU="${BENCH_CPU:-}"
 # added later run in a second process.
 LEGACY="BenchmarkEventThroughput\$|BenchmarkPropagationScaling|BenchmarkStateReport"
 EXTRA="BenchmarkEventThroughputParallel\$|BenchmarkParallelDrain|BenchmarkBatchPost"
-# MVCC reader-latency family (PR 5): report and snapshot latency with
-# paced concurrent writers vs. the idle baseline.
-MVCC="BenchmarkReportUnderWrites|BenchmarkSnapshotUnderLoad"
+# MVCC reader-latency family (PR 5, extended PR 9): report, snapshot and
+# graph-walk latency with paced concurrent writers vs. the idle baseline,
+# plus the versioned-adjacency point-lookup cost.
+MVCC="BenchmarkReportUnderWrites|BenchmarkSnapshotUnderLoad|BenchmarkReachableUnderWrites|BenchmarkQueryIndexLookup"
 OUT="BENCH_${INDEX}.json"
 RAW="BENCH_${INDEX}.txt"
 
