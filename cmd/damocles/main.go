@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	damocles [-addr host:port] [-blueprint file] [-db file | -journal dir [-fsync]] [-ack n [-ack-timeout d]] [-max-conns n] [-idle-timeout d] [-write-timeout d] [-trace]
-//	damocles -follow primary:port -journal dir [-addr host:port] [-blueprint file]
+//	damocles [-addr host:port] [-blueprint file] [-db file | -journal dir [-fsync]] [-ack n [-ack-timeout d]] [-follow-ping d] [-max-conns n] [-idle-timeout d] [-write-timeout d] [-trace]
+//	damocles -follow primary:port -journal dir [-addr host:port] [-blueprint file] [-stall-timeout d] [-follow-ping d]
 //	damocles -promote follower:port
 //
 // With no -blueprint, the EDTC_example policy from section 3.4 of the
@@ -35,6 +35,15 @@
 // flips to an explicit degraded state: writes are refused with a
 // journal-io error, reads keep serving, and ROLE reports
 // health=degraded — see docs/OPERATIONS.md.
+//
+// Replication streams carry a liveness contract: a serving node pings
+// idle FOLLOW streams every -follow-ping (so silence is never healthy),
+// and a follower declares a stream that stays silent past -stall-timeout
+// dead — it tears the connection down, counts a stall, reconnects with
+// backoff, and meanwhile ROLE reports staleness=<ms>, the wall-clock age
+// of its last upstream freshness evidence.  This is what turns a
+// half-open TCP link after a partition from an invisible hazard into a
+// bounded, observable event; see docs/REPLICATION.md.
 //
 // With -follow, the process runs as a replication follower instead: it
 // mirrors the primary's record stream into its own -journal directory
@@ -85,6 +94,8 @@ func main() {
 	promote := flag.String("promote", "", "promote the read-only follower at this address to primary, then exit")
 	ack := flag.Int("ack", 0, "hold each write until this many follower watermarks cover it (0: no quorum gate)")
 	ackTimeout := flag.Duration("ack-timeout", 5*time.Second, "with -ack, degrade to an explicit quorum-timeout error after this long")
+	stallTimeout := flag.Duration("stall-timeout", replica.DefaultStallTimeout, "with -follow, declare a silent replication stream dead after this long, count a stall, and reconnect (0: never — the legacy unbounded read)")
+	followPing := flag.Duration("follow-ping", replica.DefaultPingInterval, "liveness ping cadence on idle FOLLOW streams this node serves (0: silent idle)")
 	maxConns := flag.Int("max-conns", 0, "shed connections past this count with an explicit overloaded error (0: unlimited)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "close a connection whose next request does not arrive in time (0: never)")
 	writeTimeout := flag.Duration("write-timeout", 0, "close a connection that stalls a response write this long (0: never)")
@@ -102,12 +113,12 @@ func main() {
 		if *dbFile != "" {
 			log.Fatal("-follow replicates into -journal; -db does not apply")
 		}
-		if err := runFollower(*addr, *bpFile, *jdir, *follow, *fsync, *ack, *ackTimeout, limits, *trace); err != nil {
+		if err := runFollower(*addr, *bpFile, *jdir, *follow, *fsync, *ack, *ackTimeout, *stallTimeout, *followPing, limits, *trace); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
-	if err := run(*addr, *bpFile, *dbFile, *jdir, *fsync, *ack, *ackTimeout, limits, *trace); err != nil {
+	if err := run(*addr, *bpFile, *dbFile, *jdir, *fsync, *ack, *ackTimeout, *followPing, limits, *trace); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -149,7 +160,7 @@ func watchSignals() <-chan struct{} {
 // runFollower mirrors a primary's journal stream into jdir and serves the
 // read verbs from the replicated database.  The follower also serves
 // FOLLOW from its own journal (follower chaining) and accepts PROMOTE.
-func runFollower(addr, bpFile, jdir, primary string, fsync bool, ack int, ackTimeout time.Duration, limits server.Limits, trace bool) error {
+func runFollower(addr, bpFile, jdir, primary string, fsync bool, ack int, ackTimeout, stall, ping time.Duration, limits server.Limits, trace bool) error {
 	if jdir == "" {
 		return fmt.Errorf("-follow requires -journal DIR for the replica's local log")
 	}
@@ -157,9 +168,17 @@ func runFollower(addr, bpFile, jdir, primary string, fsync bool, ack int, ackTim
 	if err != nil {
 		return err
 	}
-	fol, err := replica.Start(jdir, primary, journal.Options{Fsync: fsync})
+	fol, err := replica.Start(jdir, primary, journal.Options{Fsync: fsync},
+		replica.WithStallTimeout(stall))
 	if err != nil {
 		return err
+	}
+	// Streams this node serves onward (chaining now, primary duty after a
+	// promotion) carry the same liveness cadence it expects upstream.
+	newSource := func(w *journal.Writer) *replica.Source {
+		s := replica.NewSource(w)
+		s.SetPing(ping)
+		return s
 	}
 	log.Printf("following %s from applied lsn %d: %+v", primary, fol.AppliedLSN(), fol.DB().Stats())
 	var engOpts []engine.Option
@@ -184,14 +203,14 @@ func runFollower(addr, bpFile, jdir, primary string, fsync bool, ack int, ackTim
 		w := fol.Writer()
 		eng.AttachJournal(w)
 		log.Printf("promoted: term %d, bump record at lsn %d", term, lsn)
-		return server.Promotion{Journal: w, Source: replica.NewSource(w), Term: term, LSN: lsn}, nil
+		return server.Promotion{Journal: w, Source: newSource(w), Term: term, LSN: lsn}, nil
 	}
 	srv := server.New(eng,
 		server.WithReadOnly(fol),
 		// Chaining: serve FOLLOW from the follower's own journal.  The
 		// tailer never passes the local commit watermark, so a downstream
 		// replica can never get ahead of this node's applied position.
-		server.WithFollowSource(replica.NewSource(fol.Writer())),
+		server.WithFollowSource(newSource(fol.Writer())),
 		server.WithPromote(hook),
 		// Dormant while read-only; gates writes after a promotion.
 		server.WithQuorum(ack, ackTimeout),
@@ -249,12 +268,12 @@ func runFollower(addr, bpFile, jdir, primary string, fsync bool, ack int, ackTim
 		return err
 	}
 	st := fol.Stats()
-	log.Printf("follower closed at applied lsn %d (connects=%d bootstraps=%d records=%d acks=%d): %+v",
-		fol.AppliedLSN(), st.Connects, st.Bootstraps, st.Records, st.Acks, fol.DB().Stats())
+	log.Printf("follower closed at applied lsn %d (connects=%d bootstraps=%d records=%d acks=%d stalls=%d): %+v",
+		fol.AppliedLSN(), st.Connects, st.Bootstraps, st.Records, st.Acks, st.Stalls, fol.DB().Stats())
 	return nil
 }
 
-func run(addr, bpFile, dbFile, jdir string, fsync bool, ack int, ackTimeout time.Duration, limits server.Limits, trace bool) error {
+func run(addr, bpFile, dbFile, jdir string, fsync bool, ack int, ackTimeout, ping time.Duration, limits server.Limits, trace bool) error {
 	if dbFile != "" && jdir != "" {
 		return fmt.Errorf("-db and -journal are mutually exclusive persistence modes")
 	}
@@ -302,11 +321,13 @@ func run(addr, bpFile, dbFile, jdir string, fsync bool, ack int, ackTimeout time
 	srvOpts := []server.Option{server.WithLimits(limits)}
 	if jw != nil {
 		opts = append(opts, engine.WithJournal(jw))
+		src := replica.NewSource(jw)
+		src.SetPing(ping)
 		srvOpts = append(srvOpts,
 			server.WithJournal(jw),
 			// A journaled server is a replication primary for free: the
 			// FOLLOW verb tails the same log that makes it durable.
-			server.WithFollowSource(replica.NewSource(jw)),
+			server.WithFollowSource(src),
 			server.WithQuorum(ack, ackTimeout))
 	}
 	eng, err := engine.New(db, bp, opts...)

@@ -7,11 +7,17 @@
 // samples replication lag, and emits LOAD_<n>.json next to the BENCH
 // files.  With -chaos it SIGKILLs the primary mid-run, promotes a
 // follower through the real CLI, re-points the survivors, and audits
-// zero acked-write loss plus the SLO recovery time.  See docs/LOAD.md.
+// zero acked-write loss plus the SLO recovery time.  With -partition it
+// blackholes a follower's replication link mid-run (through a netfault
+// proxy — both directions silent, nothing closed), audits that the dark
+// follower keeps admitting its staleness, and after the heal measures
+// the catch-up, the write-SLO recovery, and convergence.  See
+// docs/LOAD.md.
 //
 // Usage:
 //
 //	loadgen -spawn -followers 2 -ack 1 -preset mixed -chaos -out LOAD_1.json
+//	loadgen -spawn -followers 1 -ack 1 -preset smoke -partition -out LOAD_2.json
 //	loadgen -addr 127.0.0.1:7077 -preset smoke
 //	loadgen -scenario my.json -spawn
 //	loadgen -gate -base LOAD_base.json -pr LOAD_pr.json -limit 40
@@ -28,6 +34,7 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/load"
 )
@@ -48,6 +55,8 @@ func main() {
 		out       = flag.String("out", "", "output path (default: next free LOAD_<n>.json in the working dir)")
 		chaos     = flag.Bool("chaos", false, "kill the primary mid-run and audit the failover (needs -spawn and followers)")
 		killAfter = flag.Duration("kill-after", 0, "offset of the chaos kill (default: half the scenario duration)")
+		partition = flag.Bool("partition", false, "blackhole a follower's replication link mid-run and audit liveness (needs -spawn and followers)")
+		dark      = flag.Duration("dark", 0, "partition span (default: a quarter of the scenario duration)")
 		sloHard   = flag.Bool("slo-enforce", false, "exit non-zero on SLO ceiling violations")
 		quiet     = flag.Bool("q", false, "suppress progress logging")
 
@@ -111,9 +120,17 @@ func main() {
 				log.Fatalf("loadgen: -spawn wants a follower count, got %q", *followers)
 			}
 		}
-		cluster, err = load.StartCluster(b, load.ClusterOpts{
-			Followers: n, Ack: *ack, Fsync: *fsync, Logf: logf,
-		})
+		opts := load.ClusterOpts{Followers: n, Ack: *ack, Fsync: *fsync, Logf: logf}
+		if *partition {
+			// Short stall timeout and fast pings so the liveness machinery
+			// exercises visibly inside a short run: the dark follower must
+			// notice the silence, admit staleness, and reconnect fast once
+			// the link heals.
+			opts.ProxyFollowers = true
+			opts.StallTimeout = 1500 * time.Millisecond
+			opts.PingInterval = 250 * time.Millisecond
+		}
+		cluster, err = load.StartCluster(b, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -141,6 +158,25 @@ func main() {
 		r.Chaos = &load.ChaosPlan{Cluster: cluster, KillAfter: ka}
 		logf("chaos armed: primary dies at +%v", ka)
 	}
+	if *partition {
+		if cluster == nil || len(folAddrs) == 0 {
+			log.Fatal("loadgen: -partition needs -spawn and at least one follower")
+		}
+		if *chaos {
+			log.Fatal("loadgen: -chaos and -partition do not combine (one fault per run)")
+		}
+		d := *dark
+		if d <= 0 {
+			d = spec.Duration.D / 4
+		}
+		r.Partition = &load.PartitionPlan{
+			Cluster:    cluster,
+			Follower:   0,
+			StartAfter: spec.Duration.D / 4,
+			Dark:       d,
+		}
+		logf("partition armed: follower 0 goes dark at +%v for %v", spec.Duration.D/4, d)
+	}
 
 	res, err := r.Run()
 	if err != nil {
@@ -161,6 +197,16 @@ func main() {
 		}
 		if res.Chaos.AckedLost > 0 {
 			log.Fatalf("loadgen: %d ACKED WRITES LOST in failover", res.Chaos.AckedLost)
+		}
+	}
+	if pt := res.Partition; pt != nil && pt.Enabled {
+		switch {
+		case !pt.StalenessSeen:
+			log.Fatal("loadgen: dark follower served reads without admitting staleness")
+		case !pt.Recovered:
+			log.Fatal("loadgen: follower never caught the primary after the heal")
+		case !pt.Converged:
+			log.Fatal("loadgen: fleet did not converge after the heal")
 		}
 	}
 	if *sloHard && len(res.SLOViolations) > 0 {
@@ -222,6 +268,10 @@ func printSummary(res *load.Result, path string) {
 	if ch := res.Chaos; ch != nil && ch.Enabled {
 		fmt.Printf("  chaos: kill@%.0fms failover=%.0fms outage=%.0fms acked=%d lost=%d slo-recovery=%.0fms recovered=%v converged=%v\n",
 			ch.KillAtMs, ch.FailoverMs, ch.OutageMs, ch.AckedWrites, ch.AckedLost, ch.SLORecoveryMs, ch.Recovered, ch.Converged)
+	}
+	if pt := res.Partition; pt != nil && pt.Enabled {
+		fmt.Printf("  partition: dark@%.0fms for %.0fms staleness(max)=%.0fms catchup=%.0fms slo-recovery=%.0fms recovered=%v converged=%v\n",
+			pt.StartAtMs, pt.DarkMs, pt.MaxStalenessMs, pt.CatchupMs, pt.SLORecoveryMs, pt.Recovered, pt.Converged)
 	}
 	for _, v := range res.SLOViolations {
 		fmt.Printf("  SLO VIOLATION: %s\n", v)

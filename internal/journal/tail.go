@@ -9,6 +9,7 @@ import (
 	"io/fs"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"repro/internal/faultfs"
 	"repro/internal/meta"
@@ -37,6 +38,13 @@ const (
 	// delivered at most once per tail, only when caught up, so a follower
 	// never mistakes a wedged primary for a merely idle one.
 	FollowHealth
+	// FollowPing is the idle-stream liveness tick: the tail is caught up
+	// and nothing has committed for one ping interval, so the stream
+	// proves it is alive rather than staying silent.  Watermark carries
+	// the current commit position; a follower at that position treats the
+	// ping as freshness evidence, and its absence — past the stall
+	// timeout — as a dead link.  Only emitted when SetPing armed it.
+	FollowPing
 )
 
 // FollowEvent is one step of a journal tail.
@@ -77,8 +85,15 @@ type Tailer struct {
 	buf        []byte
 	scratch    []byte
 	sentMark   bool
-	sentHealth bool // the one FollowHealth event has been delivered
+	sentHealth bool          // the one FollowHealth event has been delivered
+	ping       time.Duration // idle-stream liveness tick cadence; 0 = silent idle
 }
+
+// SetPing arms the idle-stream liveness tick: whenever the tail is
+// caught up and nothing commits for every ms, Next returns a FollowPing
+// event instead of blocking silently.  0 disables (the legacy silent
+// idle).  Must be set before the first Next.
+func (t *Tailer) SetPing(every time.Duration) { t.ping = every }
 
 // NewTailer starts a tail that delivers every committed record with LSN
 // greater than after (0 tails from the beginning of history).
@@ -128,8 +143,21 @@ func (t *Tailer) Next(stop <-chan struct{}) (FollowEvent, error) {
 			if !t.sentHealth {
 				health = t.w.healthChan()
 			}
-			if _, ok := t.w.waitCommitted(t.next-1, stop, health); !ok {
+			var wake <-chan time.Time
+			var timer *time.Timer
+			if t.ping > 0 {
+				timer = time.NewTimer(t.ping)
+				wake = timer.C
+			}
+			_, ok, woke := t.w.waitCommitted(t.next-1, stop, health, wake)
+			if timer != nil {
+				timer.Stop()
+			}
+			if !ok {
 				return FollowEvent{}, ErrTailStopped
+			}
+			if woke {
+				return FollowEvent{Kind: FollowPing, Watermark: t.w.CommittedLSN()}, nil
 			}
 			continue
 		}

@@ -365,23 +365,28 @@ func (w *Writer) advanceWatermark(lsn int64) {
 // whether waiting may continue (false on stop/close).  A non-nil health
 // channel additionally wakes the wait (returning true) when it closes —
 // the degraded-journal signal; the caller must pass nil once it has
-// consumed that signal, or a closed channel would spin the wait.
-func (w *Writer) waitCommitted(after int64, stop, health <-chan struct{}) (int64, bool) {
+// consumed that signal, or a closed channel would spin the wait.  A
+// non-nil wake channel (a timer) likewise ends the wait early with
+// woke=true — the idle-ping tick a tailer uses to prove stream liveness
+// to its follower.
+func (w *Writer) waitCommitted(after int64, stop, health <-chan struct{}, wake <-chan time.Time) (lsn int64, ok, woke bool) {
 	for {
 		w.wmMu.Lock()
 		ch := w.wmCh
 		w.wmMu.Unlock()
 		if wm := w.watermark.Load(); wm > after {
-			return wm, true
+			return wm, true, false
 		}
 		select {
 		case <-ch:
 		case <-health:
-			return w.watermark.Load(), true
+			return w.watermark.Load(), true, false
+		case <-wake:
+			return w.watermark.Load(), true, true
 		case <-stop:
-			return w.watermark.Load(), false
+			return w.watermark.Load(), false, false
 		case <-w.quit:
-			return w.watermark.Load(), false
+			return w.watermark.Load(), false, false
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/netfault"
 	"repro/internal/server"
 )
 
@@ -135,6 +136,22 @@ type ClusterOpts struct {
 	// Blueprint is an optional -blueprint file path shared by all nodes.
 	Blueprint string
 
+	// ProxyFollowers routes every follower's upstream connection through
+	// an in-process netfault proxy, so the harness can blackhole a
+	// replication link (PartitionFollower) without touching the process —
+	// the network partition, as distinct from the SIGSTOP freeze.
+	ProxyFollowers bool
+
+	// StallTimeout, when positive, is passed to followers as
+	// -stall-timeout: how long a silent stream lives before the follower
+	// declares the link dead.  Partition runs scale it down so detection
+	// fits the measurement window.
+	StallTimeout time.Duration
+
+	// PingInterval, when positive, is passed to every node as
+	// -follow-ping: the idle-stream liveness cadence.
+	PingInterval time.Duration
+
 	// Logf receives harness progress lines (nil: silent).
 	Logf func(format string, args ...any)
 }
@@ -147,6 +164,10 @@ type Cluster struct {
 	Primary   *Proc
 	Followers []*Proc
 	Opts      ClusterOpts
+
+	// Proxies[i] fronts Followers[i]'s upstream link when the cluster
+	// was started with ProxyFollowers; nil entries otherwise.
+	Proxies []*netfault.Proxy
 
 	ownsDir bool
 	logf    func(format string, args ...any)
@@ -180,6 +201,9 @@ func StartCluster(bin string, opts ClusterOpts) (*Cluster, error) {
 	if opts.Blueprint != "" {
 		args = append(args, "-blueprint", opts.Blueprint)
 	}
+	if opts.PingInterval > 0 {
+		args = append(args, "-follow-ping", opts.PingInterval.String())
+	}
 	prim, err := c.startServing(args)
 	if err != nil {
 		c.Close()
@@ -190,23 +214,70 @@ func StartCluster(bin string, opts ClusterOpts) (*Cluster, error) {
 	logf("primary serving on %s (journal %s)", prim.Addr, pdir)
 	for i := 0; i < opts.Followers; i++ {
 		fdir := filepath.Join(opts.BaseDir, fmt.Sprintf("follower%d", i))
-		fargs := []string{"-addr", "127.0.0.1:0", "-journal", fdir, "-follow", prim.Addr}
+		upstream := prim.Addr
+		var px *netfault.Proxy
+		if opts.ProxyFollowers {
+			px, err = netfault.NewProxy(prim.Addr)
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("load: follower %d proxy: %w", i, err)
+			}
+			upstream = px.Addr()
+		}
+		fargs := []string{"-addr", "127.0.0.1:0", "-journal", fdir, "-follow", upstream}
 		if opts.Fsync {
 			fargs = append(fargs, "-fsync")
 		}
 		if opts.Blueprint != "" {
 			fargs = append(fargs, "-blueprint", opts.Blueprint)
 		}
+		if opts.StallTimeout > 0 {
+			fargs = append(fargs, "-stall-timeout", opts.StallTimeout.String())
+		}
+		if opts.PingInterval > 0 {
+			fargs = append(fargs, "-follow-ping", opts.PingInterval.String())
+		}
 		fol, err := c.startServing(fargs)
 		if err != nil {
+			if px != nil {
+				px.Close()
+			}
 			c.Close()
 			return nil, fmt.Errorf("load: follower %d: %w", i, err)
 		}
 		fol.Dir = fdir
 		c.Followers = append(c.Followers, fol)
-		logf("follower %d serving on %s (journal %s)", i, fol.Addr, fdir)
+		c.Proxies = append(c.Proxies, px)
+		if px != nil {
+			logf("follower %d serving on %s (journal %s, upstream via proxy %s)", i, fol.Addr, fdir, px.Addr())
+		} else {
+			logf("follower %d serving on %s (journal %s)", i, fol.Addr, fdir)
+		}
 	}
 	return c, nil
+}
+
+// PartitionFollower blackholes follower i's replication link: both
+// directions go silent without any connection closing — the half-open
+// partition the liveness contract exists for.
+func (c *Cluster) PartitionFollower(i int) error {
+	if i < 0 || i >= len(c.Proxies) || c.Proxies[i] == nil {
+		return fmt.Errorf("load: follower %d has no proxy (start the cluster with ProxyFollowers)", i)
+	}
+	c.logf("partition: blackholing follower %d's replication link", i)
+	c.Proxies[i].Blackhole()
+	return nil
+}
+
+// HealFollower lifts follower i's blackhole; parked bytes drain and the
+// link resumes.
+func (c *Cluster) HealFollower(i int) error {
+	if i < 0 || i >= len(c.Proxies) || c.Proxies[i] == nil {
+		return fmt.Errorf("load: follower %d has no proxy", i)
+	}
+	c.logf("partition: healing follower %d's replication link", i)
+	c.Proxies[i].Heal()
+	return nil
 }
 
 func (c *Cluster) startServing(args []string) (*Proc, error) {
@@ -232,13 +303,19 @@ func (c *Cluster) FollowerAddrs() []string {
 	return addrs
 }
 
-// Close kills every node and removes the harness-owned base directory.
+// Close kills every node, tears down the proxies, and removes the
+// harness-owned base directory.
 func (c *Cluster) Close() {
 	if c.Primary != nil {
 		c.Primary.Kill()
 	}
 	for _, f := range c.Followers {
 		f.Kill()
+	}
+	for _, px := range c.Proxies {
+		if px != nil {
+			px.Close()
+		}
 	}
 	if c.ownsDir {
 		os.RemoveAll(c.Opts.BaseDir)

@@ -124,6 +124,45 @@ type ChaosResult struct {
 	NewPrimary string `json:"new_primary"`
 }
 
+// PartitionResult is the audit of a -partition run: a follower's
+// replication link blackholed mid-traffic (both directions silent, no
+// connection closed), then healed.  The contract it checks: the dark
+// follower's ROLE must report a growing staleness the whole time
+// (reads stay age-bounded, never silently stale), writes gated on its
+// acks must recover their SLO after the heal, and the fleet must
+// converge byte-identically once the link is back.
+type PartitionResult struct {
+	Enabled  bool   `json:"enabled"`
+	Follower string `json:"follower"` // address of the darkened follower
+
+	StartAtMs float64 `json:"start_at_ms"` // blackhole offset into the run
+	DarkMs    float64 `json:"dark_ms"`     // blackhole span
+
+	// StalenessSeen reports that every successful ROLE poll of the dark
+	// follower carried the staleness field; MaxStalenessMs is the
+	// largest age it admitted to — it should approach DarkMs.
+	StalenessSeen  bool    `json:"staleness_seen"`
+	MaxStalenessMs float64 `json:"max_staleness_ms"`
+
+	// CatchupMs is the span from the heal until the follower's applied
+	// LSN caught the primary's; Recovered is false when it never did
+	// within the audit budget.
+	CatchupMs float64 `json:"catchup_ms"`
+	Recovered bool    `json:"recovered"`
+
+	// SLORecoveryMs is the span from the heal until the completion of
+	// the last write op violating its SLO ceiling (with -ack gating,
+	// writes degrade while the link is dark and must recover after it
+	// heals); SLORecovered is false when violations ran into the end of
+	// the window.
+	SLORecoveryMs float64 `json:"slo_recovery_ms"`
+	SLORecovered  bool    `json:"slo_recovered"`
+
+	// Converged reports that the healed follower's REPORT at the final
+	// LSN is byte-identical to the primary's.
+	Converged bool `json:"converged"`
+}
+
 // Result is the full outcome of one load run — the LOAD_<n>.json
 // document.
 type Result struct {
@@ -152,6 +191,7 @@ type Result struct {
 
 	Replication *ReplicationStats `json:"replication,omitempty"`
 	Chaos       *ChaosResult      `json:"chaos,omitempty"`
+	Partition   *PartitionResult  `json:"partition,omitempty"`
 
 	// SLOViolations lists op classes whose measured p99 exceeded the
 	// scenario's declared ceiling, plus a chaos recovery overrun.

@@ -31,6 +31,20 @@ type ChaosPlan struct {
 	KillAfter time.Duration
 }
 
+// PartitionPlan arms the partition chaos variant: at StartAfter into
+// the run the harness blackholes one follower's replication link (both
+// directions silent, nothing closed — the half-open partition), keeps
+// it dark for Dark, then heals it.  The audit checks the liveness
+// contract end to end: staleness reported the whole time, ack-gated
+// writes recovering their SLO after the heal, and convergence.  The
+// cluster must have been started with ProxyFollowers.
+type PartitionPlan struct {
+	Cluster    *Cluster
+	Follower   int           // index of the follower whose link goes dark
+	StartAfter time.Duration // blackhole offset into the run
+	Dark       time.Duration // how long the link stays dark
+}
+
 // Runner executes one Scenario against a damocles primary (and optional
 // follower fleet) and produces a Result.
 type Runner struct {
@@ -44,6 +58,10 @@ type Runner struct {
 	// Chaos, when set, arms the mid-run failover (requires the cluster
 	// handle so real processes can be killed and promoted).
 	Chaos *ChaosPlan
+
+	// Partition, when set, arms the mid-run replication blackhole
+	// (requires a cluster started with ProxyFollowers).
+	Partition *PartitionPlan
 
 	mix      mixTable
 	pool     []meta.Key
@@ -272,7 +290,7 @@ func (w *worker) run(epoch time.Time, queue <-chan opTicket) {
 				time.Sleep(10 * time.Millisecond)
 			}
 		}
-		if isWriteClass(t.class) && w.r.Chaos != nil {
+		if isWriteClass(t.class) && (w.r.Chaos != nil || w.r.Partition != nil) {
 			w.r.recordWrite(writeSample{due: t.due, lat: lat, ok: err == nil})
 		}
 	}
@@ -413,6 +431,92 @@ func (r *Runner) runChaos(epoch time.Time) *ChaosResult {
 	return res
 }
 
+// runPartition executes the armed PartitionPlan: blackhole the chosen
+// follower's replication link at StartAfter, poll its ROLE while dark
+// (its serving socket is not proxied — only the upstream is, so reads
+// keep answering and must admit their growing staleness), heal at
+// StartAfter+Dark, then measure how long the follower takes to catch
+// the primary's applied LSN.  The SLO-recovery and convergence halves
+// are filled in by audit() after traffic ends.
+func (r *Runner) runPartition(epoch time.Time) *PartitionResult {
+	p := r.Partition
+	res := &PartitionResult{Enabled: true}
+	fols := p.Cluster.FollowerAddrs()
+	if p.Follower < 0 || p.Follower >= len(fols) {
+		r.logf("partition: follower index %d out of range", p.Follower)
+		return res
+	}
+	res.Follower = fols[p.Follower]
+	time.Sleep(time.Until(epoch.Add(p.StartAfter)))
+	if err := p.Cluster.PartitionFollower(p.Follower); err != nil {
+		r.logf("partition: %v", err)
+		return res
+	}
+	start := time.Now()
+	res.StartAtMs = ms(start.Sub(epoch))
+	r.logf("partition: follower %s link dark for %v", res.Follower, p.Dark)
+
+	// Staleness watch: every successful ROLE poll of the dark follower
+	// must carry the staleness field, and the admitted age should grow
+	// toward the dark span.
+	res.StalenessSeen = true
+	polls := 0
+	tick := time.NewTicker(outageProbe)
+	for time.Since(start) < p.Dark {
+		<-tick.C
+		ri, err := roleOf(res.Follower)
+		if err != nil {
+			continue
+		}
+		polls++
+		if !ri.HasStaleness {
+			res.StalenessSeen = false
+		}
+		if s := ms(ri.Staleness); s > res.MaxStalenessMs {
+			res.MaxStalenessMs = s
+		}
+	}
+	tick.Stop()
+	if polls == 0 {
+		res.StalenessSeen = false
+	}
+	res.DarkMs = ms(time.Since(start))
+	if err := p.Cluster.HealFollower(p.Follower); err != nil {
+		r.logf("partition: %v", err)
+		return res
+	}
+	healT := time.Now()
+	r.logf("partition: healed after %.0fms dark (max admitted staleness %.0fms), waiting for catch-up",
+		res.DarkMs, res.MaxStalenessMs)
+
+	deadline := healT.Add(outageBudget)
+	for time.Now().Before(deadline) {
+		prim := appliedOf(r.curPrimary())
+		if prim >= 0 {
+			if fol := appliedOf(res.Follower); fol >= prim {
+				res.CatchupMs = ms(time.Since(healT))
+				res.Recovered = true
+				r.logf("partition: follower caught the primary %.0fms after the heal", res.CatchupMs)
+				return res
+			}
+		}
+		time.Sleep(outageProbe)
+	}
+	res.CatchupMs = ms(outageBudget)
+	r.logf("partition: follower never caught the primary within %v of the heal", outageBudget)
+	return res
+}
+
+// roleOf fetches one node's ROLE with short timeouts.
+func roleOf(addr string) (server.RoleInfo, error) {
+	cl, err := server.DialTimeout(addr, time.Second, 2*time.Second)
+	if err != nil {
+		return server.RoleInfo{}, err
+	}
+	defer cl.Hangup()
+	return cl.Role()
+}
+
 // writeSLOCeiling is the p99 ceiling applied to write ops for the
 // recovery computation: the strictest declared write-class ceiling, or
 // 500ms when the scenario declares none.
@@ -511,6 +615,17 @@ func (r *Runner) Run() (*Result, error) {
 		close(chaosDone)
 	}
 
+	var part *PartitionResult
+	partDone := make(chan struct{})
+	if r.Partition != nil {
+		go func() {
+			part = r.runPartition(epoch)
+			close(partDone)
+		}()
+	} else {
+		close(partDone)
+	}
+
 	r.logf("run %q: %d arrivals over %v (%d workers, backlog %d)",
 		spec.Name, sched.Arrivals(), sched.Span(), spec.Workers, spec.Backlog)
 	st := openLoop(epoch, sched, func(int) string {
@@ -521,6 +636,7 @@ func (r *Runner) Run() (*Result, error) {
 	wall := time.Since(epoch)
 	close(samplerDone)
 	<-chaosDone
+	<-partDone
 	close(resCh)
 
 	res := &Result{
@@ -568,6 +684,7 @@ func (r *Runner) Run() (*Result, error) {
 	}
 	res.Replication = lag.stats()
 	res.Chaos = chaos
+	res.Partition = part
 
 	r.audit(res, chaos, wall)
 	return res, nil
@@ -645,6 +762,35 @@ func (r *Runner) audit(res *Result, chaos *ChaosResult, wall time.Duration) {
 		killOff := time.Duration(chaos.KillAtMs * float64(time.Millisecond))
 		chaos.SLORecoveryMs, chaos.Recovered = computeRecovery(samples, killOff, wall, ceiling)
 		chaos.Converged = r.checkConverged(fc)
+	}
+
+	if part := res.Partition; part != nil && part.Enabled {
+		// SLO recovery measured from the heal: -ack gated writes degrade
+		// while the link is dark, so violations before the heal are
+		// expected — the contract is that they stop after it.
+		ceiling := r.Spec.writeSLOCeiling()
+		r.sampMu.Lock()
+		samples := append([]writeSample{}, r.writeSamples...)
+		r.sampMu.Unlock()
+		healOff := time.Duration((part.StartAtMs + part.DarkMs) * float64(time.Millisecond))
+		part.SLORecoveryMs, part.SLORecovered = computeRecovery(samples, healOff, wall, ceiling)
+		part.Converged = r.checkConverged(fc)
+		if !part.StalenessSeen {
+			res.SLOViolations = append(res.SLOViolations,
+				"partition: dark follower served reads without admitting staleness")
+		}
+		if !part.Recovered {
+			res.SLOViolations = append(res.SLOViolations,
+				"partition: follower never caught the primary after the heal")
+		}
+		if !part.Converged {
+			res.SLOViolations = append(res.SLOViolations,
+				"partition: fleet did not converge after the heal")
+		}
+		if r.Spec.SLO != nil && r.Spec.SLO.RecoveryMs > 0 && part.SLORecoveryMs > r.Spec.SLO.RecoveryMs {
+			res.SLOViolations = append(res.SLOViolations,
+				fmt.Sprintf("partition: SLO recovery %.0fms > budget %.0fms", part.SLORecoveryMs, r.Spec.SLO.RecoveryMs))
+		}
 	}
 
 	if r.Spec.SLO != nil {

@@ -1,0 +1,449 @@
+// Package netfault is the network twin of faultfs: an injectable seam
+// under every outbound connection the system makes, plus deterministic
+// fault injection over it.  Where faultfs models a disk that lies
+// (ENOSPC, torn writes, wedged sync), netfault models a network that
+// lies — added latency, bandwidth collapse, connections that die at the
+// Nth read, and the worst case of all: the silent half-open link after
+// a partition, where packets simply vanish and neither end is told.
+//
+// Two layers share one fault vocabulary:
+//
+//   - The Dialer seam (Dialer, FaultDialer, Injector): code dials
+//     through a Dialer value instead of net.Dial, a passthrough by
+//     default; a FaultDialer wraps the dial and every conn it produces,
+//     applying a Plan with faultfs-style determinism (the Nth read
+//     across the injector fails, sticky or once).
+//
+//   - The Proxy (proxy.go): an in-process TCP relay between two real
+//     endpoints with independently faultable directions — the tool for
+//     whole-cluster partition scripting between named nodes, where the
+//     processes under test stay unmodified.
+//
+// The determinism contract matches faultfs: counters advance once per
+// call in call order, so a single-threaded workload replays the same
+// fault at the same op every run, and a sweep can enumerate (op, nth)
+// pairs from a counting pre-run.
+package netfault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error an un-parameterized fault returns.
+// Callers distinguish an injected failure from a real one with errors.Is.
+var ErrInjected = errors.New("netfault: injected network error")
+
+// Op selects which operation kind a fault applies to.
+type Op int
+
+const (
+	// OpDial is a connection attempt through the dialer.
+	OpDial Op = iota
+	// OpRead is one Read call on a wrapped conn.
+	OpRead
+	// OpWrite is one Write call on a wrapped conn.
+	OpWrite
+	// OpClose is one Close call on a wrapped conn.
+	OpClose
+
+	opCount
+)
+
+var opNames = [opCount]string{"dial", "read", "write", "close"}
+
+func (o Op) String() string {
+	if o < 0 || o >= opCount {
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// Ops lists every operation kind, the axis of a fault sweep.
+var Ops = []Op{OpDial, OpRead, OpWrite, OpClose}
+
+// Fault is one rule of a Plan: when the Nth matching call of Op happens
+// (counted across the whole Injector, 1-based), fail it — or, for the
+// shaping and blackhole modes, distort every matching call from the Nth
+// onward.
+type Fault struct {
+	// Op selects which operation kind the fault applies to.
+	Op Op
+
+	// Addr, when non-empty, restricts the fault to conns whose remote
+	// address contains it as a substring.
+	Addr string
+
+	// Nth is the 1-based matching-call count the fault fires at; 0 means
+	// the first matching call.
+	Nth int64
+
+	// Err is the error returned; nil means ErrInjected.  The conn is not
+	// closed — the caller sees the error exactly as it would a kernel
+	//-level reset, and owns the teardown.
+	Err error
+
+	// Sticky keeps the fault firing on every later matching call — the
+	// dead-NIC model.  A non-sticky fault fires exactly once — the
+	// transient-glitch model.
+	Sticky bool
+
+	// Latency is added to every matching call from Nth onward (fired or
+	// not), the slow-link model.  Set LatencyOnly for a pure slowdown
+	// that never errors.
+	LatencyOnly bool
+	Latency     time.Duration
+
+	// Bandwidth, when positive, paces every matching call from Nth
+	// onward to that many bytes per second — the congested-link model.
+	// Like Latency it is a continuing distortion, not a one-shot error.
+	Bandwidth int64
+
+	// Blackhole silently swallows every matching call from Nth onward —
+	// the half-open link: writes report success and vanish, reads block
+	// until the conn's deadline (or Close), dials hang until the context
+	// gives up.  No error, no RST — exactly what a partition looks like
+	// from inside.
+	Blackhole bool
+}
+
+func (f Fault) String() string {
+	mode := "once"
+	if f.Sticky {
+		mode = "sticky"
+	}
+	if f.LatencyOnly {
+		mode = "latency-only"
+	}
+	if f.Blackhole {
+		mode = "blackhole"
+	}
+	s := fmt.Sprintf("%s#%d %s", f.Op, f.nth(), mode)
+	if f.Addr != "" {
+		s += " addr~" + f.Addr
+	}
+	if f.Latency > 0 {
+		s += fmt.Sprintf(" +%v", f.Latency)
+	}
+	if f.Bandwidth > 0 {
+		s += fmt.Sprintf(" %dB/s", f.Bandwidth)
+	}
+	return s
+}
+
+func (f Fault) nth() int64 {
+	if f.Nth <= 0 {
+		return 1
+	}
+	return f.Nth
+}
+
+// Plan is a deterministic fault schedule.  The zero Plan injects
+// nothing (a pure counter).
+type Plan struct {
+	Faults []Fault
+}
+
+// SingleFault is the sweep constructor: a plan that fails exactly the
+// nth call of op, once, with err (nil → ErrInjected).
+func SingleFault(op Op, nth int64, err error) Plan {
+	return Plan{Faults: []Fault{{Op: op, Nth: nth, Err: err}}}
+}
+
+// StickyFault is SingleFault with the dead-NIC model: the nth call of
+// op and every matching call after it fail.
+func StickyFault(op Op, nth int64, err error) Plan {
+	return Plan{Faults: []Fault{{Op: op, Nth: nth, Err: err, Sticky: true}}}
+}
+
+// Dialer is the injectable network seam: anything that can open an
+// outbound connection.  *net.Dialer satisfies it, so the passthrough
+// default costs nothing.
+type Dialer interface {
+	DialContext(ctx context.Context, network, address string) (net.Conn, error)
+}
+
+// System is the passthrough dialer — the real network.
+var System Dialer = &net.Dialer{}
+
+// timeoutError is the net.Error a blackholed read reports when the
+// conn's read deadline expires: callers classifying stalls with
+// net.Error.Timeout see exactly what a kernel-level deadline produces.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "netfault: i/o timeout (blackholed)" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// Injector applies a Plan to the calls flowing through wrapped conns
+// and dials.  All counters are deterministic per call sequence; the
+// Injector is safe for concurrent use (counts serialize under one
+// mutex).
+type Injector struct {
+	mu       sync.Mutex
+	plan     Plan
+	counts   [opCount]int64
+	fired    []string
+	consumed []bool
+}
+
+// NewInjector builds an Injector over plan.  A zero Plan makes a pure
+// counting wrapper — the pre-run half of a sweep.
+func NewInjector(plan Plan) *Injector {
+	return &Injector{plan: plan, consumed: make([]bool, len(plan.Faults))}
+}
+
+// Count returns how many calls of op have been observed so far.
+func (i *Injector) Count(op Op) int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.counts[op]
+}
+
+// Counts returns a copy of every per-op call counter.
+func (i *Injector) Counts() map[Op]int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	m := make(map[Op]int64, len(Ops))
+	for _, op := range Ops {
+		if i.counts[op] > 0 {
+			m[op] = i.counts[op]
+		}
+	}
+	return m
+}
+
+// Fired returns a description of every fault that has fired, in order —
+// empty means the plan never triggered.
+func (i *Injector) Fired() []string {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return append([]string(nil), i.fired...)
+}
+
+// verdict is one call's fate: shaping to apply, then either a clean
+// pass, an injected error, or a blackhole.
+type verdict struct {
+	delay     time.Duration
+	bandwidth int64 // min across matching faults; 0 = unshaped
+	err       error
+	blackhole bool
+}
+
+// check counts one call of op against addr and decides its fate.
+func (i *Injector) check(op Op, addr string) verdict {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.counts[op]++
+	n := i.counts[op]
+	var v verdict
+	for fi := range i.plan.Faults {
+		f := &i.plan.Faults[fi]
+		if f.Op != op || (f.Addr != "" && !strings.Contains(addr, f.Addr)) {
+			continue
+		}
+		if n < f.nth() {
+			continue
+		}
+		if f.Latency > 0 {
+			v.delay += f.Latency
+		}
+		if f.Bandwidth > 0 && (v.bandwidth == 0 || f.Bandwidth < v.bandwidth) {
+			v.bandwidth = f.Bandwidth
+		}
+		if f.Blackhole {
+			if !i.consumed[fi] {
+				i.consumed[fi] = true
+				i.fired = append(i.fired, fmt.Sprintf("%s @%s blackholed", f.String(), addr))
+			}
+			v.blackhole = true
+			continue
+		}
+		if f.LatencyOnly {
+			continue
+		}
+		if !f.Sticky && i.consumed[fi] {
+			continue
+		}
+		if !f.Sticky && n != f.nth() {
+			continue
+		}
+		i.consumed[fi] = true
+		err := f.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		i.fired = append(i.fired, fmt.Sprintf("%s @%s %s", f.String(), addr, err))
+		v.err = &net.OpError{Op: op.String(), Net: "tcp", Err: err}
+	}
+	return v
+}
+
+// Wrap threads a live connection's reads and writes through the
+// injector.  addr labels the conn for Addr-filtered faults; empty uses
+// the conn's own remote address.
+func (i *Injector) Wrap(c net.Conn, addr string) net.Conn {
+	if addr == "" && c.RemoteAddr() != nil {
+		addr = c.RemoteAddr().String()
+	}
+	return &faultConn{Conn: c, inj: i, addr: addr, done: make(chan struct{})}
+}
+
+// FaultDialer is a Dialer that applies an Injector's plan to every dial
+// and to every connection the dials produce.
+type FaultDialer struct {
+	// Base performs the real dial; nil means System.
+	Base Dialer
+
+	// Inj holds the plan and the deterministic counters.
+	Inj *Injector
+}
+
+// NewFaultDialer wraps the system dialer with plan and returns the
+// dialer together with its injector (for counter/Fired inspection).
+func NewFaultDialer(plan Plan) (*FaultDialer, *Injector) {
+	inj := NewInjector(plan)
+	return &FaultDialer{Inj: inj}, inj
+}
+
+// DialContext dials through the plan: an OpDial fault can delay, fail,
+// or blackhole the attempt (hang until ctx gives up — the unanswered
+// SYN), and the resulting conn is wrapped for read/write faults.
+func (d *FaultDialer) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	v := d.Inj.check(OpDial, address)
+	if v.delay > 0 {
+		t := time.NewTimer(v.delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, &net.OpError{Op: "dial", Net: network, Err: ctx.Err()}
+		}
+	}
+	if v.blackhole {
+		<-ctx.Done()
+		return nil, &net.OpError{Op: "dial", Net: network, Err: ctx.Err()}
+	}
+	if v.err != nil {
+		return nil, v.err
+	}
+	base := d.Base
+	if base == nil {
+		base = System
+	}
+	c, err := base.DialContext(ctx, network, address)
+	if err != nil {
+		return nil, err
+	}
+	return d.Inj.Wrap(c, address), nil
+}
+
+// faultConn is a conn whose reads and writes flow through an Injector.
+// It tracks deadlines itself so a blackholed read still honors
+// SetReadDeadline — silence must end in a timeout, like the real thing.
+type faultConn struct {
+	net.Conn
+	inj  *Injector
+	addr string
+
+	mu        sync.Mutex
+	readDL    time.Time
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// park blocks a blackholed read until the read deadline, Close, or —
+// with no deadline — forever, mirroring a half-open link with no
+// keepalive.
+func (c *faultConn) park() error {
+	c.mu.Lock()
+	dl := c.readDL
+	c.mu.Unlock()
+	var timer *time.Timer
+	var expire <-chan time.Time
+	if !dl.IsZero() {
+		d := time.Until(dl)
+		if d <= 0 {
+			return timeoutError{}
+		}
+		timer = time.NewTimer(d)
+		expire = timer.C
+		defer timer.Stop()
+	}
+	select {
+	case <-expire:
+		return timeoutError{}
+	case <-c.done:
+		return net.ErrClosed
+	}
+}
+
+// pace sleeps the transfer time of n bytes at the capped bandwidth.
+func pace(n int, bytesPerSec int64) {
+	if bytesPerSec <= 0 || n <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(float64(n) / float64(bytesPerSec) * float64(time.Second)))
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	v := c.inj.check(OpRead, c.addr)
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	if v.blackhole {
+		return 0, c.park()
+	}
+	if v.err != nil {
+		return 0, v.err
+	}
+	n, err := c.Conn.Read(p)
+	pace(n, v.bandwidth)
+	return n, err
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	v := c.inj.check(OpWrite, c.addr)
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	if v.blackhole {
+		// The half-open write: reported delivered, never arrives.
+		return len(p), nil
+	}
+	if v.err != nil {
+		return 0, v.err
+	}
+	pace(len(p), v.bandwidth)
+	return c.Conn.Write(p)
+}
+
+func (c *faultConn) Close() error {
+	v := c.inj.check(OpClose, c.addr)
+	c.closeOnce.Do(func() { close(c.done) })
+	if v.err != nil {
+		// The handle must still be released, or a faulted run leaks it.
+		c.Conn.Close()
+		return v.err
+	}
+	return c.Conn.Close()
+}
+
+func (c *faultConn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL = t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *faultConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}

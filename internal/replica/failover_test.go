@@ -30,6 +30,7 @@ type pnode struct {
 	db      *meta.DB
 	eng     *engine.Engine
 	srv     *server.Server
+	src     *replica.Source
 	addr    string
 	stopped bool
 }
@@ -45,15 +46,16 @@ func startPrimary(t *testing.T, dir string, opt journal.Options, srvOpts ...serv
 	if err != nil {
 		t.Fatal(err)
 	}
+	src := replica.NewSource(w)
 	srv := server.New(eng, append([]server.Option{
 		server.WithJournal(w),
-		server.WithFollowSource(replica.NewSource(w)),
+		server.WithFollowSource(src),
 	}, srvOpts...)...)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := &pnode{t: t, dir: dir, w: w, db: db, eng: eng, srv: srv, addr: addr}
+	p := &pnode{t: t, dir: dir, w: w, db: db, eng: eng, srv: srv, src: src, addr: addr}
 	t.Cleanup(p.crash)
 	return p
 }

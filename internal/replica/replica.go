@@ -20,6 +20,7 @@
 package replica
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -30,20 +31,42 @@ import (
 
 	"repro/internal/journal"
 	"repro/internal/meta"
+	"repro/internal/netfault"
 	"repro/internal/server"
 	"repro/internal/wire"
 )
+
+// DefaultPingInterval is the idle-stream liveness cadence a Source
+// ships with: several ticks fit inside the follower's default stall
+// timeout, so one lost or late ping never looks like a dead link.
+const DefaultPingInterval = 2 * time.Second
 
 // Source serves the primary-side replication stream.  It implements
 // server.FollowSource; attach it with server.WithFollowSource.  Each
 // follower connection gets its own journal tail at its own position;
 // none of them ever blocks the journal writer.
 type Source struct {
-	w *journal.Writer
+	w    *journal.Writer
+	ping atomic.Int64 // idle ping cadence in nanoseconds; 0 = disabled
 }
 
-// NewSource wraps the primary's journal writer.
-func NewSource(w *journal.Writer) *Source { return &Source{w: w} }
+// NewSource wraps the primary's journal writer.  Streams it serves
+// emit liveness pings every DefaultPingInterval while idle; SetPing
+// adjusts or disables that.
+func NewSource(w *journal.Writer) *Source {
+	s := &Source{w: w}
+	s.ping.Store(int64(DefaultPingInterval))
+	return s
+}
+
+// SetPing sets the idle-stream ping cadence for streams served after
+// the call; every ≤ 0 disables pings (the pre-liveness silent idle).
+func (s *Source) SetPing(every time.Duration) {
+	if every < 0 {
+		every = 0
+	}
+	s.ping.Store(int64(every))
+}
 
 // ServeFollow streams frames for one follower: an optional snapshot
 // bootstrap, then records and caught-up watermarks, encoded as wire
@@ -64,6 +87,7 @@ func (s *Source) ServeFollow(from, fromTerm int64, stop <-chan struct{}, send fu
 		return fmt.Errorf("replica: %w", err)
 	}
 	t := s.w.NewTailer(from)
+	t.SetPing(time.Duration(s.ping.Load()))
 	defer t.Close()
 	for {
 		ev, err := t.Next(stop)
@@ -94,6 +118,8 @@ func (s *Source) ServeFollow(from, fromTerm int64, stop <-chan struct{}, send fu
 			// trivially tokenizable.
 			err = send(fmt.Sprintf("%s degraded %s", wire.FollowFrameHealth,
 				wire.Quote(strings.ReplaceAll(ev.Reason, " ", "_"))))
+		case journal.FollowPing:
+			err = send(fmt.Sprintf("%s %d", wire.FollowFramePing, ev.Watermark))
 		}
 		if err != nil {
 			return err
@@ -118,6 +144,9 @@ type Follower struct {
 	db         *meta.DB
 	backoffMin time.Duration
 	backoffMax time.Duration
+	stall      time.Duration   // dead-link detector; 0 = legacy unbounded stream reads
+	dialMax    time.Duration   // bound on one dial attempt
+	dialer     netfault.Dialer // the injectable transport seam
 
 	mu          sync.Mutex
 	addr        string // current primary; Repoint swaps it on a live loop
@@ -128,6 +157,9 @@ type Follower struct {
 	conn        *server.Client
 	err         error // terminal replication error; nil while healthy
 	advCh       chan struct{}
+	repointCh   chan struct{}      // closed and replaced by Repoint: wakes a backoff pause
+	dialCancel  context.CancelFunc // cancels the in-flight dial; nil outside one
+	freshAt     time.Time          // last upstream freshness evidence; zero = none yet
 
 	upHealth atomic.Value // string: "" unknown/ok, else the upstream's degraded reason
 
@@ -137,6 +169,7 @@ type Follower struct {
 		bootstraps atomic.Int64 // snapshot re-bases
 		records    atomic.Int64 // records applied
 		acks       atomic.Int64 // ACK lines sent upstream
+		stalls     atomic.Int64 // dead links detected by the stall timeout
 	}
 
 	stop     chan struct{}
@@ -154,6 +187,7 @@ type FollowerStats struct {
 	Bootstraps int64 // snapshot re-bases (left behind by compaction)
 	Records    int64 // records applied
 	Acks       int64 // ACK progress lines sent upstream
+	Stalls     int64 // dead links detected by the stall timeout (half-open streams)
 }
 
 // Option tunes a Follower.
@@ -170,6 +204,42 @@ func WithBackoff(min, max time.Duration) Option {
 		}
 		if max >= f.backoffMin {
 			f.backoffMax = max
+		}
+	}
+}
+
+// DefaultStallTimeout is the follower's dead-link detector default:
+// five DefaultPingInterval ticks must go missing in a row before a
+// stream is declared dead, so scheduler hiccups never look like
+// partitions, while a genuinely half-open link is torn down in seconds
+// rather than held forever by TCP's multi-minute patience.
+const DefaultStallTimeout = 10 * time.Second
+
+// WithStallTimeout sets how long the follower lets the stream stay
+// silent before declaring the link dead — tearing it down, counting a
+// stall in Stats, and reconnecting through the normal backoff.  The
+// primary pings idle streams (see DefaultPingInterval), so silence past
+// a few intervals can only be a dead or half-open connection.  d ≤ 0
+// disables the detector (the legacy unbounded read).  The timeout also
+// bounds the dial-side FOLLOW handshake: a blackholed primary that
+// accepts the TCP connect but never answers is caught here too.
+func WithStallTimeout(d time.Duration) Option {
+	return func(f *Follower) {
+		if d < 0 {
+			d = 0
+		}
+		f.stall = d
+	}
+}
+
+// WithDialer routes the follower's upstream connections through d — the
+// netfault seam: tests and chaos harnesses inject partitions, latency
+// and dead links without touching the replication logic.  The default
+// is the real network (netfault.System).
+func WithDialer(d netfault.Dialer) Option {
+	return func(f *Follower) {
+		if d != nil {
+			f.dialer = d
 		}
 	}
 }
@@ -191,8 +261,12 @@ func Start(dir, addr string, opt journal.Options, opts ...Option) (*Follower, er
 		db:         db,
 		backoffMin: 50 * time.Millisecond,
 		backoffMax: time.Second,
+		stall:      DefaultStallTimeout,
+		dialMax:    5 * time.Second,
+		dialer:     netfault.System,
 		applied:    w.LastLSN(),
 		advCh:      make(chan struct{}),
+		repointCh:  make(chan struct{}),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
@@ -231,7 +305,25 @@ func (f *Follower) Stats() FollowerStats {
 		Bootstraps: f.stats.bootstraps.Load(),
 		Records:    f.stats.records.Load(),
 		Acks:       f.stats.acks.Load(),
+		Stalls:     f.stats.stalls.Load(),
 	}
+}
+
+// Staleness reports the wall-clock age of the follower's last upstream
+// freshness evidence — an applied record, a caught-up watermark, or a
+// liveness ping — and whether any has arrived at all.  It bounds how old
+// the data served from DB() can be relative to the primary: a small age
+// means the link was provably alive (and the follower caught up or
+// catching up) that recently; a growing age means reads are drifting
+// into the past, the thing a half-open link used to hide.  The server's
+// ROLE verb surfaces it as staleness=<ms>.
+func (f *Follower) Staleness() (time.Duration, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.freshAt.IsZero() {
+		return 0, false
+	}
+	return time.Since(f.freshAt), true
 }
 
 // UpstreamHealth reports what the primary last said about its own journal:
@@ -254,16 +346,25 @@ func (f *Follower) Writer() *journal.Writer { return f.w }
 func (f *Follower) Term() int64 { return f.w.Term() }
 
 // Repoint re-targets the follower at a different primary: the current
-// stream (if any) is hung up, and the reconnect loop dials the new
-// address.  Duplicate records across the switch are skipped, a gap is a
-// terminal error, and a divergent-lineage upstream is refused by term
-// fencing — re-pointing is safe exactly when the new upstream shares the
-// follower's history.
+// stream (if any) is hung up, an in-flight dial is canceled, a backoff
+// pause is cut short, and the reconnect loop dials the new address
+// immediately — re-pointing during an outage (the very moment it
+// happens) must not wait out a dial to a dead address or a backoff
+// earned by one.  Duplicate records across the switch are skipped, a
+// gap is a terminal error, and a divergent-lineage upstream is refused
+// by term fencing — re-pointing is safe exactly when the new upstream
+// shares the follower's history.
 func (f *Follower) Repoint(addr string) {
 	f.mu.Lock()
 	f.addr = addr
 	c := f.conn
+	cancel := f.dialCancel
+	close(f.repointCh)
+	f.repointCh = make(chan struct{})
 	f.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
 	if c != nil {
 		c.Hangup()
 	}
@@ -370,6 +471,9 @@ func (f *Follower) halt() {
 		if f.conn != nil {
 			f.conn.Hangup() // unblock a read parked on the stream
 		}
+		if f.dialCancel != nil {
+			f.dialCancel() // unblock a dial parked on a blackholed address
+		}
 		f.mu.Unlock()
 	})
 	<-f.done
@@ -381,6 +485,32 @@ type terminalError struct{ err error }
 
 func (t terminalError) Error() string { return t.err.Error() }
 
+// dial opens one upstream connection through the injectable dialer.
+// The attempt is bounded by dialMax and cancelable by Repoint and halt
+// — a dial parked on a blackholed address must not pin the loop to a
+// primary the caller already knows is gone.  The resulting client gets
+// the stall timeout both as its handshake bound (a half-open accept
+// that never answers FOLLOW dies here) and as its per-frame stream
+// deadline.
+func (f *Follower) dial() (*server.Client, error) {
+	f.mu.Lock()
+	addr := f.addr
+	ctx, cancel := context.WithTimeout(context.Background(), f.dialMax)
+	f.dialCancel = cancel
+	f.mu.Unlock()
+	conn, err := f.dialer.DialContext(ctx, "tcp", addr)
+	f.mu.Lock()
+	f.dialCancel = nil
+	f.mu.Unlock()
+	cancel()
+	if err != nil {
+		return nil, err
+	}
+	c := server.NewClient(conn, f.stall)
+	c.StreamTimeout = f.stall
+	return c, nil
+}
+
 func (f *Follower) run() {
 	defer close(f.done)
 	delay := f.backoffMin
@@ -390,10 +520,7 @@ func (f *Follower) run() {
 			return
 		default:
 		}
-		f.mu.Lock()
-		addr := f.addr
-		f.mu.Unlock()
-		c, err := server.Dial(addr)
+		c, err := f.dial()
 		if err != nil {
 			f.stats.failures.Add(1)
 			if !f.pause(&delay) {
@@ -419,6 +546,13 @@ func (f *Follower) run() {
 		err = c.FollowFrom(f.AppliedLSN(), f.w.Term(), f.apply)
 		if err != nil {
 			f.stats.failures.Add(1)
+			// A read-deadline expiry on the stream is the stall detector
+			// firing: the link went silent past the timeout while a pinged
+			// primary would have spoken — a dead or half-open connection,
+			// counted separately from ordinary breaks.
+			if errors.Is(err, server.ErrTimeout) {
+				f.stats.stalls.Add(1)
+			}
 		}
 		c.Hangup()
 		f.mu.Lock()
@@ -473,7 +607,9 @@ func (f *Follower) wakeLocked() {
 
 // pause sleeps the current backoff — jittered ±25% so orphaned followers
 // decorrelate — doubles it up to the configured cap, and reports whether
-// the loop should continue.
+// the loop should continue.  A Repoint cuts the sleep short and resets
+// the ladder: the backoff was earned against the old address, and the
+// new one deserves an immediate, fresh attempt.
 func (f *Follower) pause(delay *time.Duration) bool {
 	d := *delay
 	if j := int64(d / 4); j > 0 {
@@ -487,9 +623,15 @@ func (f *Follower) pause(delay *time.Duration) bool {
 			*delay = f.backoffMax
 		}
 	}
+	f.mu.Lock()
+	repoint := f.repointCh
+	f.mu.Unlock()
 	select {
 	case <-f.stop:
 		return false
+	case <-repoint:
+		*delay = f.backoffMin
+		return true
 	case <-t.C:
 		return true
 	}
@@ -524,6 +666,7 @@ func (f *Follower) apply(fr server.FollowFrame) error {
 		f.stats.records.Add(1)
 		f.mu.Lock()
 		f.applied = fr.Rec.LSN
+		f.freshAt = time.Now()
 		f.progress = true
 		f.sinceCommit++
 		flush := f.sinceCommit >= commitEvery
@@ -546,6 +689,7 @@ func (f *Follower) apply(fr server.FollowFrame) error {
 		f.stats.bootstraps.Add(1)
 		f.mu.Lock()
 		f.applied = fr.SnapLSN
+		f.freshAt = time.Now()
 		f.progress = true
 		f.sinceCommit = 0
 		f.wakeLocked()
@@ -560,11 +704,25 @@ func (f *Follower) apply(fr server.FollowFrame) error {
 		}
 		f.mu.Lock()
 		f.watermark = fr.Watermark
+		f.freshAt = time.Now()
 		applied := f.applied
 		f.sinceCommit = 0
 		f.wakeLocked()
 		f.mu.Unlock()
 		f.sendAck(applied)
+
+	case fr.Ping:
+		// Idle-stream liveness tick: the primary is alive and still caught
+		// up at PingLSN, it just has nothing to ship — freshness evidence
+		// without data.  The tailer only pings from its caught-up state,
+		// so PingLSN is a watermark this stream has fully delivered.
+		f.mu.Lock()
+		if fr.PingLSN > f.watermark {
+			f.watermark = fr.PingLSN
+		}
+		f.freshAt = time.Now()
+		f.wakeLocked()
+		f.mu.Unlock()
 
 	case fr.Health:
 		// Upstream degraded: the parked watermark is final until its disk

@@ -26,10 +26,22 @@ type Client struct {
 
 	// Timeout bounds each request/response round-trip (and the FOLLOW
 	// handshake) when positive: a hung server surfaces as ErrTimeout
-	// instead of blocking the caller forever.  It deliberately does not
-	// bound the reads between follow-stream frames — an idle primary
-	// commits nothing, and that silence is healthy.
+	// instead of blocking the caller forever.  The deadline refreshes on
+	// every successfully-read body line, so it bounds peer silence, not
+	// total transfer time — a large streaming REPORT/GAP body over a
+	// slow-but-live link keeps resetting it and never trips it
+	// spuriously.  It deliberately does not bound the reads between
+	// follow-stream frames; see StreamTimeout for that.
 	Timeout time.Duration
+
+	// StreamTimeout, when positive, bounds the silence between two
+	// follow-stream frames: each frame read arms a fresh read deadline.
+	// With a primary that pings idle streams (FollowFramePing), any
+	// healthy link delivers a frame well inside the window, so an expiry
+	// is a dead link — the half-open connection after a partition — and
+	// surfaces as ErrTimeout from Follow.  Zero keeps the legacy
+	// unbounded stream reads.
+	StreamTimeout time.Duration
 }
 
 // ErrTimeout marks an I/O deadline expiry on a client operation — the
@@ -55,7 +67,16 @@ func DialTimeout(addr string, dial, op time.Duration) (*Client, error) {
 		}
 		return nil, fmt.Errorf("client: %w", err)
 	}
-	return &Client{conn: conn, r: bufio.NewReaderSize(conn, 64*1024), w: bufio.NewWriter(conn), Timeout: op}, nil
+	return NewClient(conn, op), nil
+}
+
+// NewClient wraps an already-established connection — the injectable
+// transport seam: a netfault dialer (or test harness) owns the dial and
+// hands the conn over, and everything above the transport behaves
+// exactly as after DialTimeout.  op is the per-operation I/O timeout
+// (0 disables it).
+func NewClient(conn net.Conn, op time.Duration) *Client {
+	return &Client{conn: conn, r: bufio.NewReaderSize(conn, 64*1024), w: bufio.NewWriter(conn), Timeout: op}
 }
 
 // arm sets the connection deadline one operation ahead; disarm clears it
@@ -69,6 +90,15 @@ func (c *Client) arm() {
 func (c *Client) disarm() {
 	if c.Timeout > 0 {
 		c.conn.SetDeadline(time.Time{})
+	}
+}
+
+// armStream sets the read deadline one follow-stream frame ahead — the
+// stall detector: a healthy pinged stream always delivers a frame
+// inside the window, so an expiry means the link is dead.
+func (c *Client) armStream() {
+	if c.StreamTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.StreamTimeout))
 	}
 }
 
@@ -169,6 +199,10 @@ func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
 		return wire.Response{}, err
 	}
 	for multi {
+		// Refresh the deadline per successfully-read body line: the
+		// timeout bounds peer silence, and a huge REPORT/GAP body over a
+		// slow-but-live link is progress, not a hang.
+		c.arm()
 		line, err := c.readLine()
 		if err != nil {
 			return wire.Response{}, fmt.Errorf("client: truncated response: %w", err)
@@ -392,6 +426,13 @@ type FollowFrame struct {
 	// is resolved.  HealthReason carries the upstream's sticky error.
 	Health       bool
 	HealthReason string
+
+	// Ping is true on an idle-stream liveness tick: the primary is alive
+	// and caught up at commit position PingLSN, with nothing new to ship.
+	// Its arrival is freshness evidence; its absence past the stall
+	// timeout is a dead link.
+	Ping    bool
+	PingLSN int64
 }
 
 // ErrFollowRefused marks a FOLLOW the server rejected outright (not a
@@ -455,6 +496,7 @@ func (c *Client) FollowFrom(after, term int64, fn func(FollowFrame) error) error
 		return fmt.Errorf("client: FOLLOW: expected a streaming response, got %q", line)
 	}
 	for {
+		c.armStream()
 		line, err := c.readLine()
 		if err != nil {
 			return fmt.Errorf("client: follow stream: %w", err)
@@ -493,6 +535,9 @@ func (c *Client) FollowFrom(after, term int64, fn func(FollowFrame) error) error
 			}
 			var doc strings.Builder
 			for i := 0; i < n; i++ {
+				// Per-line refresh: a large bootstrap document arriving
+				// slowly is progress, not a stall.
+				c.armStream()
 				line, err := c.readLine()
 				if err != nil {
 					return fmt.Errorf("client: follow stream: snapshot body: %w", err)
@@ -524,6 +569,17 @@ func (c *Client) FollowFrom(after, term int64, fn func(FollowFrame) error) error
 			}
 			frame.Health = true
 			frame.HealthReason = strings.Join(fields[2:], " ")
+
+		case wire.FollowFramePing:
+			if len(fields) != 2 {
+				return fmt.Errorf("client: follow stream: bad ping frame %q", content)
+			}
+			lsn, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return fmt.Errorf("client: follow stream: ping lsn %q", fields[1])
+			}
+			frame.Ping = true
+			frame.PingLSN = lsn
 
 		case wire.FollowFrameError:
 			return fmt.Errorf("client: %s: %w", strings.Join(fields[1:], " "), ErrFollowStream)
@@ -561,6 +617,16 @@ type RoleInfo struct {
 	Watermark int64
 	Health    string // "ok" or "degraded" ("" from a server predating health)
 	Reason    string // degraded reason, spaces folded to underscores on the wire
+
+	// Staleness is a follower's wall-clock age of its last upstream
+	// freshness evidence (an applied record, a caught-up watermark, or a
+	// liveness ping), reported as staleness=<ms>.  A bounded value means
+	// the replication link was provably alive that recently; a growing
+	// one means the follower may be serving arbitrarily old reads.
+	// false on a primary (its data is by definition current) and on
+	// servers predating the field.
+	HasStaleness bool
+	Staleness    time.Duration
 }
 
 // Role queries the server's replication role, election term, applied LSN,
@@ -583,7 +649,7 @@ func (c *Client) Role() (RoleInfo, error) {
 			info.Health = v
 		case "reason":
 			info.Reason = v
-		case "term", "applied", "watermark":
+		case "term", "applied", "watermark", "staleness":
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
 				return RoleInfo{}, fmt.Errorf("client: ROLE: bad field %q in %q", f, resp.Detail)
@@ -595,6 +661,9 @@ func (c *Client) Role() (RoleInfo, error) {
 				info.Applied = n
 			case "watermark":
 				info.Watermark = n
+			case "staleness":
+				info.HasStaleness = true
+				info.Staleness = time.Duration(n) * time.Millisecond
 			}
 		}
 	}

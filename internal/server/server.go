@@ -1015,8 +1015,9 @@ func (s *Server) handle(req wire.Request) (wire.Response, bool) {
 		// upstream's) still accepting writes.
 		switch ro, j := s.getReadOnly(), s.getJournal(); {
 		case ro != nil:
-			return ok("role=follower term=%d applied=%d watermark=%d%s",
-				ro.Term(), ro.AppliedLSN(), ro.Watermark(), followerHealthFields(ro))
+			return ok("role=follower term=%d applied=%d watermark=%d%s%s",
+				ro.Term(), ro.AppliedLSN(), ro.Watermark(), followerHealthFields(ro),
+				followerStalenessField(ro))
 		case j != nil:
 			health, reason := j.Health()
 			return ok("role=primary term=%d applied=%d watermark=%d%s",
@@ -1429,6 +1430,21 @@ func followerHealthFields(ro ReadFollower) string {
 		}
 	}
 	return " health=ok"
+}
+
+// followerStalenessField derives a follower's staleness suffix — the
+// wall-clock age, in whole milliseconds, of its last upstream freshness
+// evidence (an applied record, a caught-up watermark, or a liveness
+// ping).  The check is an optional interface so any ReadFollower keeps
+// working; a follower that has never heard from its upstream reports
+// nothing rather than a meaningless age.
+func followerStalenessField(ro ReadFollower) string {
+	if st, ok := ro.(interface{ Staleness() (time.Duration, bool) }); ok {
+		if d, known := st.Staleness(); known {
+			return fmt.Sprintf(" staleness=%d", d.Milliseconds())
+		}
+	}
+	return ""
 }
 
 func healthToken(reason string) string {

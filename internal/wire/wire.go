@@ -87,6 +87,15 @@ const (
 	// watermark is final until the primary's disk fault is resolved.  The
 	// stream stays open; the frame is informational, not terminal.
 	FollowFrameHealth = "health"
+
+	// FollowFramePing — "ping <lsn>" — is the idle-stream liveness tick:
+	// the primary is alive and caught up at commit position lsn, it just
+	// has nothing new to ship.  A follower arms a read deadline across
+	// stream frames (the stall timeout) and relies on these ticks to keep
+	// a healthy idle link from tripping it; their absence past the
+	// timeout is the signature of a half-open connection after a
+	// partition — silence a plain TCP peer would never report.
+	FollowFramePing = "ping"
 )
 
 // EncodeFollowRecord renders one journal record as a follow-stream body
